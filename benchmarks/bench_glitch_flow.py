@@ -1,0 +1,73 @@
+"""Section 4 deployment experiment: the glitch-power-optimization flow.
+
+The paper re-simulates a 1.3M-gate design, applies glitch fixes, re-simulates
+to confirm a 1.4% design power saving, and reports a 449X turnaround speedup
+over the commercial-simulator flow.  Here the full flow runs on a scaled
+glitch-heavy design (array multiplier + industry-like logic) with the same
+steps: GATSPI re-simulation, glitch analysis, path-balancing fixes,
+confirmation re-simulation, and a turnaround comparison against the
+event-driven baseline.
+"""
+
+from repro.bench import designs
+from repro.core import SimConfig
+from repro.gpu import ApplicationModel, KernelPerfModel, KernelWorkload, V100
+from repro.opt import GlitchOptimizationFlow
+from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
+from repro.waveforms import TestbenchSpec, stimulus_for_netlist
+
+
+def run_flow():
+    netlist = designs.array_multiplier(bits=6)
+    delays = SyntheticDelayModel(seed=17, wire_delay_range=(0, 1)).build(netlist)
+    annotation = annotation_from_design_delays(netlist, delays)
+    spec = TestbenchSpec(name="mult_power_window", cycles=40,
+                         activity_factor=0.6, seed=17)
+    stimulus = stimulus_for_netlist(netlist, spec, kind="random")
+    flow = GlitchOptimizationFlow(
+        netlist, annotation=annotation,
+        config=SimConfig(clock_period=1000, cycle_parallelism=4),
+    )
+    outcome = flow.run(stimulus, cycles=spec.cycles, max_gates_to_fix=25,
+                       skew_threshold=4.0)
+    return netlist, outcome
+
+
+def test_glitch_optimization_flow(benchmark):
+    netlist, outcome = benchmark.pedantic(run_flow, rounds=1, iterations=1)
+    summary = outcome.summary()
+    print("\n=== Glitch-power-optimization flow (paper Section 4) ===")
+    for key, value in summary.items():
+        print(f"  {key:>28}: {value:.4g}")
+    print(f"  baseline glitch-power fraction: "
+          f"{outcome.baseline_glitch.glitch_power_fraction * 100:.2f}%")
+    print(f"  optimized glitch-power fraction: "
+          f"{outcome.optimized_glitch.glitch_power_fraction * 100:.2f}%")
+
+    # Shape of the paper's result: the flow finds glitch activity, applies
+    # fixes, removes glitch toggles, and saves a small single-digit
+    # percentage of power while GATSPI's turnaround beats the baseline flow.
+    assert outcome.baseline_glitch.total_glitch_toggles > 0
+    assert len(outcome.fixes) > 0
+    assert outcome.glitch_toggle_reduction > 0
+    assert outcome.power_saving_fraction > 0.0
+    assert outcome.power_saving_fraction < 0.25
+
+    # Paper-scale turnaround estimate: the commercial flow took 1459.6 minutes
+    # vs 3.25 minutes with GATSPI (449X).  Model the same two re-simulations
+    # at paper scale from this workload's statistics.
+    workload = KernelWorkload(
+        design="glitch-flow", gate_count=1_300_000, levels=60,
+        widest_level=45_000, level_sizes=[],
+        total_input_events=400_000_000, total_output_transitions=180_000_000,
+        cycles=50_000, activity_factor=0.06,
+    )
+    model = KernelPerfModel(V100)
+    app = ApplicationModel(V100)
+    gatspi_minutes = 2 * app.estimate(
+        workload, source_events=60_000_000, net_count=1_500_000
+    ).total / 60.0
+    baseline_minutes = 2 * model.baseline_application_seconds(workload) / 60.0
+    print(f"  modelled paper-scale turnaround: {baseline_minutes:.0f} min -> "
+          f"{gatspi_minutes:.2f} min ({baseline_minutes / gatspi_minutes:.0f}X)")
+    assert baseline_minutes / gatspi_minutes > 50

@@ -1,0 +1,33 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The representative benchmark runs (Design A functional, Design B functional,
+Design B high activity — the workloads the paper reuses for Tables 3, 5, 6,
+7, 8 and Fig. 6) are executed once per session and shared across benchmark
+modules.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench import representative_cases, run_case  # noqa: E402
+from repro.core import SimConfig  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def representative_artifacts():
+    """Run the three representative benchmarks once and cache the artifacts."""
+    artifacts = {}
+    for case in representative_cases():
+        key = f"{case.name} ({case.testbench})"
+        artifacts[key] = run_case(
+            case, config=SimConfig(clock_period=case.clock_period)
+        )
+    return artifacts

@@ -1,0 +1,55 @@
+"""Glitch-power optimization flow on a glitch-heavy multiplier.
+
+Reproduces the paper's Section 4 deployment experiment at laptop scale:
+re-simulate with GATSPI, analyze glitch power, apply path-balancing fixes,
+re-simulate to confirm the saving, and compare the turnaround time against
+the event-driven baseline flow.
+
+Run with:  python examples/glitch_optimization.py
+"""
+
+from repro.bench.designs import array_multiplier
+from repro.core import SimConfig
+from repro.opt import GlitchOptimizationFlow
+from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
+from repro.waveforms import TestbenchSpec, stimulus_for_netlist
+
+
+def main() -> None:
+    netlist = array_multiplier(bits=6)
+    annotation = annotation_from_design_delays(
+        netlist, SyntheticDelayModel(seed=7, wire_delay_range=(0, 1)).build(netlist)
+    )
+    spec = TestbenchSpec(name="power_window", cycles=40, activity_factor=0.6, seed=7)
+    stimulus = stimulus_for_netlist(netlist, spec, kind="random")
+
+    flow = GlitchOptimizationFlow(
+        netlist, annotation=annotation,
+        config=SimConfig(clock_period=1000, cycle_parallelism=4),
+    )
+    outcome = flow.run(stimulus, cycles=spec.cycles, max_gates_to_fix=25,
+                       skew_threshold=4.0)
+
+    baseline = outcome.baseline_glitch
+    print(f"design: {netlist.name}, {netlist.gate_count} gates")
+    print(f"glitch toggles before fixing: {baseline.total_glitch_toggles} "
+          f"({baseline.glitch_toggle_fraction * 100:.1f}% of all toggles)")
+    print(f"glitch power fraction: {baseline.glitch_power_fraction * 100:.2f}%")
+    print("worst glitching nets:")
+    for info in baseline.worst_nets(5):
+        print(f"  {info.net:20s} glitch toggles {info.glitch_toggles:5d} "
+              f"glitch power {info.glitch_power_w * 1e6:.2f} uW")
+
+    print(f"\napplied {len(outcome.fixes)} path-balancing buffers")
+    print(f"power before: {outcome.baseline_power.total_w * 1e3:.3f} mW")
+    print(f"power after:  {outcome.optimized_power.total_w * 1e3:.3f} mW")
+    print(f"power saving: {outcome.power_saving_fraction * 100:.2f}% "
+          f"(paper reports 1.4% on its industrial design)")
+    print(f"glitch toggles removed: {outcome.glitch_toggle_reduction}")
+    print(f"re-simulation turnaround: GATSPI {outcome.gatspi_resim_seconds:.2f}s vs "
+          f"reference {outcome.reference_resim_seconds:.2f}s "
+          f"({outcome.turnaround_speedup:.1f}X)")
+
+
+if __name__ == "__main__":
+    main()

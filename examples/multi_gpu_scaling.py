@@ -1,0 +1,54 @@
+"""Multi-GPU cycle-parallel scaling (paper Fig. 6) on a generated design.
+
+Distributes one testbench across 1, 2, 4, and 8 model devices using the
+paper's cycle-parallelism workload-distribution strategy, reports measured
+per-device kernel times and load imbalance, and prints the modelled
+paper-scale scaling curve `t = t1/n + ovr`.
+
+Run with:  python examples/multi_gpu_scaling.py
+"""
+
+from repro.bench.designs import industry_like
+from repro.core import SimConfig, simulate_multi_gpu
+from repro.gpu import KernelWorkload, MultiGpuModel, V100
+from repro.core.engine import GatspiEngine
+from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
+from repro.waveforms import TestbenchSpec, stimulus_for_netlist
+
+
+def main() -> None:
+    netlist = industry_like(gate_count=600, num_flops=80, depth=14, seed=5)
+    annotation = annotation_from_design_delays(
+        netlist, SyntheticDelayModel(seed=5).build(netlist)
+    )
+    spec = TestbenchSpec(name="concat", cycles=80, activity_factor=0.15, seed=5)
+    stimulus = stimulus_for_netlist(netlist, spec, kind="functional")
+    config = SimConfig(cycle_parallelism=8, clock_period=spec.clock_period)
+
+    print(f"design: {netlist.gate_count} gates, testbench {spec.cycles} cycles\n")
+    print("measured cycle-parallel distribution across model devices:")
+    baseline = None
+    for devices in (1, 2, 4, 8):
+        result = simulate_multi_gpu(
+            netlist, stimulus, spec.cycles, num_devices=devices,
+            annotation=annotation, config=config,
+        )
+        parallel = result.parallel_kernel_runtime
+        if baseline is None:
+            baseline = parallel
+        print(f"  {devices} device(s): kernel {parallel:.2f}s  "
+              f"speedup {baseline / parallel:4.1f}X  "
+              f"imbalance {result.load_imbalance():.2f}")
+
+    # Modelled paper-scale curve for the same workload shape.
+    engine = GatspiEngine(netlist, annotation=annotation, config=config)
+    result = engine.simulate(stimulus, cycles=spec.cycles)
+    workload = KernelWorkload.from_result(netlist, result)
+    print("\nmodelled V100 scaling (t = t1/n + overhead):")
+    for point in MultiGpuModel(V100).scaling_curve(workload, [1, 2, 4, 8]):
+        print(f"  {point.label}: {point.kernel_seconds * 1e3:.2f} ms, "
+              f"{point.speedup_vs_cpu:.0f}X vs 1 CPU core")
+
+
+if __name__ == "__main__":
+    main()

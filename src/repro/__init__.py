@@ -1,0 +1,53 @@
+"""repro: a from-scratch reproduction of GATSPI (DAC 2022).
+
+GATSPI is a GPU-accelerated, delay-aware, glitch-enabled gate-level
+re-simulator for power estimation.  This package re-implements the complete
+system in pure Python: the array waveform format, truth-table and conditional
+delay-table lookups, the per-gate/per-window simulation kernel, the levelized
+two-pass engine with a device-memory pool model, SDF and structural-Verilog
+front ends, SAIF/VCD back ends, an event-driven reference simulator standing
+in for the commercial baseline, analytic GPU performance models, and the
+glitch-power optimization flow.
+"""
+
+__version__ = "0.1.0"
+
+from .cells import DEFAULT_LIBRARY, Cell, CellLibrary
+from .core import (
+    GatspiEngine,
+    SimConfig,
+    SimulationResult,
+    Waveform,
+    simulate,
+    simulate_multi_gpu,
+)
+from .netlist import Netlist, NetlistBuilder, parse_verilog, read_verilog
+from .sdf import (
+    DelayAnnotation,
+    SyntheticDelayModel,
+    annotation_from_sdf,
+    parse_sdf,
+    read_sdf,
+)
+
+__all__ = [
+    "__version__",
+    "DEFAULT_LIBRARY",
+    "Cell",
+    "CellLibrary",
+    "GatspiEngine",
+    "SimConfig",
+    "SimulationResult",
+    "Waveform",
+    "simulate",
+    "simulate_multi_gpu",
+    "Netlist",
+    "NetlistBuilder",
+    "parse_verilog",
+    "read_verilog",
+    "DelayAnnotation",
+    "SyntheticDelayModel",
+    "annotation_from_sdf",
+    "parse_sdf",
+    "read_sdf",
+]

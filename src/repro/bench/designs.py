@@ -1,0 +1,309 @@
+"""Benchmark design generators.
+
+The paper evaluates on a 32-bit integer adder, NVDLA convolution blocks at
+several configurations, and four multi-million-gate industry designs.  We
+cannot ship those netlists, so this module generates synthetic equivalents
+that expose the same structural knobs the experiments sweep: gate count,
+logic depth, fanout distribution, cell-type mix, and the ratio of sequential
+boundaries to combinational logic.  Gate counts are scaled down to laptop
+budgets; the scale factors are recorded by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..cells import CellLibrary
+from ..netlist import Netlist, NetlistBuilder
+
+
+# ----------------------------------------------------------------------
+# Arithmetic blocks
+# ----------------------------------------------------------------------
+def ripple_carry_adder(bits: int = 32, name: str = "int_adder") -> Netlist:
+    """A ``bits``-wide ripple-carry adder built from XOR/AND/OR gates.
+
+    This is the benchmark suite's stand-in for the paper's ``32b_int_adder``;
+    it is deliberately built gate-by-gate (rather than from FA cells) so it
+    has realistic depth and internal glitching.
+    """
+    if bits < 1:
+        raise ValueError("adder width must be at least 1")
+    builder = NetlistBuilder(name)
+    a = builder.inputs("a", bits)
+    b = builder.inputs("b", bits)
+    carry_in = builder.input("cin")
+    sums = builder.outputs("sum", bits)
+    carry_out = builder.output("cout")
+
+    carry = carry_in
+    for bit in range(bits):
+        propagate = builder.gate("XOR2", [a[bit], b[bit]])
+        generate = builder.gate("AND2", [a[bit], b[bit]])
+        builder.gate("XOR2", [propagate, carry], output_net=sums[bit])
+        carry_and = builder.gate("AND2", [propagate, carry])
+        carry = builder.gate("OR2", [generate, carry_and])
+    builder.gate("BUF", [carry], output_net=carry_out)
+    return builder.build()
+
+
+def carry_select_adder(bits: int = 32, block: int = 4, name: str = "csel_adder") -> Netlist:
+    """A carry-select adder: wider, shallower, and much more glitch-prone."""
+    builder = NetlistBuilder(name)
+    a = builder.inputs("a", bits)
+    b = builder.inputs("b", bits)
+    carry_in = builder.input("cin")
+    sums = builder.outputs("sum", bits)
+    carry_out = builder.output("cout")
+
+    def block_adder(a_bits, b_bits, cin_net):
+        carry = cin_net
+        out_sums = []
+        for a_net, b_net in zip(a_bits, b_bits):
+            propagate = builder.gate("XOR2", [a_net, b_net])
+            generate = builder.gate("AND2", [a_net, b_net])
+            out_sums.append(builder.gate("XOR2", [propagate, carry]))
+            carry = builder.gate(
+                "OR2", [generate, builder.gate("AND2", [propagate, carry])]
+            )
+        return out_sums, carry
+
+    zero = builder.gate("TIELO", [])
+    one = builder.gate("TIEHI", [])
+    carry = carry_in
+    for start in range(0, bits, block):
+        stop = min(start + block, bits)
+        a_bits = a[start:stop]
+        b_bits = b[start:stop]
+        sums0, carry0 = block_adder(a_bits, b_bits, zero)
+        sums1, carry1 = block_adder(a_bits, b_bits, one)
+        for offset, (s0, s1) in enumerate(zip(sums0, sums1)):
+            builder.gate("MUX2", [s0, s1, carry], output_net=sums[start + offset])
+        carry = builder.gate("MUX2", [carry0, carry1, carry])
+    builder.gate("BUF", [carry], output_net=carry_out)
+    return builder.build()
+
+
+def array_multiplier(bits: int = 8, name: str = "multiplier") -> Netlist:
+    """A ``bits``×``bits`` array multiplier — the classic glitch generator."""
+    builder = NetlistBuilder(name)
+    a = builder.inputs("a", bits)
+    b = builder.inputs("b", bits)
+    product = builder.outputs("p", 2 * bits)
+
+    partial = [
+        [builder.gate("AND2", [a[i], b[j]]) for i in range(bits)]
+        for j in range(bits)
+    ]
+    # Row-by-row carry-save reduction.
+    row_sum: List[str] = list(partial[0])
+    row_carry: List[Optional[str]] = [None] * bits
+    outputs: List[str] = [row_sum[0]]
+    for j in range(1, bits):
+        new_sum: List[str] = []
+        new_carry: List[Optional[str]] = []
+        for i in range(bits):
+            addend = partial[j][i]
+            above = row_sum[i + 1] if i + 1 < bits else None
+            carry_in = row_carry[i]
+            terms = [t for t in (addend, above, carry_in) if t is not None]
+            if len(terms) == 1:
+                new_sum.append(terms[0])
+                new_carry.append(None)
+            elif len(terms) == 2:
+                new_sum.append(builder.gate("XOR2", terms))
+                new_carry.append(builder.gate("AND2", terms))
+            else:
+                new_sum.append(builder.gate("FA_SUM", terms))
+                new_carry.append(builder.gate("FA_CO", terms))
+        outputs.append(new_sum[0])
+        row_sum = new_sum
+        row_carry = new_carry
+    # Final ripple to resolve remaining carries.
+    carry: Optional[str] = None
+    for i in range(1, bits):
+        terms = [t for t in (row_sum[i] if i < bits else None,
+                             row_carry[i - 1], carry) if t is not None]
+        if not terms:
+            outputs.append(builder.gate("TIELO", []))
+            carry = None
+        elif len(terms) == 1:
+            outputs.append(terms[0])
+            carry = None
+        elif len(terms) == 2:
+            outputs.append(builder.gate("XOR2", terms))
+            carry = builder.gate("AND2", terms)
+        else:
+            outputs.append(builder.gate("FA_SUM", terms))
+            carry = builder.gate("FA_CO", terms)
+    outputs.append(carry if carry is not None else builder.gate("TIELO", []))
+    for index in range(2 * bits):
+        source = outputs[index] if index < len(outputs) else builder.gate("TIELO", [])
+        builder.gate("BUF", [source], output_net=product[index])
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# NVDLA-like convolution datapath
+# ----------------------------------------------------------------------
+def nvdla_like_mac_block(
+    macs: int = 8,
+    data_bits: int = 4,
+    name: str = "nvdla_m",
+    with_registers: bool = True,
+) -> Netlist:
+    """A convolution MAC array reminiscent of the NVDLA conv core.
+
+    ``macs`` multiply units (``data_bits`` × ``data_bits``) feed a balanced
+    adder tree; pipeline registers at the inputs make their outputs the
+    pseudo-primary inputs, exactly as in re-simulation of the real design.
+    """
+    builder = NetlistBuilder(name)
+    clock = builder.input("clk")
+    mult_outputs_per_mac: List[List[str]] = []
+
+    for mac in range(macs):
+        data = builder.inputs(f"d{mac}", data_bits)
+        weight = builder.inputs(f"w{mac}", data_bits)
+        if with_registers:
+            data = [builder.flop(net, clock) for net in data]
+            weight = [builder.flop(net, clock) for net in weight]
+        # Small array multiplier per MAC.
+        partial = [
+            [builder.gate("AND2", [data[i], weight[j]]) for i in range(data_bits)]
+            for j in range(data_bits)
+        ]
+        row = list(partial[0])
+        for j in range(1, data_bits):
+            next_row = []
+            carry = None
+            for i in range(data_bits):
+                terms = [partial[j][i]]
+                if i + 1 < data_bits:
+                    terms.append(row[i + 1])
+                if carry is not None:
+                    terms.append(carry)
+                if len(terms) == 1:
+                    next_row.append(terms[0])
+                    carry = None
+                elif len(terms) == 2:
+                    next_row.append(builder.gate("XOR2", terms))
+                    carry = builder.gate("AND2", terms)
+                else:
+                    next_row.append(builder.gate("FA_SUM", terms))
+                    carry = builder.gate("FA_CO", terms)
+            row = next_row
+        mult_outputs_per_mac.append(row)
+
+    # Balanced adder tree over the MAC outputs (bitwise XOR/MAJ reduction).
+    def add_vectors(left: Sequence[str], right: Sequence[str]) -> List[str]:
+        carry = None
+        out = []
+        for a_net, b_net in zip(left, right):
+            terms = [a_net, b_net] + ([carry] if carry is not None else [])
+            if len(terms) == 2:
+                out.append(builder.gate("XOR2", terms))
+                carry = builder.gate("AND2", terms)
+            else:
+                out.append(builder.gate("FA_SUM", terms))
+                carry = builder.gate("FA_CO", terms)
+        out.append(carry if carry is not None else builder.gate("TIELO", []))
+        return out
+
+    level = mult_outputs_per_mac
+    while len(level) > 1:
+        next_level = []
+        for index in range(0, len(level) - 1, 2):
+            next_level.append(add_vectors(level[index], level[index + 1]))
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+
+    accum = level[0]
+    outputs = builder.outputs("acc", len(accum))
+    for net, port in zip(accum, outputs):
+        if with_registers:
+            q = builder.flop(net, clock)
+            builder.gate("BUF", [q], output_net=port)
+        else:
+            builder.gate("BUF", [net], output_net=port)
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Industry-like random logic
+# ----------------------------------------------------------------------
+def industry_like(
+    gate_count: int = 2000,
+    num_flops: int = 200,
+    depth: int = 20,
+    seed: int = 1,
+    name: str = "industry",
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """A layered random netlist shaped like synthesized industrial logic.
+
+    Gates are placed in ``depth`` layers; each gate's inputs come from nearby
+    earlier layers (locality), with a long tail of high-fanout nets (clock
+    gates, control signals).  ``num_flops`` flip-flops form the sequential
+    boundary so the design exercises re-simulation from pseudo-primary
+    inputs, as the industry benchmarks in the paper do.
+    """
+    if depth < 2:
+        raise ValueError("depth must be at least 2")
+    rng = random.Random(seed)
+    builder = NetlistBuilder(name, library=library)
+    clock = builder.input("clk")
+    primary = builder.inputs("pi", max(4, num_flops // 8))
+
+    flop_outputs = []
+    for index in range(num_flops):
+        data = rng.choice(primary)
+        flop_outputs.append(builder.flop(data, clock, name=f"reg_in_{index}"))
+
+    cells = [
+        ("INV", 10), ("BUF", 6), ("NAND2", 18), ("NOR2", 12), ("AND2", 8),
+        ("OR2", 8), ("XOR2", 6), ("XNOR2", 4), ("AOI21", 8), ("OAI21", 8),
+        ("AOI22", 4), ("OAI22", 3), ("MUX2", 5), ("NAND3", 4), ("NOR3", 3),
+        ("AND3", 2), ("OR3", 2), ("XOR3", 1), ("MAJ3", 1), ("NAND4", 1),
+        ("NOR4", 1),
+    ]
+    population = [c for c, weight in cells for _ in range(weight)]
+    lib = builder.netlist.library
+
+    layers: List[List[str]] = [list(flop_outputs) + list(primary)]
+    gates_per_layer = max(1, gate_count // depth)
+    remaining = gate_count
+    layer_index = 0
+    while remaining > 0:
+        layer_index += 1
+        this_layer = min(gates_per_layer, remaining)
+        new_nets: List[str] = []
+        for _ in range(this_layer):
+            cell_name = rng.choice(population)
+            num_inputs = lib.get(cell_name).num_inputs
+            inputs = []
+            for _ in range(num_inputs):
+                # Prefer recent layers; occasionally reach far back
+                # (reconvergence) or to a high-fanout control net.
+                if rng.random() < 0.75 and len(layers) >= 1:
+                    source_layer = layers[-1]
+                elif rng.random() < 0.5 and len(layers) >= 2:
+                    source_layer = layers[rng.randrange(max(1, len(layers) - 3), len(layers))]
+                else:
+                    source_layer = layers[rng.randrange(len(layers))]
+                inputs.append(rng.choice(source_layer))
+            new_nets.append(builder.gate(cell_name, inputs))
+        layers.append(new_nets)
+        remaining -= this_layer
+
+    # Endpoints: outputs and capture flops.
+    final_nets = layers[-1] + (layers[-2] if len(layers) > 2 else [])
+    num_outputs = max(2, num_flops // 8)
+    for index in range(num_outputs):
+        port = builder.output(f"po[{index}]")
+        builder.gate("BUF", [rng.choice(final_nets)], output_net=port)
+    for index in range(num_flops):
+        builder.flop(rng.choice(final_nets), clock, name=f"reg_out_{index}")
+    return builder.build()

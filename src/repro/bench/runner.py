@@ -1,0 +1,177 @@
+"""Benchmark harness: run one case against GATSPI and the baseline.
+
+For every benchmark the harness measures the Python runtimes of the GATSPI
+engine and the event-driven reference simulator (real, laptop-scale
+speedups), checks that their SAIF toggle counts agree (the paper's accuracy
+criterion), and additionally evaluates the analytic GPU/CPU performance
+models to produce paper-scale speedup estimates for the same workload shape.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.config import SimConfig
+from ..core.engine import GatspiEngine
+from ..core.results import SimulationResult
+from ..gpu import ApplicationModel, GpuSpec, KernelPerfModel, KernelWorkload, V100
+from ..netlist import Netlist
+from ..power import summarize_activity
+from ..reference import EventDrivenSimulator
+from ..sdf import SyntheticDelayModel, annotation_from_design_delays
+from ..waveforms import TestbenchSpec, measured_activity_factor, stimulus_for_netlist
+from .suites import BenchmarkCase
+
+
+@dataclass
+class BenchmarkRow:
+    """One row of the Table 2 style results."""
+
+    name: str
+    testbench: str
+    gate_count: int
+    cycles: int
+    activity_factor: float
+    baseline_app_s: float
+    baseline_kernel_s: float
+    gatspi_app_s: float
+    gatspi_kernel_s: float
+    saif_match: bool
+    modeled_gpu_kernel_s: float = 0.0
+    modeled_cpu_kernel_s: float = 0.0
+    modeled_gpu_app_s: float = 0.0
+    modeled_cpu_app_s: float = 0.0
+
+    @property
+    def kernel_speedup(self) -> float:
+        if self.gatspi_kernel_s == 0:
+            return float("inf")
+        return self.baseline_kernel_s / self.gatspi_kernel_s
+
+    @property
+    def app_speedup(self) -> float:
+        if self.gatspi_app_s == 0:
+            return float("inf")
+        return self.baseline_app_s / self.gatspi_app_s
+
+    @property
+    def modeled_kernel_speedup(self) -> float:
+        if self.modeled_gpu_kernel_s == 0:
+            return float("inf")
+        return self.modeled_cpu_kernel_s / self.modeled_gpu_kernel_s
+
+    @property
+    def modeled_app_speedup(self) -> float:
+        if self.modeled_gpu_app_s == 0:
+            return float("inf")
+        return self.modeled_cpu_app_s / self.modeled_gpu_app_s
+
+
+@dataclass
+class BenchmarkArtifacts:
+    """Full outputs of one benchmark run (for further analysis)."""
+
+    case: BenchmarkCase
+    netlist: Netlist
+    row: BenchmarkRow
+    gatspi_result: SimulationResult
+    reference_result: SimulationResult
+    workload: KernelWorkload
+
+
+def prepare_case(case: BenchmarkCase):
+    """Build the design, delay annotation, and stimulus for one benchmark."""
+    netlist = case.build_design()
+    delays = SyntheticDelayModel(seed=case.seed).build(netlist)
+    annotation = annotation_from_design_delays(netlist, delays)
+    spec = TestbenchSpec(
+        name=case.testbench,
+        cycles=case.cycles,
+        clock_period=case.clock_period,
+        activity_factor=case.activity_factor,
+        seed=case.seed,
+    )
+    stimulus = stimulus_for_netlist(netlist, spec, kind=case.stimulus_kind)
+    return netlist, annotation, stimulus
+
+
+def run_case(
+    case: BenchmarkCase,
+    config: Optional[SimConfig] = None,
+    device: GpuSpec = V100,
+    run_reference: bool = True,
+) -> BenchmarkArtifacts:
+    """Run one benchmark end to end and collect all measurements."""
+    config = config or SimConfig(clock_period=case.clock_period)
+    netlist, annotation, stimulus = prepare_case(case)
+
+    engine = GatspiEngine(netlist, annotation=annotation, config=config)
+    start = time.perf_counter()
+    gatspi_result = engine.simulate(stimulus, cycles=case.cycles)
+    gatspi_app = time.perf_counter() - start
+
+    if run_reference:
+        reference = EventDrivenSimulator(netlist, annotation=annotation, config=config)
+        start = time.perf_counter()
+        reference_result = reference.simulate(stimulus, cycles=case.cycles)
+        baseline_app = time.perf_counter() - start
+        baseline_kernel = reference_result.kernel_runtime
+        saif_match = gatspi_result.matches_toggle_counts(reference_result)
+    else:
+        reference_result = gatspi_result
+        baseline_app = gatspi_app
+        baseline_kernel = gatspi_result.kernel_runtime
+        saif_match = True
+
+    activity = summarize_activity(netlist, gatspi_result, case.cycles)
+    workload = KernelWorkload.from_result(netlist, gatspi_result, design=case.name)
+
+    kernel_model = KernelPerfModel(device)
+    app_model = ApplicationModel(device)
+    source_events = sum(
+        gatspi_result.toggle_counts.get(net, 0) for net in netlist.source_nets()
+    )
+    estimate = app_model.estimate(
+        workload, source_events=source_events, net_count=len(netlist.nets),
+        config=config,
+    )
+
+    row = BenchmarkRow(
+        name=case.name,
+        testbench=case.testbench,
+        gate_count=netlist.gate_count,
+        cycles=case.cycles,
+        activity_factor=activity.activity_factor,
+        baseline_app_s=baseline_app,
+        baseline_kernel_s=baseline_kernel,
+        gatspi_app_s=gatspi_app,
+        gatspi_kernel_s=gatspi_result.kernel_runtime,
+        saif_match=saif_match,
+        modeled_gpu_kernel_s=kernel_model.predict_kernel_seconds(workload, config),
+        modeled_cpu_kernel_s=kernel_model.baseline_kernel_seconds(workload),
+        modeled_gpu_app_s=estimate.total,
+        modeled_cpu_app_s=kernel_model.baseline_application_seconds(workload),
+    )
+    return BenchmarkArtifacts(
+        case=case,
+        netlist=netlist,
+        row=row,
+        gatspi_result=gatspi_result,
+        reference_result=reference_result,
+        workload=workload,
+    )
+
+
+def run_suite(
+    cases: List[BenchmarkCase],
+    config: Optional[SimConfig] = None,
+    device: GpuSpec = V100,
+    run_reference: bool = True,
+) -> List[BenchmarkArtifacts]:
+    """Run a list of benchmark cases sequentially."""
+    return [
+        run_case(case, config=config, device=device, run_reference=run_reference)
+        for case in cases
+    ]

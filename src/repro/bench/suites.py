@@ -1,0 +1,241 @@
+"""Benchmark suite definitions mirroring the paper's Table 2.
+
+Each :class:`BenchmarkCase` pairs a generated design with a testbench kind,
+cycle count, and target activity factor chosen to land in the same regime as
+the corresponding paper benchmark (high-activity scan vs low-activity
+functional windows, small vs large designs).  Designs are scaled down from
+millions of gates to laptop-sized netlists; ``paper`` records the original
+benchmark's numbers so the harness can compare speedup *shape* against the
+paper.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..netlist import Netlist
+from . import designs
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """The corresponding row of the paper's Table 2 (V100)."""
+
+    gate_count: int
+    activity_factor: float
+    cycles: int
+    baseline_app_s: float
+    baseline_kernel_s: float
+    gatspi_app_s: float
+    gatspi_kernel_s: float
+
+    @property
+    def kernel_speedup(self) -> float:
+        return self.baseline_kernel_s / self.gatspi_kernel_s
+
+    @property
+    def app_speedup(self) -> float:
+        return self.baseline_app_s / self.gatspi_app_s
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One benchmark: a design generator plus a testbench description."""
+
+    name: str
+    testbench: str
+    design_factory: Callable[[], Netlist]
+    stimulus_kind: str
+    cycles: int
+    activity_factor: float
+    clock_period: int = 1000
+    seed: int = 1
+    paper: Optional[PaperNumbers] = None
+
+    def build_design(self) -> Netlist:
+        return self.design_factory()
+
+
+def _scale() -> float:
+    """Optional global scale factor for benchmark sizes (env override)."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def _cycles(base: int) -> int:
+    return max(10, int(base * _scale()))
+
+
+def table2_cases() -> List[BenchmarkCase]:
+    """The twelve Table 2 benchmarks, scaled for pure-Python execution."""
+    scale = _scale()
+    gates = lambda n: max(50, int(n * scale))  # noqa: E731 - local shorthand
+    return [
+        BenchmarkCase(
+            name="32b_int_adder",
+            testbench="random stimulus",
+            design_factory=lambda: designs.ripple_carry_adder(32),
+            stimulus_kind="random",
+            cycles=_cycles(200),
+            activity_factor=1.0,
+            seed=101,
+            paper=PaperNumbers(1_000, 1.0, 60_000, 554, 529, 5.98, 5.75),
+        ),
+        BenchmarkCase(
+            name="NVDLA_m(small)",
+            testbench="convolution",
+            design_factory=lambda: designs.nvdla_like_mac_block(macs=4, data_bits=4),
+            stimulus_kind="functional",
+            cycles=_cycles(300),
+            activity_factor=0.058,
+            seed=102,
+            paper=PaperNumbers(14_000, 0.058, 743_000, 455, 373, 12.05, 4.35),
+        ),
+        BenchmarkCase(
+            name="NVDLA_m(large)",
+            testbench="convolution",
+            design_factory=lambda: designs.nvdla_like_mac_block(macs=8, data_bits=4),
+            stimulus_kind="functional",
+            cycles=_cycles(150),
+            activity_factor=0.0017,
+            seed=103,
+            paper=PaperNumbers(257_000, 0.0017, 132_000, 159, 133, 8.56, 1.4),
+        ),
+        BenchmarkCase(
+            name="NVDLA_m(large)",
+            testbench="scan",
+            design_factory=lambda: designs.nvdla_like_mac_block(macs=8, data_bits=4),
+            stimulus_kind="scan",
+            cycles=_cycles(40),
+            activity_factor=1.2,
+            seed=104,
+            paper=PaperNumbers(257_000, 1.2, 5_000, 723, 670, 18.27, 3.82),
+        ),
+        BenchmarkCase(
+            name="NVDLA(large)",
+            testbench="sanity test",
+            design_factory=lambda: designs.nvdla_like_mac_block(macs=12, data_bits=4),
+            stimulus_kind="functional",
+            cycles=_cycles(100),
+            activity_factor=0.00079,
+            seed=105,
+            paper=PaperNumbers(1_800_000, 0.00079, 100_000, 180, 116, 35.41, 4.09),
+        ),
+        BenchmarkCase(
+            name="NVDLA(large)",
+            testbench="scan",
+            design_factory=lambda: designs.nvdla_like_mac_block(macs=12, data_bits=4),
+            stimulus_kind="scan",
+            cycles=_cycles(25),
+            activity_factor=1.0,
+            seed=106,
+            paper=PaperNumbers(1_800_000, 1.0, 1_500, 3211, 2535, 70.81, 9.99),
+        ),
+        BenchmarkCase(
+            name="Industry Design A",
+            testbench="functional 1",
+            design_factory=lambda: designs.industry_like(
+                gate_count=gates(800), num_flops=100, depth=14, seed=111,
+                name="design_a",
+            ),
+            stimulus_kind="functional",
+            cycles=_cycles(100),
+            activity_factor=0.094,
+            seed=111,
+            paper=PaperNumbers(77_000, 0.094, 9_400, 670, 635, 4.05, 0.79),
+        ),
+        BenchmarkCase(
+            name="Industry Design B",
+            testbench="functional 2",
+            design_factory=lambda: designs.industry_like(
+                gate_count=gates(2000), num_flops=250, depth=22, seed=112,
+                name="design_b",
+            ),
+            stimulus_kind="functional",
+            cycles=_cycles(200),
+            activity_factor=0.013,
+            seed=112,
+            paper=PaperNumbers(2_000_000, 0.013, 78_000, 16_060, 14_924, 41.76, 14.55),
+        ),
+        BenchmarkCase(
+            name="Industry Design B",
+            testbench="high activity short test",
+            design_factory=lambda: designs.industry_like(
+                gate_count=gates(2000), num_flops=250, depth=22, seed=112,
+                name="design_b",
+            ),
+            stimulus_kind="functional",
+            cycles=_cycles(50),
+            activity_factor=0.186,
+            seed=113,
+            paper=PaperNumbers(2_000_000, 0.186, 11_000, 20_969, 18_727, 53.46, 19.18),
+        ),
+        BenchmarkCase(
+            name="Industry Design B",
+            testbench="high activity long test",
+            design_factory=lambda: designs.industry_like(
+                gate_count=gates(2000), num_flops=250, depth=22, seed=112,
+                name="design_b",
+            ),
+            stimulus_kind="functional",
+            cycles=_cycles(120),
+            activity_factor=0.183,
+            seed=114,
+            paper=PaperNumbers(2_000_000, 0.183, 33_000, 49_230, 46_617, 72.35, 38.90),
+        ),
+        BenchmarkCase(
+            name="Industry Design C",
+            testbench="functional 2",
+            design_factory=lambda: designs.industry_like(
+                gate_count=gates(1900), num_flops=230, depth=20, seed=115,
+                name="design_c",
+            ),
+            stimulus_kind="functional",
+            cycles=_cycles(120),
+            activity_factor=0.015,
+            seed=115,
+            paper=PaperNumbers(1_900_000, 0.015, 32_000, 6_224, 5_065, 38.91, 6.98),
+        ),
+        BenchmarkCase(
+            name="Industry Design D",
+            testbench="functional 3",
+            design_factory=lambda: designs.industry_like(
+                gate_count=gates(2300), num_flops=280, depth=24, seed=116,
+                name="design_d",
+            ),
+            stimulus_kind="functional",
+            cycles=_cycles(150),
+            activity_factor=0.024,
+            seed=116,
+            paper=PaperNumbers(2_300_000, 0.024, 62_000, 10_638, 8_896, 68.12, 15.72),
+        ),
+    ]
+
+
+def representative_cases() -> List[BenchmarkCase]:
+    """The three representative benchmarks used in Tables 3, 5-8.
+
+    The paper uses Design A (func. 1), Design B (func. 2) and Design B (high
+    activity) as its representative small / unbalanced-low-activity /
+    balanced-high-activity workloads.
+    """
+    by_key: Dict[tuple, BenchmarkCase] = {
+        (case.name, case.testbench): case for case in table2_cases()
+    }
+    return [
+        by_key[("Industry Design A", "functional 1")],
+        by_key[("Industry Design B", "functional 2")],
+        by_key[("Industry Design B", "high activity short test")],
+    ]
+
+
+def case_by_name(name: str, testbench: Optional[str] = None) -> BenchmarkCase:
+    """Look up one Table 2 benchmark by design (and optionally testbench)."""
+    for case in table2_cases():
+        if case.name == name and (testbench is None or case.testbench == testbench):
+            return case
+    raise KeyError(f"no benchmark named {name!r} / {testbench!r}")

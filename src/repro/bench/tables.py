@@ -1,0 +1,73 @@
+"""Formatting of benchmark results into the paper's table layouts."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .runner import BenchmarkRow
+
+TABLE2_HEADER = [
+    "Design",
+    "Testbench",
+    "Gates",
+    "AF",
+    "Cycles",
+    "Base App(s)",
+    "Base Kern(s)",
+    "GATSPI App(s)",
+    "GATSPI Kern(s)",
+    "App X",
+    "Kern X",
+    "Model Kern X",
+    "SAIF",
+]
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if value == 0:
+        return "0"
+    if value >= 100:
+        return f"{value:.0f}"
+    return f"{value:.{digits}g}"
+
+
+def table2_rows(rows: Iterable[BenchmarkRow]) -> List[List[str]]:
+    formatted: List[List[str]] = []
+    for row in rows:
+        formatted.append(
+            [
+                row.name,
+                row.testbench,
+                str(row.gate_count),
+                f"{row.activity_factor:.4g}",
+                str(row.cycles),
+                _fmt(row.baseline_app_s),
+                _fmt(row.baseline_kernel_s),
+                _fmt(row.gatspi_app_s),
+                _fmt(row.gatspi_kernel_s),
+                f"{row.app_speedup:.1f}X",
+                f"{row.kernel_speedup:.1f}X",
+                f"{row.modeled_kernel_speedup:.0f}X",
+                "match" if row.saif_match else "MISMATCH",
+            ]
+        )
+    return formatted
+
+
+def format_rows(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width text rendering of a table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render(header), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_table2(rows: Iterable[BenchmarkRow]) -> str:
+    return format_rows(TABLE2_HEADER, table2_rows(rows))

@@ -1,0 +1,19 @@
+"""Standard cell library subsystem."""
+
+from .library import (
+    Cell,
+    CellLibrary,
+    CellPower,
+    DEFAULT_LIBRARY,
+    build_default_library,
+    sized_variants,
+)
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "CellPower",
+    "DEFAULT_LIBRARY",
+    "build_default_library",
+    "sized_variants",
+]

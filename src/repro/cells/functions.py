@@ -1,0 +1,148 @@
+"""Boolean logic functions for the standard cell library.
+
+Every function takes a tuple of input bits ordered exactly as the cell's pin
+list and returns the single output bit.  These functions are the ground truth
+from which the Fig. 4 truth-table arrays are generated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+LogicFunction = Callable[[Sequence[int]], int]
+
+
+def buf(inputs: Sequence[int]) -> int:
+    """Non-inverting buffer."""
+    (a,) = inputs
+    return a
+
+
+def inv(inputs: Sequence[int]) -> int:
+    """Inverter."""
+    (a,) = inputs
+    return a ^ 1
+
+
+def and_gate(inputs: Sequence[int]) -> int:
+    """N-input AND."""
+    result = 1
+    for bit in inputs:
+        result &= bit
+    return result
+
+
+def nand_gate(inputs: Sequence[int]) -> int:
+    """N-input NAND."""
+    return and_gate(inputs) ^ 1
+
+
+def or_gate(inputs: Sequence[int]) -> int:
+    """N-input OR."""
+    result = 0
+    for bit in inputs:
+        result |= bit
+    return result
+
+
+def nor_gate(inputs: Sequence[int]) -> int:
+    """N-input NOR."""
+    return or_gate(inputs) ^ 1
+
+
+def xor_gate(inputs: Sequence[int]) -> int:
+    """N-input XOR (odd parity)."""
+    result = 0
+    for bit in inputs:
+        result ^= bit
+    return result
+
+
+def xnor_gate(inputs: Sequence[int]) -> int:
+    """N-input XNOR (even parity)."""
+    return xor_gate(inputs) ^ 1
+
+
+def aoi21(inputs: Sequence[int]) -> int:
+    """AND-OR-invert: Y = ~((A1 & A2) | B)."""
+    a1, a2, b = inputs
+    return ((a1 & a2) | b) ^ 1
+
+
+def aoi22(inputs: Sequence[int]) -> int:
+    """AND-OR-invert: Y = ~((A1 & A2) | (B1 & B2))."""
+    a1, a2, b1, b2 = inputs
+    return ((a1 & a2) | (b1 & b2)) ^ 1
+
+
+def oai21(inputs: Sequence[int]) -> int:
+    """OR-AND-invert: Y = ~((A1 | A2) & B)."""
+    a1, a2, b = inputs
+    return ((a1 | a2) & b) ^ 1
+
+
+def oai22(inputs: Sequence[int]) -> int:
+    """OR-AND-invert: Y = ~((A1 | A2) & (B1 | B2))."""
+    a1, a2, b1, b2 = inputs
+    return ((a1 | a2) & (b1 | b2)) ^ 1
+
+
+def ao21(inputs: Sequence[int]) -> int:
+    """AND-OR: Y = (A1 & A2) | B."""
+    a1, a2, b = inputs
+    return (a1 & a2) | b
+
+
+def oa21(inputs: Sequence[int]) -> int:
+    """OR-AND: Y = (A1 | A2) & B."""
+    a1, a2, b = inputs
+    return (a1 | a2) & b
+
+
+def mux2(inputs: Sequence[int]) -> int:
+    """2:1 multiplexer: Y = S ? B : A (pins ordered A, B, S)."""
+    a, b, s = inputs
+    return b if s else a
+
+
+def mux4(inputs: Sequence[int]) -> int:
+    """4:1 multiplexer: pins ordered A, B, C, D, S0, S1."""
+    a, b, c, d, s0, s1 = inputs
+    select = (s1 << 1) | s0
+    return (a, b, c, d)[select]
+
+
+def maj3(inputs: Sequence[int]) -> int:
+    """3-input majority (carry function of a full adder)."""
+    a, b, c = inputs
+    return (a & b) | (a & c) | (b & c)
+
+
+def fa_sum(inputs: Sequence[int]) -> int:
+    """Full-adder sum output: S = A ^ B ^ CI."""
+    return xor_gate(inputs)
+
+
+def fa_carry(inputs: Sequence[int]) -> int:
+    """Full-adder carry output: CO = majority(A, B, CI)."""
+    return maj3(inputs)
+
+
+def ha_sum(inputs: Sequence[int]) -> int:
+    """Half-adder sum output: S = A ^ B."""
+    return xor_gate(inputs)
+
+
+def ha_carry(inputs: Sequence[int]) -> int:
+    """Half-adder carry output: CO = A & B."""
+    return and_gate(inputs)
+
+
+def tie_high(inputs: Sequence[int]) -> int:
+    """Constant logic 1."""
+    return 1
+
+
+def tie_low(inputs: Sequence[int]) -> int:
+    """Constant logic 0."""
+    return 0

@@ -1,0 +1,61 @@
+"""GATSPI core: waveform format, lookup tables, kernel, and engine."""
+
+from .waveform import EOW, INITIAL_ONE_MARKER, Waveform, WaveformError, concatenate_windows
+from .truthtable import TruthTable, index_for_values, pin_weights, values_for_index
+from .delaytable import (
+    FALL,
+    RISE,
+    DelayArc,
+    GateDelayTable,
+    InterconnectDelay,
+    NO_DELAY,
+)
+from .config import PAPER_DEFAULT_CONFIG, SimConfig
+from .kernel import (
+    GateKernelInputs,
+    GateKernelResult,
+    count_input_events,
+    resolve_gate_delay,
+    simulate_gate_window,
+)
+from .memory import DeviceMemoryError, PoolStats, WaveformPool
+from .results import PhaseTimings, SimulationResult, SimulationStats
+from .engine import GatspiEngine, StimulusError, simulate
+from .multi_gpu import DeviceShare, MultiGpuResult, simulate_multi_gpu
+
+__all__ = [
+    "EOW",
+    "INITIAL_ONE_MARKER",
+    "Waveform",
+    "WaveformError",
+    "concatenate_windows",
+    "TruthTable",
+    "index_for_values",
+    "pin_weights",
+    "values_for_index",
+    "FALL",
+    "RISE",
+    "DelayArc",
+    "GateDelayTable",
+    "InterconnectDelay",
+    "NO_DELAY",
+    "PAPER_DEFAULT_CONFIG",
+    "SimConfig",
+    "GateKernelInputs",
+    "GateKernelResult",
+    "count_input_events",
+    "resolve_gate_delay",
+    "simulate_gate_window",
+    "DeviceMemoryError",
+    "PoolStats",
+    "WaveformPool",
+    "PhaseTimings",
+    "SimulationResult",
+    "SimulationStats",
+    "GatspiEngine",
+    "StimulusError",
+    "simulate",
+    "DeviceShare",
+    "MultiGpuResult",
+    "simulate_multi_gpu",
+]

@@ -1,0 +1,105 @@
+"""Simulation configuration ("hyperparameters") for the GATSPI engine.
+
+The paper tunes three GPU launch parameters — cycle parallelism,
+threads/block, and registers/thread — and fixes the simulation constraint
+``PATHPULSEPERCENT=100``.  The same knobs are exposed here; the two launch
+parameters do not change functional results (they only feed the GPU
+performance model), while cycle parallelism controls how the testbench is
+split into independent windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Configuration of one GATSPI simulation run.
+
+    Parameters
+    ----------
+    cycle_parallelism:
+        Number of independent stimulus windows simulated "in parallel"
+        (paper default 32 — one window per thread in a warp).
+    threads_per_block, registers_per_thread:
+        CUDA launch configuration; functionally inert, consumed by the GPU
+        performance model (paper default ``{32, 512, 64}``).
+    pathpulse_percent:
+        Minimum output pulse width as a percentage of the gate delay
+        (``100`` = classic inertial rejection, the paper's constraint).
+    window_overlap:
+        Settle margin (in time units) prepended to every cycle-parallel
+        window during waveform restructuring so that events still
+        propagating across a window boundary are reproduced exactly.
+        ``None`` (default) derives the margin from the design's critical
+        path; ``0`` disables the overlap.
+    enable_net_delay_filtering:
+        When false, interconnect inertial filtering (Algorithm 1 lines 11-12)
+        is skipped — the paper's "No Net Delay" ablation in Table 7.
+    full_sdf:
+        When false, conditional SDF delays collapse to per-pin averages — the
+        paper's "No Full SDF" ablation in Table 7.
+    two_pass:
+        Run the kernel twice per level (count pass then store pass) exactly
+        as the paper does; disabling it is a pure-software shortcut.
+    device_memory_gb / waveform_pool_fraction:
+        Model of the pre-allocated device memory chunk: of ``device_memory_gb``
+        total, ``waveform_pool_fraction`` is reserved for waveform storage
+        (the paper reserves 24 GB of a 32 GB V100).
+    """
+
+    cycle_parallelism: int = 32
+    threads_per_block: int = 512
+    registers_per_thread: int = 64
+    pathpulse_percent: float = 100.0
+    enable_net_delay_filtering: bool = True
+    full_sdf: bool = True
+    two_pass: bool = True
+    store_waveforms: bool = True
+    device_memory_gb: float = 32.0
+    waveform_pool_fraction: float = 0.75
+    clock_period: int = 1000
+    max_segment_retries: int = 8
+    window_overlap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.cycle_parallelism < 1:
+            raise ValueError("cycle_parallelism must be at least 1")
+        if self.threads_per_block < 1:
+            raise ValueError("threads_per_block must be at least 1")
+        if not 0.0 <= self.pathpulse_percent <= 100.0:
+            raise ValueError("pathpulse_percent must be within [0, 100]")
+        if not 0.0 < self.waveform_pool_fraction <= 1.0:
+            raise ValueError("waveform_pool_fraction must be within (0, 1]")
+        if self.device_memory_gb <= 0:
+            raise ValueError("device_memory_gb must be positive")
+        if self.clock_period <= 0:
+            raise ValueError("clock_period must be positive")
+        if self.window_overlap is not None and self.window_overlap < 0:
+            raise ValueError("window_overlap must be non-negative")
+
+    @property
+    def pathpulse_fraction(self) -> float:
+        """Minimum pulse width as a fraction of the gate delay."""
+        return self.pathpulse_percent / 100.0
+
+    @property
+    def waveform_pool_words(self) -> int:
+        """Capacity of the waveform memory pool in 4-byte words.
+
+        The paper stores waveform entries as 32-bit integers, so a 24 GB pool
+        holds 6G entries.  Scaled-down runs can pass a smaller
+        ``device_memory_gb`` to exercise the segmentation path.
+        """
+        pool_bytes = self.device_memory_gb * self.waveform_pool_fraction * 1e9
+        return int(pool_bytes // 4)
+
+    def with_updates(self, **kwargs) -> "SimConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The configuration used throughout the paper's single-GPU experiments.
+PAPER_DEFAULT_CONFIG = SimConfig()

@@ -1,0 +1,436 @@
+"""The GATSPI re-simulation engine.
+
+This is the paper's simulation flow (Fig. 5) end to end:
+
+1. *Compile* the netlist: levelize the combinational logic, translate every
+   cell's logic function into a truth-table array and every SDF delay into a
+   conditional delay-lookup array (Fig. 4).
+2. *Restructure* the testbench: slice every source waveform (primary inputs
+   and sequential-element outputs) into ``cycle_parallelism`` independent
+   windows.
+3. *Load* the windows into the pre-allocated device-memory waveform pool.
+4. For every logic level, launch the per-gate/per-window kernel twice: the
+   count pass sizes the output waveforms so their start addresses can be laid
+   out in the pool, the store pass writes them (Algorithm 1).
+5. *Read back* toggle counts and waveforms for SAIF generation.
+
+If the waveform pool cannot hold a full run, the windows are split into
+sequential segments and the engine is invoked once per segment, exactly as
+the paper describes for testbenches that exceed device memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netlist import CompiledGraph, Netlist, compile_netlist, levelize
+from ..sdf.annotate import DelayAnnotation, default_annotation
+from .config import SimConfig
+from .kernel import GateKernelInputs, GateKernelResult, simulate_gate_window
+from .memory import DeviceMemoryError, WaveformPool
+from .results import PhaseTimings, SimulationResult, SimulationStats
+from .waveform import EOW, Waveform
+
+
+class StimulusError(ValueError):
+    """Raised when the provided testbench does not cover all source nets."""
+
+
+@dataclass
+class _WindowRange:
+    index: int
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class GatspiEngine:
+    """GPU-style levelized two-pass gate re-simulator."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        annotation: Optional[DelayAnnotation] = None,
+        config: Optional[SimConfig] = None,
+    ):
+        self.netlist = netlist
+        self.annotation = annotation or default_annotation(netlist)
+        self.config = config or SimConfig()
+        self._compiled: Optional[CompiledGraph] = None
+        self._gate_inputs: Dict[str, GateKernelInputs] = {}
+        self._compile_time = 0.0
+        self._estimated_path_delay = 0
+
+    # ------------------------------------------------------------------
+    # Compilation (netlist + SDF -> arrays)
+    # ------------------------------------------------------------------
+    @property
+    def compiled(self) -> CompiledGraph:
+        if self._compiled is None:
+            self.compile()
+        return self._compiled
+
+    def compile(self) -> CompiledGraph:
+        """Levelize the netlist and build all lookup arrays."""
+        start = time.perf_counter()
+        levelization = levelize(self.netlist)
+        compiled = compile_netlist(self.netlist, levelization)
+        annotation = self.annotation
+        if not self.config.full_sdf:
+            annotation = annotation.with_averaged_sdf()
+        library = self.netlist.library
+        for gate in compiled.gates.values():
+            cell = self.netlist.instances[gate.name].cell
+            truth_table = library.truth_table(gate.cell_name).table
+            if cell.num_inputs == 0:
+                self._gate_inputs[gate.name] = GateKernelInputs(
+                    truth_table=truth_table,
+                    delay_arrays=(),
+                    wire_rise=(),
+                    wire_fall=(),
+                )
+                continue
+            table = annotation.table_for(gate.name)
+            delay_arrays = tuple(table.table_for(pin) for pin in cell.inputs)
+            wire_rise = []
+            wire_fall = []
+            for pin in cell.inputs:
+                wire = annotation.wire_delay(gate.name, pin)
+                wire_rise.append(float(wire.rise))
+                wire_fall.append(float(wire.fall))
+            self._gate_inputs[gate.name] = GateKernelInputs(
+                truth_table=truth_table,
+                delay_arrays=delay_arrays,
+                wire_rise=tuple(wire_rise),
+                wire_fall=tuple(wire_fall),
+            )
+        # Estimate the critical path delay; it bounds how far an event can
+        # still propagate past a cycle-parallel window boundary and therefore
+        # sizes the default settle margin (window overlap).
+        max_wire = 0.0
+        for wire in annotation.interconnect.values():
+            max_wire = max(max_wire, wire.rise, wire.fall)
+        self._estimated_path_delay = int(
+            compiled.depth * (annotation.max_gate_delay() + max_wire)
+        )
+        self._compiled = compiled
+        self._compile_time = time.perf_counter() - start
+        return compiled
+
+    @property
+    def window_overlap(self) -> int:
+        """Settle margin prepended to every cycle-parallel window."""
+        if self.config.window_overlap is not None:
+            return self.config.window_overlap
+        return self._estimated_path_delay
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        stimulus: Mapping[str, Waveform],
+        cycles: Optional[int] = None,
+        duration: Optional[int] = None,
+    ) -> SimulationResult:
+        """Re-simulate the combinational logic for the given testbench.
+
+        ``stimulus`` must provide a waveform for every source net (primary
+        input or sequential-element output).  ``duration`` defaults to
+        ``cycles * clock_period``; one of the two must be given.
+        """
+        compiled = self.compiled
+        config = self.config
+        if duration is None:
+            if cycles is None:
+                raise ValueError("either cycles or duration must be provided")
+            duration = cycles * config.clock_period
+        if cycles is None:
+            cycles = max(1, duration // config.clock_period)
+
+        missing = [net for net in self.netlist.source_nets() if net not in stimulus]
+        if missing:
+            raise StimulusError(
+                f"stimulus missing for source nets: {sorted(missing)[:10]}"
+            )
+
+        windows = self._window_ranges(duration)
+        timings = PhaseTimings()
+        stats = SimulationStats(
+            gate_count=compiled.gate_count,
+            levels=compiled.depth,
+            widest_level=compiled.levelization.widest_level,
+            windows=len(windows),
+            cycles=cycles,
+        )
+
+        window_outputs: Dict[str, Dict[int, Waveform]] = {}
+        segments = self._segment_windows(
+            stimulus, windows, duration, timings, stats, window_outputs
+        )
+        stats.segments = segments
+
+        result = self._assemble_result(
+            stimulus, windows, window_outputs, duration, timings, stats
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Window / segment management
+    # ------------------------------------------------------------------
+    def _window_ranges(self, duration: int) -> List[_WindowRange]:
+        parallelism = self.config.cycle_parallelism
+        window_length = max(1, -(-duration // parallelism))  # ceil division
+        ranges: List[_WindowRange] = []
+        start = 0
+        index = 0
+        while start < duration:
+            end = min(start + window_length, duration)
+            ranges.append(_WindowRange(index=index, start=start, end=end))
+            start = end
+            index += 1
+        if not ranges:
+            ranges.append(_WindowRange(index=0, start=0, end=max(1, duration)))
+        return ranges
+
+    def _segment_windows(
+        self,
+        stimulus: Mapping[str, Waveform],
+        windows: Sequence[_WindowRange],
+        duration: int,
+        timings: PhaseTimings,
+        stats: SimulationStats,
+        window_outputs: Dict[str, Dict[int, Waveform]],
+    ) -> int:
+        """Simulate windows, splitting into segments if the pool overflows."""
+        pending: List[Sequence[_WindowRange]] = [list(windows)]
+        segments = 0
+        retries = 0
+        while pending:
+            batch = pending.pop(0)
+            try:
+                self._simulate_batch(
+                    stimulus, batch, duration, timings, stats, window_outputs
+                )
+                segments += 1
+            except DeviceMemoryError:
+                retries += 1
+                if len(batch) <= 1 or retries > self.config.max_segment_retries:
+                    raise
+                middle = len(batch) // 2
+                pending.insert(0, batch[middle:])
+                pending.insert(0, batch[:middle])
+        return segments
+
+    def _simulate_batch(
+        self,
+        stimulus: Mapping[str, Waveform],
+        windows: Sequence[_WindowRange],
+        duration: int,
+        timings: PhaseTimings,
+        stats: SimulationStats,
+        window_outputs: Dict[str, Dict[int, Waveform]],
+    ) -> None:
+        config = self.config
+        compiled = self.compiled
+        pool = WaveformPool(config.waveform_pool_words)
+        overlap = self.window_overlap
+
+        # Restructure source waveforms into windows (cycle parallelism).  Each
+        # window is extended backwards by the settle margin so events still
+        # propagating across the window boundary are reproduced exactly; the
+        # margin region is trimmed from the outputs below.
+        start = time.perf_counter()
+        sliced: Dict[Tuple[str, int], Waveform] = {}
+        extended_starts: Dict[int, int] = {}
+        for window in windows:
+            extended_starts[window.index] = max(0, window.start - overlap)
+        for net in self.netlist.source_nets():
+            wave = stimulus[net]
+            for window in windows:
+                sliced[(net, window.index)] = wave.window(
+                    extended_starts[window.index], window.end, rebase=True
+                )
+        timings.restructure += time.perf_counter() - start
+
+        # Load the windows into the device memory pool.
+        start = time.perf_counter()
+        for (net, window_index), wave in sliced.items():
+            pool.store_waveform(net, window_index, wave)
+        timings.host_to_device += time.perf_counter() - start
+
+        # Level-by-level two-pass simulation.
+        for level in compiled.gates_by_level:
+            schedule_start = time.perf_counter()
+            tasks = [
+                (gate, window)
+                for gate in level
+                for window in windows
+            ]
+            timings.scheduling += time.perf_counter() - schedule_start
+
+            kernel_start = time.perf_counter()
+            first_pass: Dict[Tuple[str, int], GateKernelResult] = {}
+            for gate, window in tasks:
+                pointers = [
+                    pool.pointer(net, window.index) for net in gate.input_nets
+                ]
+                result = simulate_gate_window(
+                    pool.data,
+                    pointers,
+                    self._gate_inputs[gate.name],
+                    pathpulse_fraction=config.pathpulse_fraction,
+                    net_delay_filtering=config.enable_net_delay_filtering,
+                )
+                first_pass[(gate.name, window.index)] = result
+                stats.kernel_invocations += 1
+            timings.kernel += time.perf_counter() - kernel_start
+
+            # Lay out output waveform addresses from the count pass.
+            schedule_start = time.perf_counter()
+            addresses: Dict[Tuple[str, int], int] = {}
+            for gate, window in tasks:
+                size = first_pass[(gate.name, window.index)].storage_words
+                addresses[(gate.output_net, window.index)] = pool.allocate(size)
+            timings.scheduling += time.perf_counter() - schedule_start
+
+            # Store pass: re-run the kernel (as the paper does) and write the
+            # output waveforms at their assigned addresses.
+            kernel_start = time.perf_counter()
+            for gate, window in tasks:
+                key = (gate.name, window.index)
+                if config.two_pass:
+                    result = simulate_gate_window(
+                        pool.data,
+                        [pool.pointer(net, window.index) for net in gate.input_nets],
+                        self._gate_inputs[gate.name],
+                        pathpulse_fraction=config.pathpulse_fraction,
+                        net_delay_filtering=config.enable_net_delay_filtering,
+                    )
+                    stats.kernel_invocations += 1
+                else:
+                    result = first_pass[key]
+                pool.store_kernel_output(
+                    gate.output_net,
+                    window.index,
+                    addresses[(gate.output_net, window.index)],
+                    result.initial_value,
+                    result.toggle_times,
+                )
+            timings.kernel += time.perf_counter() - kernel_start
+
+        # Read back gate output waveforms for this batch of windows, trimming
+        # each one to exactly [start, end): the settle margin on the left is
+        # discarded, and so is any propagation tail past the right edge (the
+        # next window reproduces it with full knowledge of its stimulus).
+        # Only the final window keeps its tail, since nothing follows it.
+        start = time.perf_counter()
+        for gate in compiled.gates.values():
+            per_net = window_outputs.setdefault(gate.output_net, {})
+            for window in windows:
+                wave = pool.read_waveform(gate.output_net, window.index)
+                margin = window.start - extended_starts[window.index]
+                if overlap > 0 and window.end < duration:
+                    right_edge = window.end - extended_starts[window.index]
+                else:
+                    right_edge = EOW - 1
+                if margin > 0 or right_edge != EOW - 1:
+                    wave = wave.window(margin, right_edge, rebase=True)
+                per_net[window.index] = wave
+        stats.pool_words_used = max(stats.pool_words_used, pool.used_words)
+        timings.readback += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _assemble_result(
+        self,
+        stimulus: Mapping[str, Waveform],
+        windows: Sequence[_WindowRange],
+        window_outputs: Dict[str, Dict[int, Waveform]],
+        duration: int,
+        timings: PhaseTimings,
+        stats: SimulationStats,
+    ) -> SimulationResult:
+        start = time.perf_counter()
+        result = SimulationResult(
+            duration=duration, timings=timings, stats=stats
+        )
+
+        # Source nets: toggle counts (and waveforms) from the original
+        # stimulus, clipped to the simulated duration.
+        for net in self.netlist.source_nets():
+            wave = stimulus[net]
+            result.toggle_counts[net] = wave.toggles_in(0, duration - 1)
+            if self.config.store_waveforms:
+                result.waveforms[net] = wave
+
+        # Gate output nets: stitch per-window results back together.  When
+        # full waveforms are kept, toggle counts come from the stitched
+        # waveform so transitions landing exactly on a window seam are
+        # counted once; otherwise the per-window counts are summed.
+        total_output_transitions = 0
+        for net, per_window in window_outputs.items():
+            if self.config.store_waveforms:
+                stitched = self._stitch(net, per_window, windows)
+                result.waveforms[net] = stitched
+                count = stitched.toggle_count()
+            else:
+                count = sum(w.toggle_count() for w in per_window.values())
+            result.toggle_counts[net] = count
+            total_output_transitions += count
+        stats.output_transitions = total_output_transitions
+
+        # Input events seen by gates = fanout-weighted net transitions.
+        input_events = 0
+        for inst in self.netlist.combinational_instances():
+            for net in inst.input_nets():
+                input_events += result.toggle_counts.get(net, 0)
+        stats.input_events = input_events
+
+        timings.readback += time.perf_counter() - start
+        return result
+
+    def _stitch(
+        self,
+        net: str,
+        per_window: Dict[int, Waveform],
+        windows: Sequence[_WindowRange],
+    ) -> Waveform:
+        changes: List[Tuple[int, int]] = []
+        for window in windows:
+            wave = per_window.get(window.index)
+            if wave is None:
+                continue
+            for local_time, value in wave.changes():
+                absolute = local_time + window.start
+                if changes and changes[-1][1] == value:
+                    continue
+                if changes and absolute <= changes[-1][0]:
+                    # A window-boundary artefact (a transition recorded right
+                    # at the seam); keep the earlier one.
+                    continue
+                changes.append((absolute, value))
+        if not changes:
+            changes = [(0, 0)]
+        return Waveform.from_changes(changes)
+
+
+def simulate(
+    netlist: Netlist,
+    stimulus: Mapping[str, Waveform],
+    cycles: Optional[int] = None,
+    duration: Optional[int] = None,
+    annotation: Optional[DelayAnnotation] = None,
+    config: Optional[SimConfig] = None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`GatspiEngine`."""
+    engine = GatspiEngine(netlist, annotation=annotation, config=config)
+    return engine.simulate(stimulus, cycles=cycles, duration=duration)

@@ -1,0 +1,162 @@
+"""Device memory pool model (paper Fig. 5).
+
+GATSPI pre-allocates one chunk of device memory for *all* waveforms of the
+simulation, plus arrays of input/output waveform start-address pointers, so
+no host/device traffic occurs while the kernels run.  This module models that
+layout: a flat ``int64`` array, an allocator that lays out waveforms
+back-to-back, and pointer bookkeeping keyed by ``(net, window)``.
+
+The two-pass kernel scheme exists precisely to make this layout possible: the
+count pass reports each output waveform's storage size, the allocator assigns
+start addresses, and the store pass writes into them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .waveform import EOW, INITIAL_ONE_MARKER, Waveform
+
+
+class DeviceMemoryError(RuntimeError):
+    """Raised when the waveform pool capacity would be exceeded.
+
+    The engine reacts the way the paper describes: the testbench windows are
+    split into segments and GATSPI is invoked sequentially on each.
+    """
+
+
+@dataclass
+class PoolStats:
+    """Occupancy statistics of the waveform pool."""
+
+    capacity_words: int
+    used_words: int
+
+    @property
+    def utilization(self) -> float:
+        if self.capacity_words == 0:
+            return 0.0
+        return self.used_words / self.capacity_words
+
+
+class WaveformPool:
+    """Flat waveform storage with bump allocation and pointer bookkeeping."""
+
+    def __init__(self, capacity_words: int, initial_words: int = 1 << 16):
+        if capacity_words < 4:
+            raise ValueError("pool capacity must be at least 4 words")
+        self.capacity_words = int(capacity_words)
+        size = min(self.capacity_words, max(4, int(initial_words)))
+        self._data = np.full(size, EOW, dtype=np.int64)
+        self._next_free = 0
+        self._pointers: Dict[Tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def used_words(self) -> int:
+        return self._next_free
+
+    def stats(self) -> PoolStats:
+        return PoolStats(capacity_words=self.capacity_words, used_words=self._next_free)
+
+    def _ensure(self, words: int) -> None:
+        required = self._next_free + words
+        if required > self.capacity_words:
+            raise DeviceMemoryError(
+                f"waveform pool exhausted: need {required} words, capacity "
+                f"{self.capacity_words}"
+            )
+        if required > self._data.size:
+            new_size = min(self.capacity_words, max(required, self._data.size * 2))
+            grown = np.full(new_size, EOW, dtype=np.int64)
+            grown[: self._next_free] = self._data[: self._next_free]
+            self._data = grown
+
+    def allocate(self, words: int) -> int:
+        """Reserve ``words`` and return the start address.
+
+        Start addresses are aligned to even offsets: the kernel encodes logic
+        values in pointer parity (Fig. 3), which only works when every
+        waveform begins on an even address.
+        """
+        if words < 2:
+            raise ValueError("a waveform needs at least 2 words (entry + EOW)")
+        padding = self._next_free & 1
+        self._ensure(words + padding)
+        self._next_free += padding
+        address = self._next_free
+        self._next_free += words
+        return address
+
+    # ------------------------------------------------------------------
+    # Waveform storage
+    # ------------------------------------------------------------------
+    def store_waveform(self, net: str, window: int, waveform: Waveform) -> int:
+        """Copy a waveform into the pool; returns its start address."""
+        raw = waveform.data
+        address = self.allocate(raw.size)
+        self._data[address : address + raw.size] = raw
+        self._pointers[(net, window)] = address
+        return address
+
+    def store_kernel_output(
+        self,
+        net: str,
+        window: int,
+        address: int,
+        initial_value: int,
+        toggle_times: List[int],
+    ) -> None:
+        """Write a kernel result at a pre-assigned address (store pass)."""
+        cursor = address
+        if initial_value:
+            self._data[cursor] = INITIAL_ONE_MARKER
+            cursor += 1
+        self._data[cursor] = 0
+        cursor += 1
+        for time in toggle_times:
+            self._data[cursor] = time
+            cursor += 1
+        self._data[cursor] = EOW
+        self._pointers[(net, window)] = address
+
+    def pointer(self, net: str, window: int) -> int:
+        """Start address of a stored waveform."""
+        try:
+            return self._pointers[(net, window)]
+        except KeyError:
+            raise KeyError(
+                f"no waveform stored for net {net!r}, window {window}"
+            ) from None
+
+    def has_waveform(self, net: str, window: int) -> bool:
+        return (net, window) in self._pointers
+
+    def read_waveform(self, net: str, window: int) -> Waveform:
+        """Re-materialise a stored waveform (result readback)."""
+        address = self.pointer(net, window)
+        cursor = address
+        values: List[int] = []
+        while True:
+            value = int(self._data[cursor])
+            values.append(value)
+            if value == EOW:
+                break
+            cursor += 1
+        return Waveform.from_array(values)
+
+    def reset(self) -> None:
+        """Free everything (used between sequential testbench segments)."""
+        self._next_free = 0
+        self._pointers.clear()
+        self._data[:] = EOW

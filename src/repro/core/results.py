@@ -1,0 +1,129 @@
+"""Result containers for GATSPI and reference simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from .waveform import Waveform
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock time spent in each application phase, in seconds.
+
+    Mirrors the phases the paper profiles in Table 5: host-to-device data
+    transfer (here, building the device memory pool), stream-synchronize +
+    kernel-launch overhead (here, per-level scheduling), and kernel execution.
+    The restructuring of input waveforms into cycle-parallel windows and the
+    result dump are reported separately as part of application runtime.
+    """
+
+    restructure: float = 0.0
+    host_to_device: float = 0.0
+    scheduling: float = 0.0
+    kernel: float = 0.0
+    readback: float = 0.0
+    dump: float = 0.0
+
+    @property
+    def application(self) -> float:
+        """Total application runtime (everything, the paper's "App. Runtime")."""
+        return (
+            self.restructure
+            + self.host_to_device
+            + self.scheduling
+            + self.kernel
+            + self.readback
+            + self.dump
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "restructure": self.restructure,
+            "host_to_device": self.host_to_device,
+            "scheduling": self.scheduling,
+            "kernel": self.kernel,
+            "readback": self.readback,
+            "dump": self.dump,
+            "application": self.application,
+        }
+
+
+@dataclass
+class SimulationStats:
+    """Workload statistics gathered during simulation.
+
+    These feed both the activity-factor column of Table 2 and the GPU
+    performance model (events per gate drive memory traffic estimates).
+    """
+
+    gate_count: int = 0
+    levels: int = 0
+    widest_level: int = 0
+    windows: int = 0
+    segments: int = 1
+    cycles: int = 0
+    input_events: int = 0
+    output_transitions: int = 0
+    kernel_invocations: int = 0
+    pool_words_used: int = 0
+
+    def activity_factor(self) -> float:
+        """Average toggles per gate per cycle (the paper's activity factor)."""
+        if self.gate_count == 0 or self.cycles == 0:
+            return 0.0
+        return self.output_transitions / (self.gate_count * self.cycles)
+
+
+@dataclass
+class SimulationResult:
+    """Output of one re-simulation run."""
+
+    toggle_counts: Dict[str, int] = field(default_factory=dict)
+    waveforms: Dict[str, Waveform] = field(default_factory=dict)
+    duration: int = 0
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    stats: SimulationStats = field(default_factory=SimulationStats)
+
+    @property
+    def kernel_runtime(self) -> float:
+        """Re-simulation kernel runtime (the paper's "Re-sim. Kernel Runtime")."""
+        return self.timings.kernel
+
+    @property
+    def application_runtime(self) -> float:
+        return self.timings.application
+
+    def total_toggles(self) -> int:
+        return sum(self.toggle_counts.values())
+
+    def toggle_count(self, net: str) -> int:
+        return self.toggle_counts.get(net, 0)
+
+    def waveform(self, net: str) -> Waveform:
+        return self.waveforms[net]
+
+    def activity_factor(self) -> float:
+        return self.stats.activity_factor()
+
+    def matches_toggle_counts(
+        self, other: "SimulationResult", nets: Optional[Mapping[str, int]] = None
+    ) -> bool:
+        """Compare per-net toggle counts with another result (SAIF check)."""
+        keys = set(self.toggle_counts) | set(other.toggle_counts)
+        if nets is not None:
+            keys &= set(nets)
+        return all(
+            self.toggle_counts.get(k, 0) == other.toggle_counts.get(k, 0)
+            for k in keys
+        )
+
+    def differing_nets(self, other: "SimulationResult") -> Dict[str, tuple]:
+        """Nets whose toggle counts differ, for debugging accuracy issues."""
+        keys = set(self.toggle_counts) | set(other.toggle_counts)
+        return {
+            k: (self.toggle_counts.get(k, 0), other.toggle_counts.get(k, 0))
+            for k in sorted(keys)
+            if self.toggle_counts.get(k, 0) != other.toggle_counts.get(k, 0)
+        }

@@ -1,0 +1,108 @@
+"""Truth tables as 1-D lookup arrays (paper Fig. 4).
+
+GATSPI evaluates any combinational cell with a uniform array lookup: every
+input pin is assigned a power-of-two *weight*; the weighted sum of the pins
+currently at logic 1 is the index into a flat truth-table array whose entries
+are the output values.
+
+Pin weights follow the paper's convention: the first pin in the cell's pin
+list gets the highest weight.  For a 2-input cell with pins ``(A, B)`` the
+weights are ``A = 2**1`` and ``B = 2**0`` so, e.g., ``A=1, B=1`` indexes entry
+3 of the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+LogicFunction = Callable[[Sequence[int]], int]
+
+
+def pin_weights(num_pins: int) -> Tuple[int, ...]:
+    """Return the lookup weight of each pin (first pin has highest weight)."""
+    if num_pins < 0:
+        raise ValueError("number of pins must be non-negative")
+    return tuple(2 ** (num_pins - 1 - index) for index in range(num_pins))
+
+
+def index_for_values(values: Sequence[int]) -> int:
+    """Compute the truth-table index for a tuple of pin values."""
+    weights = pin_weights(len(values))
+    index = 0
+    for value, weight in zip(values, weights):
+        if value not in (0, 1):
+            raise ValueError(f"logic value must be 0 or 1, got {value!r}")
+        index += value * weight
+    return index
+
+
+def values_for_index(index: int, num_pins: int) -> Tuple[int, ...]:
+    """Inverse of :func:`index_for_values`."""
+    if not 0 <= index < 2**num_pins:
+        raise ValueError(f"index {index} out of range for {num_pins} pins")
+    weights = pin_weights(num_pins)
+    return tuple((index // weight) % 2 for weight in weights)
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """A flat truth-table array for one single-output combinational cell."""
+
+    num_pins: int
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        table = np.asarray(self.table, dtype=np.int8)
+        if table.shape != (2**self.num_pins,):
+            raise ValueError(
+                f"truth table for {self.num_pins} pins must have "
+                f"{2 ** self.num_pins} entries, got shape {table.shape}"
+            )
+        if table.size and not np.all((table == 0) | (table == 1)):
+            raise ValueError("truth table entries must be 0 or 1")
+        object.__setattr__(self, "table", table)
+
+    @classmethod
+    def from_function(cls, num_pins: int, function: LogicFunction) -> "TruthTable":
+        """Enumerate ``function`` over all input combinations."""
+        entries = np.zeros(2**num_pins, dtype=np.int8)
+        for index in range(2**num_pins):
+            values = values_for_index(index, num_pins)
+            entries[index] = function(values) & 1
+        return cls(num_pins=num_pins, table=entries)
+
+    @classmethod
+    def from_entries(cls, entries: Sequence[int]) -> "TruthTable":
+        """Build from a flat list of output values (length must be 2**n)."""
+        size = len(entries)
+        num_pins = size.bit_length() - 1
+        if 2**num_pins != size:
+            raise ValueError("truth table length must be a power of two")
+        return cls(num_pins=num_pins, table=np.asarray(entries, dtype=np.int8))
+
+    def evaluate(self, values: Sequence[int]) -> int:
+        """Evaluate the cell for a tuple of pin values."""
+        if len(values) != self.num_pins:
+            raise ValueError(
+                f"expected {self.num_pins} pin values, got {len(values)}"
+            )
+        return int(self.table[index_for_values(values)])
+
+    def lookup(self, index: int) -> int:
+        """Raw array lookup by precomputed index (the kernel's fast path)."""
+        return int(self.table[index])
+
+    @property
+    def weights(self) -> Tuple[int, ...]:
+        return pin_weights(self.num_pins)
+
+    def is_equivalent_to(self, function: LogicFunction) -> bool:
+        """Check the table against a reference boolean function."""
+        for index in range(2**self.num_pins):
+            values = values_for_index(index, self.num_pins)
+            if int(self.table[index]) != (function(values) & 1):
+                return False
+        return True

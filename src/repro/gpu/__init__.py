@@ -1,0 +1,57 @@
+"""Analytic GPU performance models standing in for real CUDA measurements."""
+
+from .devices import (
+    A100,
+    BASELINE_CPU,
+    CpuSpec,
+    DEVICES,
+    GpuSpec,
+    T4,
+    V100,
+    device_by_name,
+    device_comparison_table,
+)
+from .occupancy import OccupancyResult, compute_occupancy, register_spill_penalty
+from .perf_model import (
+    BYTES_PER_EVENT,
+    KernelPerfModel,
+    KernelWorkload,
+    openmp_kernel_seconds,
+)
+from .app_model import ApplicationEstimate, ApplicationModel
+from .multi_gpu_model import MultiGpuModel, MultiGpuPoint
+from .profile import (
+    APPLICATION_HEADER,
+    ApplicationProfile,
+    KernelProfile,
+    PROFILE_HEADER,
+    format_table,
+)
+
+__all__ = [
+    "A100",
+    "BASELINE_CPU",
+    "CpuSpec",
+    "DEVICES",
+    "GpuSpec",
+    "T4",
+    "V100",
+    "device_by_name",
+    "device_comparison_table",
+    "OccupancyResult",
+    "compute_occupancy",
+    "register_spill_penalty",
+    "BYTES_PER_EVENT",
+    "KernelPerfModel",
+    "KernelWorkload",
+    "openmp_kernel_seconds",
+    "ApplicationEstimate",
+    "ApplicationModel",
+    "MultiGpuModel",
+    "MultiGpuPoint",
+    "APPLICATION_HEADER",
+    "ApplicationProfile",
+    "KernelProfile",
+    "PROFILE_HEADER",
+    "format_table",
+]

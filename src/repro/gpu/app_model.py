@@ -1,0 +1,123 @@
+"""Application-level runtime model (paper Tables 2 and 5).
+
+Application runtime = everything measured "from loading the testbench
+waveforms until result file dumping": restructuring the input waveforms into
+the cycle-parallel layout, host-to-device transfer, per-level stream
+synchronize + kernel launch, kernel execution, and asynchronous SAIF dumping.
+The paper's profiling (Table 5) shows the input-waveform restructuring
+dominating initialization and the kernel dominating high-activity runs; this
+model reproduces that split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.config import SimConfig
+from .devices import GpuSpec, V100
+from .perf_model import KernelPerfModel, KernelWorkload
+from .profile import ApplicationProfile
+
+
+#: CPU-side cost of restructuring one source-waveform event into the
+#: cycle-parallel window layout (dominates GATSPI initialization, Table 5).
+RESTRUCTURE_SECONDS_PER_EVENT = 2.5e-7
+
+#: CPU-side cost of writing one net entry to the SAIF file.
+DUMP_SECONDS_PER_NET = 6.0e-7
+
+#: Bytes per stored waveform entry (int32, as in the paper).
+BYTES_PER_ENTRY = 4.0
+
+
+@dataclass
+class ApplicationEstimate:
+    """Predicted application phases, in seconds."""
+
+    design: str
+    restructure: float
+    host_to_device: float
+    sync_and_launch: float
+    kernel: float
+    dump: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.restructure
+            + self.host_to_device
+            + self.sync_and_launch
+            + self.kernel
+            + self.dump
+        )
+
+    def to_profile(self) -> ApplicationProfile:
+        """Collapse to the three phases Nsight reports in Table 5."""
+        return ApplicationProfile(
+            design=self.design,
+            host_to_device=self.host_to_device,
+            stream_sync_and_launch=self.sync_and_launch,
+            kernel_execution=self.kernel,
+        )
+
+
+class ApplicationModel:
+    """End-to-end application runtime estimate for one device."""
+
+    def __init__(self, device: GpuSpec = V100):
+        self.device = device
+        self.kernel_model = KernelPerfModel(device)
+
+    def estimate(
+        self,
+        workload: KernelWorkload,
+        source_events: int,
+        net_count: int,
+        config: Optional[SimConfig] = None,
+    ) -> ApplicationEstimate:
+        """Predict the application phases for one benchmark run.
+
+        ``source_events`` is the number of testbench waveform entries loaded
+        (primary plus pseudo-primary input toggles); ``net_count`` the number
+        of nets written to the SAIF file.
+        """
+        config = config or SimConfig()
+        device = self.device
+
+        restructure = source_events * RESTRUCTURE_SECONDS_PER_EVENT
+        transfer_bytes = source_events * BYTES_PER_ENTRY * 2.0
+        host_to_device = transfer_bytes / (device.pcie_bandwidth_gbps * 1e9)
+
+        launches = 2 * workload.levels  # two passes per level
+        windows_factor = max(1.0, config.cycle_parallelism / 32.0)
+        sync_and_launch = (
+            launches * device.kernel_launch_overhead_us * 1e-6 * windows_factor
+            + workload.levels * 2.0e-5
+        )
+
+        kernel = self.kernel_model.predict_kernel_seconds(workload, config)
+        dump = net_count * DUMP_SECONDS_PER_NET
+
+        return ApplicationEstimate(
+            design=workload.design,
+            restructure=restructure,
+            host_to_device=host_to_device,
+            sync_and_launch=sync_and_launch,
+            kernel=kernel,
+            dump=dump,
+        )
+
+    def application_speedup(
+        self,
+        workload: KernelWorkload,
+        source_events: int,
+        net_count: int,
+        config: Optional[SimConfig] = None,
+    ) -> float:
+        """Modelled application speedup vs the single-core baseline."""
+        estimate = self.estimate(workload, source_events, net_count, config)
+        baseline = self.kernel_model.baseline_application_seconds(workload)
+        if estimate.total == 0:
+            return float("inf")
+        return baseline / estimate.total

@@ -1,0 +1,124 @@
+"""GPU and CPU device specifications (paper Table 1).
+
+These are the published architectural parameters of the devices the paper
+benchmarks on.  They feed the analytic performance model that substitutes for
+running on real GPUs: the algorithmic simulation is exact, and the *runtime*
+on each device is predicted from these specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Architectural parameters of one GPU."""
+
+    name: str
+    sm_count: int
+    memory_gb: float
+    memory_bandwidth_gbps: float
+    l2_cache_mb: float
+    boost_clock_ghz: float
+    max_threads_per_sm: int = 2048
+    registers_per_sm: int = 65536
+    max_registers_per_thread: int = 255
+    warp_size: int = 32
+    pcie_bandwidth_gbps: float = 12.0
+    kernel_launch_overhead_us: float = 8.0
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.sm_count * self.max_threads_per_sm
+
+    @property
+    def l2_cache_bytes(self) -> float:
+        return self.l2_cache_mb * 1e6
+
+    @property
+    def memory_bandwidth_bytes_per_s(self) -> float:
+        return self.memory_bandwidth_gbps * 1e9
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A simple model of the baseline CPU (Intel Xeon E5 @ 2.7 GHz).
+
+    ``seconds_per_event`` is the effective per-simulation-event cost of the
+    commercial event-driven simulator on one core — the single calibration
+    constant of the baseline model (chosen so the modelled baseline runtimes
+    land in the range reported in Table 2).
+    """
+
+    name: str = "xeon-e5-2.7ghz"
+    clock_ghz: float = 2.7
+    seconds_per_event: float = 2.0e-6
+    application_overhead_fraction: float = 0.08
+    parallel_efficiency: float = 0.35
+
+
+# Published specs from Table 1 (A100 40 GB SXM / V100 32 GB / T4 16 GB).
+T4 = GpuSpec(
+    name="T4",
+    sm_count=40,
+    memory_gb=16,
+    memory_bandwidth_gbps=320,
+    l2_cache_mb=4,
+    boost_clock_ghz=1.59,
+    max_threads_per_sm=1024,
+    kernel_launch_overhead_us=10.0,
+)
+
+V100 = GpuSpec(
+    name="V100",
+    sm_count=80,
+    memory_gb=32,
+    memory_bandwidth_gbps=900,
+    l2_cache_mb=6,
+    boost_clock_ghz=1.53,
+)
+
+A100 = GpuSpec(
+    name="A100",
+    sm_count=108,
+    memory_gb=40,
+    memory_bandwidth_gbps=1600,
+    l2_cache_mb=40,
+    boost_clock_ghz=1.41,
+)
+
+BASELINE_CPU = CpuSpec()
+
+DEVICES: Dict[str, GpuSpec] = {spec.name: spec for spec in (T4, V100, A100)}
+
+
+def device_by_name(name: str) -> GpuSpec:
+    """Look up one of the paper's GPUs by name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from None
+
+
+def device_comparison_table() -> str:
+    """Render the Table 1 comparison of recent NVIDIA architectures."""
+    header = f"{'Architecture':<14}{'T4':>10}{'V100':>10}{'A100':>10}"
+    rows = [
+        ("SMs", T4.sm_count, V100.sm_count, A100.sm_count),
+        ("Memory (GB)", T4.memory_gb, V100.memory_gb, A100.memory_gb),
+        (
+            "Memory BW (GB/s)",
+            T4.memory_bandwidth_gbps,
+            V100.memory_bandwidth_gbps,
+            A100.memory_bandwidth_gbps,
+        ),
+        ("L2 cache (MB)", T4.l2_cache_mb, V100.l2_cache_mb, A100.l2_cache_mb),
+    ]
+    lines = [header]
+    for label, t4, v100, a100 in rows:
+        lines.append(f"{label:<14}{t4:>10}{v100:>10}{a100:>10}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Nsight-style profiling report structures (paper Tables 5 and 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class KernelProfile:
+    """Predicted kernel-level counters for one launch configuration.
+
+    Field names mirror the columns of the paper's Table 6.
+    """
+
+    design: str
+    config: str                       # "{cycle parallelism, threads/block, regs/thread}"
+    threads: int
+    compute_throughput_pct: float
+    memory_throughput_pct: float
+    occupancy_pct: float
+    dram_throughput_gbps: float
+    l1_hit_rate_pct: float
+    l2_hit_rate_pct: float
+    cycles_per_issue: float
+    uncoalesced_pct: float
+    elapsed_cycles: float
+    latency_ms: float
+
+    def as_row(self) -> List[str]:
+        return [
+            self.design,
+            self.config,
+            _format_count(self.threads),
+            f"{self.compute_throughput_pct:.1f}/{self.memory_throughput_pct:.1f}",
+            f"{self.occupancy_pct:.1f}",
+            f"{self.dram_throughput_gbps:.1f}",
+            f"{self.l1_hit_rate_pct:.1f}/{self.l2_hit_rate_pct:.1f}",
+            f"{self.cycles_per_issue:.1f}",
+            f"{self.uncoalesced_pct:.0f}",
+            _format_count(self.elapsed_cycles),
+            f"{self.latency_ms:.2f}",
+        ]
+
+
+@dataclass
+class ApplicationProfile:
+    """Predicted application-phase breakdown (paper Table 5), in seconds."""
+
+    design: str
+    host_to_device: float
+    stream_sync_and_launch: float
+    kernel_execution: float
+
+    @property
+    def total(self) -> float:
+        return self.host_to_device + self.stream_sync_and_launch + self.kernel_execution
+
+    def as_row(self) -> List[str]:
+        return [
+            self.design,
+            f"{self.host_to_device:.2f}",
+            f"{self.stream_sync_and_launch:.2f}",
+            f"{self.kernel_execution:.2f}",
+        ]
+
+
+def _format_count(value: float) -> str:
+    value = float(value)
+    if value >= 1e9:
+        return f"{value / 1e9:.1f}B"
+    if value >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.0f}k"
+    return f"{value:.0f}"
+
+
+PROFILE_HEADER = [
+    "Design",
+    "Config {P,T/B,R/T}",
+    "Threads",
+    "Comp/Mem Thpt (%)",
+    "Occupancy (%)",
+    "DRAM (GB/s)",
+    "L1/L2 Hit (%)",
+    "Cyc/Issue",
+    "Uncoal (%)",
+    "Elapsed Cyc",
+    "Latency (ms)",
+]
+
+APPLICATION_HEADER = [
+    "Design",
+    "H2D Transfer (s)",
+    "Sync + Launch (s)",
+    "Kernel Exec (s)",
+]
+
+
+def format_table(header: List[str], rows: List[List[str]]) -> str:
+    """Render a simple fixed-width text table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [render(header), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)

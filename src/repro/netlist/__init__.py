@@ -1,0 +1,35 @@
+"""Gate-level netlist subsystem: data structures, Verilog I/O, levelization."""
+
+from .netlist import Instance, Net, Netlist, NetlistBuilder, NetlistError, PORT
+from .levelize import Levelization, levelize
+from .verilog import (
+    VerilogError,
+    parse_verilog,
+    read_verilog,
+    save_verilog,
+    write_verilog,
+)
+from .graph import CompiledGate, CompiledGraph, compile_netlist, to_networkx
+from .validate import ValidationReport, validate_netlist
+
+__all__ = [
+    "Instance",
+    "Net",
+    "Netlist",
+    "NetlistBuilder",
+    "NetlistError",
+    "PORT",
+    "Levelization",
+    "levelize",
+    "VerilogError",
+    "parse_verilog",
+    "read_verilog",
+    "save_verilog",
+    "write_verilog",
+    "CompiledGate",
+    "CompiledGraph",
+    "compile_netlist",
+    "to_networkx",
+    "ValidationReport",
+    "validate_netlist",
+]

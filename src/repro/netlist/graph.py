@@ -1,0 +1,109 @@
+"""Graph views of a netlist.
+
+The paper translates the netlist into a DGL graph whose node features carry
+the cell logic function and whose edge features carry gate and interconnect
+delays.  DGL is not available offline, so we provide the equivalent
+``networkx`` construction: a directed graph over instances (and port/source
+pseudo-nodes) with the same attribute annotation.  The GATSPI engine itself
+consumes the compiled :class:`CompiledGraph` structure, which is the flat
+array-of-attributes form the DGL object would be lowered to on the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .levelize import Levelization, levelize
+from .netlist import Netlist, PORT
+
+
+def to_networkx(netlist: Netlist) -> nx.DiGraph:
+    """Build a directed instance-level graph with netlist attributes.
+
+    Nodes are instance names (plus ``"port:<name>"`` pseudo-nodes for primary
+    ports); node attribute ``cell`` holds the cell type.  Edges follow signal
+    flow and carry the connecting ``net`` name and the sink ``pin``.
+    """
+    graph = nx.DiGraph(name=netlist.name)
+    for name in netlist.inputs:
+        graph.add_node(f"port:{name}", kind="input", cell=None)
+    for name in netlist.outputs:
+        graph.add_node(f"port:{name}", kind="output", cell=None)
+    for inst in netlist.instances.values():
+        kind = "sequential" if inst.is_sequential else "combinational"
+        graph.add_node(inst.name, kind=kind, cell=inst.cell_name)
+
+    def node_for(endpoint: Tuple[str, str]) -> str:
+        owner, pin = endpoint
+        if owner == PORT:
+            return f"port:{pin}"
+        return owner
+
+    for net_name, net in netlist.nets.items():
+        if net.driver is None:
+            continue
+        source = node_for(net.driver)
+        for load in net.loads:
+            sink = node_for(load)
+            graph.add_edge(source, sink, net=net_name, pin=load[1])
+    return graph
+
+
+@dataclass
+class CompiledGate:
+    """Flattened attributes of one combinational gate, ready for the kernel."""
+
+    name: str
+    cell_name: str
+    level: int
+    input_nets: Tuple[str, ...]
+    output_net: str
+    input_pins: Tuple[str, ...]
+
+
+@dataclass
+class CompiledGraph:
+    """The netlist lowered to per-level gate arrays (the paper's compiled
+    ``Design.dgl`` object)."""
+
+    netlist: Netlist
+    levelization: Levelization
+    gates: Dict[str, CompiledGate] = field(default_factory=dict)
+    gates_by_level: List[List[CompiledGate]] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        return len(self.gates_by_level)
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    def level_sizes(self) -> List[int]:
+        return [len(level) for level in self.gates_by_level]
+
+
+def compile_netlist(
+    netlist: Netlist, levelization: Optional[Levelization] = None
+) -> CompiledGraph:
+    """Lower a netlist into the per-level structure the engine iterates over."""
+    levelization = levelization or levelize(netlist)
+    compiled = CompiledGraph(netlist=netlist, levelization=levelization)
+    compiled.gates_by_level = [[] for _ in range(levelization.depth)]
+    for level_index, names in enumerate(levelization.levels):
+        for name in names:
+            inst = netlist.instances[name]
+            gate = CompiledGate(
+                name=name,
+                cell_name=inst.cell_name,
+                level=level_index + 1,
+                input_nets=inst.input_nets(),
+                output_net=inst.output_net(),
+                input_pins=inst.cell.inputs,
+            )
+            compiled.gates[name] = gate
+            compiled.gates_by_level[level_index].append(gate)
+    return compiled

@@ -1,0 +1,136 @@
+"""Logic levelization of a gate-level netlist.
+
+GATSPI partitions the combinational netlist by logic level: sources (primary
+inputs, sequential outputs, tie cells) are level 0; a gate's level is one plus
+the maximum level of its input nets.  Simulation advances level by level so
+that every gate's input waveforms are final before it is simulated (paper
+Section 2/3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .netlist import Netlist, NetlistError, PORT
+
+
+@dataclass
+class Levelization:
+    """Result of levelizing a netlist.
+
+    ``net_levels`` maps every net to its logic level; ``levels`` lists the
+    combinational instance names grouped by level (level 1 onward; level 0 has
+    no gates, only sources).
+    """
+
+    net_levels: Dict[str, int] = field(default_factory=dict)
+    gate_levels: Dict[str, int] = field(default_factory=dict)
+    levels: List[List[str]] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        """Number of combinational levels (the paper's logic depth)."""
+        return len(self.levels)
+
+    @property
+    def widest_level(self) -> int:
+        """Gate count of the widest level (drives GPU thread-count estimates)."""
+        return max((len(level) for level in self.levels), default=0)
+
+    def gates_at(self, level: int) -> List[str]:
+        return self.levels[level]
+
+    def level_sizes(self) -> List[int]:
+        return [len(level) for level in self.levels]
+
+
+def levelize(netlist: Netlist) -> Levelization:
+    """Compute logic levels for every net and combinational gate.
+
+    Raises :class:`NetlistError` if the combinational logic contains a cycle
+    or if a combinational gate input is undriven.
+    """
+    result = Levelization()
+    # Level 0 sources: primary inputs, sequential outputs, and zero-input
+    # cells (tie-high/low).
+    pending_inputs: Dict[str, int] = {}
+    ready: deque = deque()
+
+    for name in netlist.source_nets():
+        result.net_levels[name] = 0
+
+    combinational = netlist.combinational_instances()
+    consumers: Dict[str, List[str]] = {}
+    for inst in combinational:
+        remaining = 0
+        for net_name in inst.input_nets():
+            if net_name in result.net_levels:
+                continue
+            remaining += 1
+            consumers.setdefault(net_name, []).append(inst.name)
+        pending_inputs[inst.name] = remaining
+        if remaining == 0:
+            ready.append(inst.name)
+
+    processed = 0
+    while ready:
+        inst_name = ready.popleft()
+        inst = netlist.instances[inst_name]
+        input_levels = [result.net_levels[n] for n in inst.input_nets()]
+        level = (max(input_levels) + 1) if input_levels else 1
+        result.gate_levels[inst_name] = level
+        processed += 1
+        output_net = inst.output_net()
+        previous = result.net_levels.get(output_net)
+        if previous is not None and previous != level:
+            raise NetlistError(
+                f"net {output_net!r} assigned conflicting levels "
+                f"{previous} and {level}"
+            )
+        result.net_levels[output_net] = level
+        for consumer in consumers.get(output_net, []):
+            pending_inputs[consumer] -= 1
+            if pending_inputs[consumer] == 0:
+                ready.append(consumer)
+
+    if processed != len(combinational):
+        unresolved = [
+            name for name, remaining in pending_inputs.items() if remaining > 0
+        ]
+        undriven = _undriven_inputs(netlist)
+        if undriven:
+            raise NetlistError(
+                f"combinational gates have undriven inputs: {sorted(undriven)[:10]}"
+            )
+        raise NetlistError(
+            f"combinational loop detected involving instances "
+            f"{sorted(unresolved)[:10]}"
+        )
+
+    depth = max(result.gate_levels.values(), default=0)
+    result.levels = [[] for _ in range(depth)]
+    for inst_name, level in result.gate_levels.items():
+        result.levels[level - 1].append(inst_name)
+    for level in result.levels:
+        level.sort()
+    return result
+
+
+def _undriven_inputs(netlist: Netlist) -> List[str]:
+    """Nets used as combinational inputs but never driven by anything."""
+    undriven = []
+    sources = set(netlist.source_nets())
+    for inst in netlist.combinational_instances():
+        for net_name in inst.input_nets():
+            net = netlist.nets[net_name]
+            if net.driver is None and net_name not in sources:
+                undriven.append(net_name)
+    return undriven
+
+
+def critical_level_path(levelization: Levelization) -> Tuple[int, int]:
+    """Return ``(depth, widest_level_size)`` — the two numbers that bound the
+    GPU launch count and per-launch thread count respectively."""
+    return levelization.depth, levelization.widest_level

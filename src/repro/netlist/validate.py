@@ -1,0 +1,82 @@
+"""Netlist structural checks run before simulation.
+
+The checks mirror what a commercial simulator's elaboration step would flag:
+undriven nets, multiply-driven nets (already prevented at construction),
+floating gate inputs, dangling nets, and combinational loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .levelize import levelize
+from .netlist import Netlist, NetlistError, PORT
+
+
+@dataclass
+class ValidationReport:
+    """Collected findings from :func:`validate_netlist`."""
+
+    undriven_nets: List[str] = field(default_factory=list)
+    dangling_nets: List[str] = field(default_factory=list)
+    unconnected_outputs: List[str] = field(default_factory=list)
+    combinational_loop: bool = False
+    loop_message: str = ""
+
+    @property
+    def is_clean(self) -> bool:
+        return not (
+            self.undriven_nets or self.combinational_loop or self.unconnected_outputs
+        )
+
+    def raise_if_fatal(self) -> None:
+        """Raise :class:`NetlistError` for errors that prevent simulation."""
+        if self.combinational_loop:
+            raise NetlistError(self.loop_message or "combinational loop detected")
+        if self.undriven_nets:
+            raise NetlistError(
+                f"undriven nets used as gate inputs: {self.undriven_nets[:10]}"
+            )
+
+
+def validate_netlist(netlist: Netlist) -> ValidationReport:
+    """Run all structural checks and return a report."""
+    report = ValidationReport()
+    sources = set(netlist.source_nets())
+
+    used_as_input = set()
+    for inst in netlist.instances.values():
+        for pin in inst.cell.inputs:
+            used_as_input.add(inst.connections[pin])
+
+    for name, net in netlist.nets.items():
+        driven = net.driver is not None or name in sources
+        loaded = bool(net.loads)
+        if not driven and name in used_as_input:
+            report.undriven_nets.append(name)
+        if driven and not loaded and name not in netlist.outputs:
+            report.dangling_nets.append(name)
+
+    for name in netlist.outputs:
+        net = netlist.nets[name]
+        if net.driver is None or net.driver[0] == PORT and name not in netlist.inputs:
+            if net.driver is None:
+                report.unconnected_outputs.append(name)
+
+    try:
+        levelize(netlist)
+    except NetlistError as exc:
+        message = str(exc)
+        if "loop" in message:
+            report.combinational_loop = True
+            report.loop_message = message
+        elif "undriven" in message:
+            pass  # already captured above
+        else:
+            raise
+
+    report.undriven_nets.sort()
+    report.dangling_nets.sort()
+    report.unconnected_outputs.sort()
+    return report

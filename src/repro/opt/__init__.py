@@ -1,0 +1,20 @@
+"""Glitch-power optimization: fixing transforms and the full flow."""
+
+from .glitch_fix import (
+    FixRecord,
+    balance_gate_inputs,
+    estimate_arrival_times,
+    input_arrival_skew,
+    insert_delay_buffer,
+)
+from .flow import FlowResult, GlitchOptimizationFlow
+
+__all__ = [
+    "FixRecord",
+    "balance_gate_inputs",
+    "estimate_arrival_times",
+    "input_arrival_skew",
+    "insert_delay_buffer",
+    "FlowResult",
+    "GlitchOptimizationFlow",
+]

@@ -1,0 +1,175 @@
+"""Glitch-fixing netlist transformations.
+
+The paper's glitch-optimization flow applies "designer-informed glitch-fixing
+transformations" to the netlist after glitch analysis.  The classic fix for a
+glitching gate is *path balancing*: a glitch exists because the gate's inputs
+arrive at different times, so delaying the early inputs (with buffers) until
+the skew is smaller than the gate's inertial window makes the output pulse
+collapse and the glitch disappear — at the cost of the buffer's own (much
+smaller) power.
+
+This module provides:
+
+* static arrival-time estimation from the delay annotation,
+* single-pin delay-buffer insertion (netlist + annotation kept consistent),
+* a per-gate input balancing transform built on the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.delaytable import DelayArc, GateDelayTable, InterconnectDelay
+from ..netlist import Netlist, levelize
+from ..sdf.annotate import DelayAnnotation
+
+
+@dataclass
+class FixRecord:
+    """One applied glitch fix (for the flow's report)."""
+
+    gate: str
+    pin: str
+    inserted_buffer: str
+    added_delay: float
+
+
+def estimate_arrival_times(
+    netlist: Netlist, annotation: DelayAnnotation
+) -> Dict[str, float]:
+    """Static latest-arrival time of every net (sources arrive at 0).
+
+    Uses the mean finite delay of each gate's delay table as the per-arc
+    delay, which is exactly the information a designer's static timing view
+    would provide to the glitch-fixing scripts.
+    """
+    arrivals: Dict[str, float] = {net: 0.0 for net in netlist.source_nets()}
+    levelization = levelize(netlist)
+    for level in levelization.levels:
+        for name in level:
+            inst = netlist.instances[name]
+            cell = inst.cell
+            if cell.num_inputs == 0:
+                arrivals[inst.output_net()] = 0.0
+                continue
+            table = annotation.table_for(name)
+            latest = 0.0
+            for pin in cell.inputs:
+                net = inst.connections[pin]
+                wire = annotation.wire_delay(name, pin)
+                pin_array = table.table_for(pin)
+                finite = pin_array[np.isfinite(pin_array)]
+                gate_delay = float(finite.mean()) if finite.size else 0.0
+                arrival = (
+                    arrivals.get(net, 0.0)
+                    + max(wire.rise, wire.fall)
+                    + gate_delay
+                )
+                latest = max(latest, arrival)
+            arrivals[inst.output_net()] = latest
+    return arrivals
+
+
+def input_arrival_skew(
+    netlist: Netlist,
+    annotation: DelayAnnotation,
+    gate_name: str,
+    arrivals: Optional[Dict[str, float]] = None,
+) -> Dict[str, float]:
+    """Arrival time of each input pin of ``gate_name`` (before the gate)."""
+    arrivals = arrivals or estimate_arrival_times(netlist, annotation)
+    inst = netlist.instances[gate_name]
+    skews: Dict[str, float] = {}
+    for pin in inst.cell.inputs:
+        net = inst.connections[pin]
+        wire = annotation.wire_delay(gate_name, pin)
+        skews[pin] = arrivals.get(net, 0.0) + max(wire.rise, wire.fall)
+    return skews
+
+
+def insert_delay_buffer(
+    netlist: Netlist,
+    annotation: DelayAnnotation,
+    gate_name: str,
+    pin: str,
+    delay: float,
+    buffer_cell: str = "DLY",
+) -> str:
+    """Insert a delay buffer in front of one input pin.
+
+    The original net keeps driving every other load; only the targeted pin is
+    re-routed through the new buffer.  The annotation gains a delay table for
+    the buffer (rise = fall = ``delay``) and zero wire delay, so the change is
+    visible to both GATSPI and the reference simulator.  Returns the new
+    buffer instance name.
+    """
+    inst = netlist.instances[gate_name]
+    if pin not in inst.cell.inputs:
+        raise ValueError(f"gate {gate_name!r} has no input pin {pin!r}")
+    original_net = inst.connections[pin]
+    buffer_name = f"glitchfix_{gate_name}_{pin}"
+    buffer_net = f"{buffer_name}_out"
+    suffix = 0
+    while buffer_name in netlist.instances or buffer_net in netlist.nets:
+        suffix += 1
+        buffer_name = f"glitchfix_{gate_name}_{pin}_{suffix}"
+        buffer_net = f"{buffer_name}_out"
+
+    # Detach the pin from the original net.
+    net = netlist.nets[original_net]
+    net.loads = [load for load in net.loads if load != (gate_name, pin)]
+
+    buffer_cell_obj = netlist.library.get(buffer_cell)
+    netlist.add_instance(
+        buffer_cell, buffer_name,
+        {buffer_cell_obj.inputs[0]: original_net, buffer_cell_obj.output: buffer_net},
+    )
+    # Reattach the pin to the buffered net.
+    inst.connections[pin] = buffer_net
+    netlist.nets[buffer_net].loads.append((gate_name, pin))
+
+    # Annotate the new buffer and the (now buffered) pin.
+    delay = max(1.0, float(delay))
+    table = GateDelayTable(buffer_cell_obj.inputs)
+    table.add_arc(DelayArc(pin=buffer_cell_obj.inputs[0], rise=delay, fall=delay))
+    annotation.gate_tables[buffer_name] = table
+    annotation.interconnect[(buffer_name, buffer_cell_obj.inputs[0])] = (
+        annotation.interconnect.pop((gate_name, pin), InterconnectDelay(0.0, 0.0))
+    )
+    annotation.interconnect[(gate_name, pin)] = InterconnectDelay(0.0, 0.0)
+    return buffer_name
+
+
+def balance_gate_inputs(
+    netlist: Netlist,
+    annotation: DelayAnnotation,
+    gate_name: str,
+    skew_threshold: float = 5.0,
+    arrivals: Optional[Dict[str, float]] = None,
+    max_added_delay: float = 200.0,
+) -> List[FixRecord]:
+    """Delay-balance the inputs of one glitching gate.
+
+    Every input arriving more than ``skew_threshold`` earlier than the
+    latest input gets a buffer sized to close most of the gap.  Returns the
+    applied fixes (possibly empty when the gate is already balanced).
+    """
+    skews = input_arrival_skew(netlist, annotation, gate_name, arrivals)
+    if not skews:
+        return []
+    latest = max(skews.values())
+    fixes: List[FixRecord] = []
+    for pin, arrival in skews.items():
+        gap = latest - arrival
+        if gap <= skew_threshold:
+            continue
+        added = min(gap - skew_threshold / 2.0, max_added_delay)
+        buffer_name = insert_delay_buffer(netlist, annotation, gate_name, pin, added)
+        fixes.append(
+            FixRecord(gate=gate_name, pin=pin, inserted_buffer=buffer_name,
+                      added_delay=added)
+        )
+    return fixes

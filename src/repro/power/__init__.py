@@ -1,0 +1,26 @@
+"""Power analysis: activity metrics, power model, glitch analysis."""
+
+from .activity import (
+    ActivitySummary,
+    events_per_gate,
+    static_probabilities,
+    summarize_activity,
+    toggle_rates,
+)
+from .power_model import NetPowerDetail, PowerModel, PowerParameters, PowerReport
+from .glitch import GlitchReport, NetGlitchInfo, analyze_glitches
+
+__all__ = [
+    "ActivitySummary",
+    "events_per_gate",
+    "static_probabilities",
+    "summarize_activity",
+    "toggle_rates",
+    "NetPowerDetail",
+    "PowerModel",
+    "PowerParameters",
+    "PowerReport",
+    "GlitchReport",
+    "NetGlitchInfo",
+    "analyze_glitches",
+]

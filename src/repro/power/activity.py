@@ -1,0 +1,98 @@
+"""Switching-activity metrics derived from simulation results.
+
+These are the quantities quoted in the paper's benchmark table (Table 2):
+the activity factor of a testbench, per-net toggle rates, and event totals
+that determine how much work the re-simulation kernels perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..core.results import SimulationResult
+from ..core.waveform import Waveform
+from ..netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ActivitySummary:
+    """Aggregate activity statistics of one simulation."""
+
+    total_toggles: int
+    gate_output_toggles: int
+    source_toggles: int
+    cycles: int
+    gate_count: int
+    duration: int
+
+    @property
+    def activity_factor(self) -> float:
+        """Toggles per combinational gate per cycle (Table 2's definition)."""
+        if self.gate_count == 0 or self.cycles == 0:
+            return 0.0
+        return self.gate_output_toggles / (self.gate_count * self.cycles)
+
+    @property
+    def average_toggle_rate(self) -> float:
+        """Toggles per time unit across the whole design."""
+        if self.duration == 0:
+            return 0.0
+        return self.total_toggles / self.duration
+
+
+def summarize_activity(
+    netlist: Netlist, result: SimulationResult, cycles: int
+) -> ActivitySummary:
+    """Compute the activity summary for one simulation result."""
+    sources = set(netlist.source_nets())
+    source_toggles = sum(
+        count for net, count in result.toggle_counts.items() if net in sources
+    )
+    gate_toggles = sum(
+        count for net, count in result.toggle_counts.items() if net not in sources
+    )
+    return ActivitySummary(
+        total_toggles=source_toggles + gate_toggles,
+        gate_output_toggles=gate_toggles,
+        source_toggles=source_toggles,
+        cycles=cycles,
+        gate_count=netlist.gate_count,
+        duration=result.duration,
+    )
+
+
+def toggle_rates(result: SimulationResult) -> Dict[str, float]:
+    """Per-net toggles per time unit."""
+    if result.duration == 0:
+        return {net: 0.0 for net in result.toggle_counts}
+    return {
+        net: count / result.duration for net, count in result.toggle_counts.items()
+    }
+
+
+def static_probabilities(
+    waveforms: Mapping[str, Waveform], duration: int
+) -> Dict[str, float]:
+    """Per-net probability of being at logic 1 over ``[0, duration]``."""
+    probabilities: Dict[str, float] = {}
+    for net, wave in waveforms.items():
+        if duration <= 0:
+            probabilities[net] = float(wave.initial_value)
+            continue
+        probabilities[net] = wave.duration_at(1, 0, duration) / duration
+    return probabilities
+
+
+def events_per_gate(netlist: Netlist, result: SimulationResult) -> Dict[str, int]:
+    """Input events each combinational gate processes (workload balance).
+
+    The paper's OpenMP and GPU profiling discussions hinge on how unevenly
+    these are distributed across gates.
+    """
+    events: Dict[str, int] = {}
+    for inst in netlist.combinational_instances():
+        events[inst.name] = sum(
+            result.toggle_counts.get(net, 0) for net in inst.input_nets()
+        )
+    return events

@@ -1,0 +1,125 @@
+"""Glitch activity analysis.
+
+A *glitch* is a transition that delay-aware simulation records but zero-delay
+(purely functional) simulation does not: it exists only because inputs of a
+gate arrive at different times.  Glitch toggles burn real power without doing
+useful work, which is why the paper's deployment target is a glitch-power
+optimization flow.
+
+The analysis compares a delay-annotated simulation result against a
+zero-delay result on the same stimulus and ranks nets/gates by wasted
+(glitch) power — the designer-facing report that drives the fixing
+transformations in :mod:`repro.opt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..core.results import SimulationResult
+from ..netlist import Netlist, PORT
+from .power_model import PowerModel, PowerReport
+
+
+@dataclass
+class NetGlitchInfo:
+    """Glitch statistics for one net."""
+
+    net: str
+    delay_toggles: int
+    functional_toggles: int
+    glitch_power_w: float = 0.0
+
+    @property
+    def glitch_toggles(self) -> int:
+        return max(0, self.delay_toggles - self.functional_toggles)
+
+    @property
+    def glitch_ratio(self) -> float:
+        if self.delay_toggles == 0:
+            return 0.0
+        return self.glitch_toggles / self.delay_toggles
+
+
+@dataclass
+class GlitchReport:
+    """Design-level glitch analysis."""
+
+    nets: Dict[str, NetGlitchInfo] = field(default_factory=dict)
+    total_power: Optional[PowerReport] = None
+
+    @property
+    def total_glitch_toggles(self) -> int:
+        return sum(info.glitch_toggles for info in self.nets.values())
+
+    @property
+    def total_toggles(self) -> int:
+        return sum(info.delay_toggles for info in self.nets.values())
+
+    @property
+    def glitch_toggle_fraction(self) -> float:
+        total = self.total_toggles
+        if total == 0:
+            return 0.0
+        return self.total_glitch_toggles / total
+
+    @property
+    def glitch_power_w(self) -> float:
+        return sum(info.glitch_power_w for info in self.nets.values())
+
+    @property
+    def glitch_power_fraction(self) -> float:
+        if self.total_power is None or self.total_power.total_w == 0:
+            return 0.0
+        return self.glitch_power_w / self.total_power.total_w
+
+    def worst_nets(self, count: int = 20) -> List[NetGlitchInfo]:
+        """Nets ranked by glitch power — the glitch-fixing candidates."""
+        ordered = sorted(
+            self.nets.values(), key=lambda info: info.glitch_power_w, reverse=True
+        )
+        return [info for info in ordered if info.glitch_toggles > 0][:count]
+
+    def worst_driver_gates(self, netlist: Netlist, count: int = 20) -> List[str]:
+        """Instance names driving the worst glitching nets."""
+        gates: List[str] = []
+        for info in self.worst_nets(count * 2):
+            driver = netlist.nets[info.net].driver
+            if driver is not None and driver[0] != PORT:
+                gates.append(driver[0])
+            if len(gates) >= count:
+                break
+        return gates
+
+
+def analyze_glitches(
+    netlist: Netlist,
+    delay_result: SimulationResult,
+    functional_toggle_counts: Mapping[str, int],
+    power_model: Optional[PowerModel] = None,
+) -> GlitchReport:
+    """Compare delay-aware and functional activity; attribute glitch power.
+
+    Glitch power of a net is the fraction of its dynamic power carried by its
+    glitch toggles.
+    """
+    power_model = power_model or PowerModel(netlist)
+    power_report = power_model.compute_from_result(delay_result)
+    report = GlitchReport(total_power=power_report)
+    for net, delay_toggles in delay_result.toggle_counts.items():
+        if net not in netlist.nets:
+            continue
+        functional = int(functional_toggle_counts.get(net, 0))
+        info = NetGlitchInfo(
+            net=net,
+            delay_toggles=int(delay_toggles),
+            functional_toggles=functional,
+        )
+        detail = power_report.per_net.get(net)
+        if detail is not None and detail.toggle_count > 0:
+            info.glitch_power_w = detail.dynamic_w * (
+                info.glitch_toggles / detail.toggle_count
+            )
+        report.nets[net] = info
+    return report

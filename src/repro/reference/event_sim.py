@@ -1,0 +1,386 @@
+"""Event-driven gate-level reference simulator.
+
+This plays the role of the commercial simulator in the paper: an independent
+implementation used both as the correctness oracle (SAIF toggle counts and
+full waveforms must match GATSPI exactly) and as the runtime baseline for the
+speedup tables.
+
+The simulator is a classic inertial-delay event-queue simulator:
+
+* net transitions propagate to fanout pins through per-pin interconnect
+  delays, with inertial pulse swallowing on the wire,
+* all pin arrivals at one timestamp are applied together before the gate is
+  evaluated (multiple-simultaneous-input resolution),
+* gate delays come from the same conditional delay tables (Fig. 4 lookups),
+* output pulses narrower than ``PATHPULSEPERCENT`` of the gate delay are
+  rejected by descheduling the pending output event.
+
+The scheduling machinery (heap of events, pending-event cancellation) is
+deliberately different from the GATSPI engine's levelized array walk, which is
+what makes the cross-check meaningful.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.config import SimConfig
+from ..core.kernel import resolve_gate_delay
+from ..core.results import PhaseTimings, SimulationResult, SimulationStats
+from ..core.truthtable import pin_weights
+from ..core.waveform import Waveform
+from ..netlist import Netlist, levelize
+from ..sdf.annotate import DelayAnnotation, default_annotation
+
+
+@dataclass
+class _GateState:
+    """Mutable simulation state of one combinational gate."""
+
+    name: str
+    output_net: str
+    input_nets: Tuple[str, ...]
+    truth_table: object
+    delay_arrays: Tuple[object, ...]
+    wire_rise: Tuple[float, ...]
+    wire_fall: Tuple[float, ...]
+    weights: Tuple[int, ...]
+    pin_values: List[int] = field(default_factory=list)
+    column_index: int = 0
+    recorded: List[Tuple[int, int]] = field(default_factory=list)
+    recorded_ids: List[Optional[int]] = field(default_factory=list)
+    pending_arrival: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def recorded_value(self) -> int:
+        return self.recorded[-1][1]
+
+    @property
+    def last_recorded_time(self) -> int:
+        return self.recorded[-1][0]
+
+
+class EventDrivenSimulator:
+    """Inertial-delay event-driven gate-level simulator."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        annotation: Optional[DelayAnnotation] = None,
+        config: Optional[SimConfig] = None,
+    ):
+        self.netlist = netlist
+        self.config = config or SimConfig()
+        annotation = annotation or default_annotation(netlist)
+        if not self.config.full_sdf:
+            annotation = annotation.with_averaged_sdf()
+        self.annotation = annotation
+        self._gates: Dict[str, _GateState] = {}
+        self._fanin_of_net: Dict[str, List[Tuple[str, int]]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Elaboration
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        library = self.netlist.library
+        for inst in self.netlist.combinational_instances():
+            cell = inst.cell
+            truth_table = library.truth_table(cell.name).table
+            if cell.num_inputs:
+                table = self.annotation.table_for(inst.name)
+                delay_arrays = tuple(table.table_for(pin) for pin in cell.inputs)
+                wire_rise = tuple(
+                    float(self.annotation.wire_delay(inst.name, pin).rise)
+                    for pin in cell.inputs
+                )
+                wire_fall = tuple(
+                    float(self.annotation.wire_delay(inst.name, pin).fall)
+                    for pin in cell.inputs
+                )
+            else:
+                delay_arrays = ()
+                wire_rise = ()
+                wire_fall = ()
+            state = _GateState(
+                name=inst.name,
+                output_net=inst.output_net(),
+                input_nets=inst.input_nets(),
+                truth_table=truth_table,
+                delay_arrays=delay_arrays,
+                wire_rise=wire_rise,
+                wire_fall=wire_fall,
+                weights=pin_weights(cell.num_inputs),
+                pin_values=[0] * cell.num_inputs,
+            )
+            self._gates[inst.name] = state
+            for pin_index, net in enumerate(state.input_nets):
+                self._fanin_of_net.setdefault(net, []).append((inst.name, pin_index))
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        stimulus: Mapping[str, Waveform],
+        cycles: Optional[int] = None,
+        duration: Optional[int] = None,
+    ) -> SimulationResult:
+        config = self.config
+        if duration is None:
+            if cycles is None:
+                raise ValueError("either cycles or duration must be provided")
+            duration = cycles * config.clock_period
+        if cycles is None:
+            cycles = max(1, duration // config.clock_period)
+
+        missing = [net for net in self.netlist.source_nets() if net not in stimulus]
+        if missing:
+            raise ValueError(f"stimulus missing for source nets: {sorted(missing)[:10]}")
+
+        timings = PhaseTimings()
+        start_all = time.perf_counter()
+
+        # --- initial settle: zero-time levelized evaluation -------------
+        net_values: Dict[str, int] = {}
+        for net in self.netlist.source_nets():
+            net_values[net] = stimulus[net].value_at(0)
+        levelization = levelize(self.netlist)
+        order = [name for level in levelization.levels for name in level]
+        for name in order:
+            state = self._gates[name]
+            for pin_index, net in enumerate(state.input_nets):
+                value = net_values.get(net, 0)
+                state.pin_values[pin_index] = value
+            state.column_index = sum(
+                w for w, v in zip(state.weights, state.pin_values) if v
+            )
+            initial = int(state.truth_table[state.column_index])
+            state.recorded = [(0, initial)]
+            state.recorded_ids = [None]
+            net_values[state.output_net] = initial
+
+        # --- event queue -------------------------------------------------
+        # Events: (time, phase, sequence, kind, payload)
+        #   phase 0: net transition "fires" (source toggle or gate output)
+        #   phase 1: pin arrival (after wire delay)
+        heap: List[Tuple[float, int, int, str, tuple]] = []
+        sequence = 0
+        cancelled_outputs: set = set()
+        self._output_id_counter = 0
+
+        kernel_start = time.perf_counter()
+        for net in self.netlist.source_nets():
+            for toggle_time, value in stimulus[net].changes():
+                if toggle_time <= 0 or toggle_time >= duration:
+                    continue
+                heapq.heappush(heap, (float(toggle_time), 0, sequence, "net", (net, value)))
+                sequence += 1
+        timings.host_to_device += time.perf_counter() - kernel_start
+
+        pathpulse_fraction = config.pathpulse_fraction
+        filtering = config.enable_net_delay_filtering
+        kernel_start = time.perf_counter()
+
+        while heap:
+            current_time = heap[0][0]
+            # Phase 0: all net transitions at this time.
+            arrivals_now: Dict[str, Dict[int, int]] = {}
+            while heap and heap[0][0] == current_time and heap[0][1] == 0:
+                _, _, _, kind, payload = heapq.heappop(heap)
+                if kind == "net":
+                    net, value = payload
+                    self._propagate_net(
+                        net, value, current_time, heap, filtering, arrivals_now
+                    )
+                    sequence += 1
+                elif kind == "fire":
+                    gate_name, output_id, value = payload
+                    if output_id in cancelled_outputs:
+                        cancelled_outputs.discard(output_id)
+                        continue
+                    state = self._gates[gate_name]
+                    self._propagate_net(
+                        state.output_net,
+                        value,
+                        current_time,
+                        heap,
+                        filtering,
+                        arrivals_now,
+                    )
+
+            # Phase 1: pin arrivals at this time (queued earlier or just added
+            # with zero wire delay).
+            while heap and heap[0][0] == current_time and heap[0][1] == 1:
+                _, _, _, kind, payload = heapq.heappop(heap)
+                if kind != "arrival":
+                    continue  # lazily-cancelled wire pulse
+                gate_name, pin_index, value = payload
+                state = self._gates[gate_name]
+                pending = state.pending_arrival.get(pin_index)
+                if pending is not None and pending <= current_time:
+                    state.pending_arrival.pop(pin_index, None)
+                arrivals_now.setdefault(gate_name, {})[pin_index] = value
+            for gate_name, pins in arrivals_now.items():
+                self._apply_arrivals(
+                    gate_name,
+                    pins,
+                    current_time,
+                    heap,
+                    cancelled_outputs,
+                    pathpulse_fraction,
+                )
+
+        timings.kernel += time.perf_counter() - kernel_start
+
+        # --- results ------------------------------------------------------
+        result = SimulationResult(duration=duration, timings=timings)
+        stats = SimulationStats(
+            gate_count=self.netlist.gate_count,
+            levels=levelization.depth,
+            widest_level=levelization.widest_level,
+            windows=1,
+            cycles=cycles,
+        )
+        for net in self.netlist.source_nets():
+            result.toggle_counts[net] = stimulus[net].toggles_in(0, duration - 1)
+            if config.store_waveforms:
+                result.waveforms[net] = stimulus[net]
+        total_transitions = 0
+        for state in self._gates.values():
+            toggles = len(state.recorded) - 1
+            result.toggle_counts[state.output_net] = toggles
+            total_transitions += toggles
+            if config.store_waveforms:
+                result.waveforms[state.output_net] = Waveform.from_changes(
+                    state.recorded
+                )
+        stats.output_transitions = total_transitions
+        input_events = 0
+        for inst in self.netlist.combinational_instances():
+            for net in inst.input_nets():
+                input_events += result.toggle_counts.get(net, 0)
+        stats.input_events = input_events
+        result.stats = stats
+        timings.readback += time.perf_counter() - start_all - timings.application
+        return result
+
+    # ------------------------------------------------------------------
+    # Event helpers
+    # ------------------------------------------------------------------
+    def _propagate_net(
+        self,
+        net: str,
+        value: int,
+        now: float,
+        heap: list,
+        filtering: bool,
+        arrivals_now: Dict[str, Dict[int, int]],
+    ) -> None:
+        """Fan a net transition out to every load pin through its wire delay."""
+        for gate_name, pin_index in self._fanin_of_net.get(net, []):
+            state = self._gates[gate_name]
+            wire_delay = (
+                state.wire_rise[pin_index] if value == 1 else state.wire_fall[pin_index]
+            )
+            pending = state.pending_arrival.get(pin_index)
+            if filtering and pending is not None and pending > now:
+                # Wire inertial filtering: the previous (still-in-flight) edge
+                # and this one form a pulse narrower than the wire delay of
+                # the leading edge; both are swallowed.
+                state.pending_arrival.pop(pin_index, None)
+                self._remove_arrival(heap, gate_name, pin_index, pending)
+                continue
+            arrival = now + wire_delay
+            state.pending_arrival[pin_index] = arrival
+            if arrival == now:
+                arrivals_now.setdefault(gate_name, {})[pin_index] = value
+                state.pending_arrival.pop(pin_index, None)
+            else:
+                heapq.heappush(
+                    heap, (arrival, 1, id(state) ^ pin_index, "arrival",
+                           (gate_name, pin_index, value))
+                )
+
+    @staticmethod
+    def _remove_arrival(heap: list, gate_name: str, pin_index: int, arrival: float) -> None:
+        """Lazily mark an in-flight arrival as cancelled by rewriting it."""
+        for index, entry in enumerate(heap):
+            if (
+                entry[1] == 1
+                and entry[0] == arrival
+                and entry[4][0] == gate_name
+                and entry[4][1] == pin_index
+            ):
+                heap[index] = (entry[0], entry[1], entry[2], "cancelled", entry[4])
+                return
+
+    def _apply_arrivals(
+        self,
+        gate_name: str,
+        pins: Dict[int, int],
+        now: float,
+        heap: list,
+        cancelled_outputs: set,
+        pathpulse_fraction: float,
+    ) -> None:
+        """Apply simultaneous pin changes to one gate and evaluate it."""
+        state = self._gates[gate_name]
+        switching: List[Tuple[int, int]] = []
+        for pin_index, value in pins.items():
+            old = state.pin_values[pin_index]
+            if old == value:
+                continue
+            state.pin_values[pin_index] = value
+            if value:
+                state.column_index += state.weights[pin_index]
+                switching.append((pin_index, 0))
+            else:
+                state.column_index -= state.weights[pin_index]
+                switching.append((pin_index, 1))
+        if not switching:
+            return
+        new_output = int(state.truth_table[state.column_index])
+        if new_output == state.recorded_value:
+            return
+        output_edge = 0 if new_output == 1 else 1
+        gate_delay = resolve_gate_delay(
+            state.delay_arrays, switching, output_edge, state.column_index
+        )
+        output_time = int(now + gate_delay)
+        min_pulse = gate_delay * pathpulse_fraction
+        if len(state.recorded) > 1 and (
+            output_time - state.last_recorded_time < min_pulse
+            or output_time <= state.last_recorded_time
+        ):
+            # Inertial rejection: deschedule the pending output transition.
+            state.recorded.pop()
+            dropped_id = state.recorded_ids.pop()
+            if dropped_id is not None:
+                cancelled_outputs.add(dropped_id)
+        else:
+            state.recorded.append((output_time, new_output))
+            self._output_id_counter += 1
+            output_id = self._output_id_counter
+            state.recorded_ids.append(output_id)
+            heapq.heappush(
+                heap,
+                (float(output_time), 0, output_id, "fire",
+                 (gate_name, output_id, new_output)),
+            )
+
+
+def simulate_reference(
+    netlist: Netlist,
+    stimulus: Mapping[str, Waveform],
+    cycles: Optional[int] = None,
+    duration: Optional[int] = None,
+    annotation: Optional[DelayAnnotation] = None,
+    config: Optional[SimConfig] = None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`EventDrivenSimulator`."""
+    simulator = EventDrivenSimulator(netlist, annotation=annotation, config=config)
+    return simulator.simulate(stimulus, cycles=cycles, duration=duration)

@@ -1,0 +1,40 @@
+"""SDF delay annotation subsystem: parser, writer, netlist annotation."""
+
+from .types import SdfCell, SdfFile, SdfInterconnect, SdfIoPath
+from .parser import SdfError, parse_condition, parse_sdf, read_sdf
+from .writer import save_sdf, write_sdf
+from .annotate import (
+    AnnotationError,
+    DelayAnnotation,
+    annotation_from_design_delays,
+    annotation_from_sdf,
+    default_annotation,
+)
+from .delay_model import (
+    DesignDelays,
+    IntrinsicDelayModel,
+    SyntheticDelayModel,
+    UnitDelayModel,
+)
+
+__all__ = [
+    "SdfCell",
+    "SdfFile",
+    "SdfInterconnect",
+    "SdfIoPath",
+    "SdfError",
+    "parse_condition",
+    "parse_sdf",
+    "read_sdf",
+    "save_sdf",
+    "write_sdf",
+    "AnnotationError",
+    "DelayAnnotation",
+    "annotation_from_design_delays",
+    "annotation_from_sdf",
+    "default_annotation",
+    "DesignDelays",
+    "IntrinsicDelayModel",
+    "SyntheticDelayModel",
+    "UnitDelayModel",
+]

@@ -1,0 +1,183 @@
+"""Synthetic delay models for generated benchmark designs.
+
+The paper's benchmarks come with signoff SDF files; our generated designs need
+equivalent annotation.  :class:`SyntheticDelayModel` produces deterministic
+(seeded) per-arc gate delays — including edge-specific and ``COND``-qualified
+arcs — and per-pin interconnect delays with the same structure a physical
+design's SDF would have, so the identical SDF→LUT translation and kernel code
+paths are exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.delaytable import DelayArc, InterconnectDelay
+from ..core.truthtable import values_for_index
+from ..netlist import Netlist
+
+
+@dataclass
+class DesignDelays:
+    """All delay arcs for one design, keyed by instance.
+
+    This is the neutral form consumed both by the SDF writer and by the
+    annotation builder, guaranteeing that the SDF file on disk and the
+    in-memory annotation describe the same delays.
+    """
+
+    gate_arcs: Dict[str, List[DelayArc]] = field(default_factory=dict)
+    interconnect: Dict[Tuple[str, str], InterconnectDelay] = field(
+        default_factory=dict
+    )
+
+    def arc_count(self) -> int:
+        return sum(len(arcs) for arcs in self.gate_arcs.values())
+
+    def conditional_arc_count(self) -> int:
+        return sum(
+            1
+            for arcs in self.gate_arcs.values()
+            for arc in arcs
+            if arc.condition
+        )
+
+
+@dataclass
+class SyntheticDelayModel:
+    """Deterministic pseudo-random delay generator.
+
+    * Gate delays start from the cell's intrinsic rise/fall and grow with the
+      output net's fanout (``load_delay_per_fanout``).
+    * A fraction of multi-input gates additionally receive edge-qualified
+      ``COND`` arcs (faster or slower by up to ``conditional_spread``),
+      exercising the conditional-delay lookup path of Fig. 4.
+    * Interconnect delays are drawn uniformly from ``wire_delay_range``.
+
+    All values are integers in the library's time unit (ps).
+    """
+
+    seed: int = 2022
+    load_delay_per_fanout: float = 1.5
+    wire_delay_range: Tuple[int, int] = (0, 4)
+    conditional_fraction: float = 0.35
+    conditional_spread: float = 0.3
+    rise_fall_skew: float = 0.15
+
+    def build(self, netlist: Netlist) -> DesignDelays:
+        """Generate all arcs for ``netlist``."""
+        rng = random.Random(self.seed)
+        delays = DesignDelays()
+        for inst in netlist.combinational_instances():
+            cell = inst.cell
+            if cell.num_inputs == 0:
+                delays.gate_arcs[inst.name] = []
+                continue
+            fanout = netlist.fanout_of(inst.output_net())
+            load = self.load_delay_per_fanout * max(fanout, 1)
+            base_rise = cell.intrinsic_rise + load
+            base_fall = cell.intrinsic_fall + load
+            arcs: List[DelayArc] = []
+            for pin in cell.inputs:
+                skew = 1.0 + self.rise_fall_skew * (rng.random() - 0.5)
+                arcs.append(
+                    DelayArc(
+                        pin=pin,
+                        rise=round(base_rise * skew),
+                        fall=round(base_fall * skew),
+                    )
+                )
+            if cell.num_inputs >= 2 and rng.random() < self.conditional_fraction:
+                arcs.extend(self._conditional_arcs(rng, cell, base_rise, base_fall))
+            delays.gate_arcs[inst.name] = arcs
+            for pin in cell.inputs:
+                low, high = self.wire_delay_range
+                delays.interconnect[(inst.name, pin)] = InterconnectDelay(
+                    rise=float(rng.randint(low, high)),
+                    fall=float(rng.randint(low, high)),
+                )
+        return delays
+
+    def _conditional_arcs(self, rng, cell, base_rise, base_fall) -> List[DelayArc]:
+        """Emit edge-qualified conditional arcs for one pin of ``cell``.
+
+        The shape mirrors the paper's Fig. 4 AOI21 example: the conditional
+        delay applies to one switching pin under a fully-specified state of
+        the side inputs.
+        """
+        pin_index = rng.randrange(cell.num_inputs)
+        pin = cell.inputs[pin_index]
+        others = [p for p in cell.inputs if p != pin]
+        if not others:
+            return []
+        # Pick one concrete side-input state.
+        state_index = rng.randrange(2 ** len(others))
+        values = values_for_index(state_index, len(others))
+        condition = dict(zip(others, values))
+        factor = 1.0 - self.conditional_spread * rng.random()
+        cond_rise = max(1, round(base_rise * factor))
+        cond_fall = max(1, round(base_fall * factor))
+        return [
+            DelayArc(
+                pin=pin,
+                rise=cond_rise,
+                fall=None,
+                input_edge=1,  # falling input
+                condition=condition,
+            ),
+            DelayArc(
+                pin=pin,
+                rise=None,
+                fall=cond_fall,
+                input_edge=0,  # rising input
+                condition=condition,
+            ),
+        ]
+
+
+@dataclass
+class UnitDelayModel:
+    """Every gate gets the same rise/fall delay and zero wire delay.
+
+    Useful for tests where hand-computed waveforms are needed.
+    """
+
+    delay: int = 10
+
+    def build(self, netlist: Netlist) -> DesignDelays:
+        delays = DesignDelays()
+        for inst in netlist.combinational_instances():
+            arcs = [
+                DelayArc(pin=pin, rise=self.delay, fall=self.delay)
+                for pin in inst.cell.inputs
+            ]
+            delays.gate_arcs[inst.name] = arcs
+            for pin in inst.cell.inputs:
+                delays.interconnect[(inst.name, pin)] = InterconnectDelay(0.0, 0.0)
+        return delays
+
+
+@dataclass
+class IntrinsicDelayModel:
+    """Gate delays straight from the cell library's intrinsic values.
+
+    No fanout loading, no conditional arcs, no wire delay — the fallback used
+    when a netlist has no SDF annotation at all.
+    """
+
+    def build(self, netlist: Netlist) -> DesignDelays:
+        delays = DesignDelays()
+        for inst in netlist.combinational_instances():
+            cell = inst.cell
+            arcs = [
+                DelayArc(
+                    pin=pin,
+                    rise=round(cell.intrinsic_rise),
+                    fall=round(cell.intrinsic_fall),
+                )
+                for pin in cell.inputs
+            ]
+            delays.gate_arcs[inst.name] = arcs
+        return delays

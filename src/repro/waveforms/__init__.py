@@ -1,0 +1,47 @@
+"""Waveform I/O and stimulus generation: VCD, SAIF, testbench generators."""
+
+from .vcd import VcdError, parse_vcd, read_vcd, save_vcd, write_vcd
+from .saif import (
+    NetActivity,
+    SaifData,
+    activity_from_result,
+    parse_saif,
+    read_saif,
+    saif_files_match,
+    saif_from_result,
+    save_saif,
+    write_saif,
+)
+from .stimulus import (
+    TestbenchSpec,
+    clock_waveform,
+    functional_stimulus,
+    measured_activity_factor,
+    random_stimulus,
+    scan_stimulus,
+    stimulus_for_netlist,
+)
+
+__all__ = [
+    "VcdError",
+    "parse_vcd",
+    "read_vcd",
+    "save_vcd",
+    "write_vcd",
+    "NetActivity",
+    "SaifData",
+    "activity_from_result",
+    "parse_saif",
+    "read_saif",
+    "saif_files_match",
+    "saif_from_result",
+    "save_saif",
+    "write_saif",
+    "TestbenchSpec",
+    "clock_waveform",
+    "functional_stimulus",
+    "measured_activity_factor",
+    "random_stimulus",
+    "scan_stimulus",
+    "stimulus_for_netlist",
+]

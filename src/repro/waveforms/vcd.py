@@ -1,0 +1,147 @@
+"""Minimal VCD (Value Change Dump) reader and writer.
+
+The paper's flow consumes testbench waveforms (from RTL simulation, ATPG or
+scan) for the primary and pseudo-primary inputs.  VCD is the common exchange
+format for those waveforms, so we provide a small scalar-signal VCD
+reader/writer that round-trips with the internal array format.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.waveform import Waveform
+
+
+class VcdError(ValueError):
+    """Raised when a VCD file cannot be parsed."""
+
+
+_IDENT_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Generate a compact VCD identifier code for signal ``index``."""
+    if index < 0:
+        raise ValueError("identifier index must be non-negative")
+    base = len(_IDENT_CHARS)
+    code = ""
+    index += 1
+    while index > 0:
+        index, remainder = divmod(index - 1, base)
+        code = _IDENT_CHARS[remainder] + code
+    return code
+
+
+def write_vcd(
+    waveforms: Mapping[str, Waveform],
+    timescale: str = "1ps",
+    scope: str = "top",
+    end_time: Optional[int] = None,
+) -> str:
+    """Render a set of waveforms as VCD text."""
+    names = sorted(waveforms)
+    codes = {name: _identifier(i) for i, name in enumerate(names)}
+    lines: List[str] = []
+    lines.append("$date repro GATSPI reproduction $end")
+    lines.append(f"$timescale {timescale} $end")
+    lines.append(f"$scope module {scope} $end")
+    for name in names:
+        lines.append(f"$var wire 1 {codes[name]} {name} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    events: Dict[int, List[Tuple[str, int]]] = {}
+    for name in names:
+        for time, value in waveforms[name].changes():
+            events.setdefault(int(time), []).append((codes[name], value))
+    lines.append("$dumpvars")
+    initial = events.pop(0, [])
+    seen = {code for code, _ in initial}
+    for name in names:
+        code = codes[name]
+        if code not in seen:
+            initial.append((code, waveforms[name].initial_value))
+    for code, value in sorted(initial):
+        lines.append(f"{value}{code}")
+    lines.append("$end")
+    for time in sorted(events):
+        lines.append(f"#{time}")
+        for code, value in events[time]:
+            lines.append(f"{value}{code}")
+    if end_time is not None:
+        lines.append(f"#{end_time}")
+    return "\n".join(lines) + "\n"
+
+
+def save_vcd(waveforms: Mapping[str, Waveform], path: str, **kwargs) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_vcd(waveforms, **kwargs))
+
+
+_VAR = re.compile(r"\$var\s+\w+\s+(\d+)\s+(\S+)\s+(.+?)\s*(?:\[\d+(?::\d+)?\])?\s+\$end")
+_TIME = re.compile(r"^#(\d+)")
+_SCALAR = re.compile(r"^([01xzXZ])(\S+)$")
+
+
+def parse_vcd(text: str) -> Dict[str, Waveform]:
+    """Parse scalar signals from VCD text into waveforms.
+
+    ``x``/``z`` values are mapped to 0 (GATSPI is a 2-value simulator, and
+    re-simulation for power rarely encounters unknowns, as the paper notes).
+    """
+    code_to_name: Dict[str, str] = {}
+    in_definitions = True
+    current_time = 0
+    changes: Dict[str, List[Tuple[int, int]]] = {}
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if in_definitions:
+            match = _VAR.search(line)
+            if match:
+                width, code, name = match.group(1), match.group(2), match.group(3)
+                if int(width) != 1:
+                    raise VcdError(
+                        f"only scalar (1-bit) signals are supported, {name!r} "
+                        f"has width {width}"
+                    )
+                code_to_name[code] = name.strip()
+                continue
+            if "$enddefinitions" in line:
+                in_definitions = False
+            continue
+        time_match = _TIME.match(line)
+        if time_match:
+            current_time = int(time_match.group(1))
+            continue
+        if line.startswith("$"):
+            continue
+        scalar = _SCALAR.match(line)
+        if scalar:
+            value_char, code = scalar.group(1), scalar.group(2)
+            if code not in code_to_name:
+                continue
+            value = 1 if value_char == "1" else 0
+            name = code_to_name[code]
+            changes.setdefault(name, []).append((current_time, value))
+
+    waveforms: Dict[str, Waveform] = {}
+    for name, change_list in changes.items():
+        if not change_list:
+            continue
+        if change_list[0][0] != 0:
+            change_list.insert(0, (0, 0))
+        waveforms[name] = Waveform.from_changes(change_list)
+    for code, name in code_to_name.items():
+        if name not in waveforms:
+            waveforms[name] = Waveform.constant(0)
+    return waveforms
+
+
+def read_vcd(path: str) -> Dict[str, Waveform]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_vcd(handle.read())

@@ -1,0 +1,169 @@
+"""Tests for the analytic GPU performance models and device specs."""
+
+import pytest
+
+from repro.core import SimConfig
+from repro.gpu import (
+    A100,
+    ApplicationModel,
+    BASELINE_CPU,
+    KernelPerfModel,
+    KernelWorkload,
+    MultiGpuModel,
+    T4,
+    V100,
+    compute_occupancy,
+    device_by_name,
+    device_comparison_table,
+    format_table,
+    openmp_kernel_seconds,
+    register_spill_penalty,
+)
+
+
+def make_workload(events=2_000_000, gates=50_000, levels=30, activity=0.1):
+    return KernelWorkload(
+        design="synthetic",
+        gate_count=gates,
+        levels=levels,
+        widest_level=max(1, gates // levels * 2),
+        level_sizes=[gates // levels] * levels,
+        total_input_events=int(events * 0.7),
+        total_output_transitions=int(events * 0.3),
+        cycles=10_000,
+        activity_factor=activity,
+    )
+
+
+class TestDevices:
+    def test_table1_values(self):
+        assert V100.sm_count == 80
+        assert A100.sm_count == 108
+        assert T4.memory_bandwidth_gbps == 320
+        assert A100.l2_cache_mb == 40
+
+    def test_lookup(self):
+        assert device_by_name("A100") is A100
+        with pytest.raises(KeyError):
+            device_by_name("H100")
+
+    def test_comparison_table_renders(self):
+        text = device_comparison_table()
+        assert "SMs" in text and "A100" in text
+
+
+class TestOccupancy:
+    def test_paper_configuration_is_register_limited(self):
+        # 64 registers/thread limits the kernel to ~50% occupancy (paper §5).
+        result = compute_occupancy(V100, threads_per_block=512, registers_per_thread=64)
+        assert result.register_limited
+        assert result.occupancy_percent == pytest.approx(50.0, abs=5.0)
+
+    def test_fewer_registers_raise_occupancy(self):
+        low = compute_occupancy(V100, 512, 64)
+        high = compute_occupancy(V100, 512, 32)
+        assert high.occupancy > low.occupancy
+        assert high.occupancy_percent > 90.0
+
+    def test_spill_penalty(self):
+        assert register_spill_penalty(64) == 1.0
+        assert register_spill_penalty(32) > 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(V100, 0, 64)
+
+
+class TestKernelModel:
+    def test_gpu_beats_cpu_baseline(self):
+        model = KernelPerfModel(V100)
+        workload = make_workload()
+        speedup = model.kernel_speedup(workload)
+        assert speedup > 20
+
+    def test_speedup_grows_with_activity(self):
+        model = KernelPerfModel(V100)
+        low = make_workload(events=50_000, activity=0.001)
+        high = make_workload(events=20_000_000, activity=0.5)
+        assert model.kernel_speedup(high) > model.kernel_speedup(low)
+
+    def test_device_ordering_matches_table8(self):
+        # A paper-scale workload (Design B sized), so launch overhead does not
+        # mask the memory-system differences between devices.
+        workload = make_workload(events=400_000_000, gates=2_000_000, levels=60,
+                                 activity=0.18)
+        t4 = KernelPerfModel(T4).predict_kernel_seconds(workload)
+        v100 = KernelPerfModel(V100).predict_kernel_seconds(workload)
+        a100 = KernelPerfModel(A100).predict_kernel_seconds(workload)
+        assert t4 > v100 > a100
+        # Table 8: T4 is ~4-7X slower than V100; A100 is 1.2-1.5X faster.
+        assert 2.0 < t4 / v100 < 12.0
+        assert 1.05 < v100 / a100 < 2.5
+
+    def test_register_ablation_hurts_latency(self):
+        workload = make_workload()
+        model = KernelPerfModel(V100)
+        natural = model.profile(workload, SimConfig(registers_per_thread=64))
+        spilled = model.profile(workload, SimConfig(registers_per_thread=32))
+        assert spilled.latency_ms > natural.latency_ms
+        assert spilled.occupancy_pct > natural.occupancy_pct
+
+    def test_profile_counters_are_sane(self):
+        profile = KernelPerfModel(V100).profile(make_workload())
+        assert 0 < profile.occupancy_pct <= 100
+        assert 0 < profile.l2_hit_rate_pct <= 100
+        assert profile.dram_throughput_gbps < V100.memory_bandwidth_gbps
+        assert profile.latency_ms > 0
+        assert len(profile.as_row()) == 11
+
+    def test_openmp_model_between_cpu_and_gpu(self):
+        workload = make_workload()
+        model = KernelPerfModel(V100)
+        single_cpu = model.baseline_kernel_seconds(workload)
+        openmp = openmp_kernel_seconds(workload, num_cpus=40)
+        gpu = model.predict_kernel_seconds(workload)
+        assert gpu < openmp < single_cpu
+
+    def test_multithread_baseline_faster_than_single(self):
+        workload = make_workload()
+        model = KernelPerfModel(V100)
+        assert (
+            model.baseline_multithread_seconds(workload, 16)
+            < model.baseline_application_seconds(workload)
+        )
+
+
+class TestApplicationModel:
+    def test_phases_positive_and_kernel_dominates_high_activity(self):
+        model = ApplicationModel(V100)
+        workload = make_workload(events=30_000_000, activity=0.2)
+        estimate = model.estimate(workload, source_events=1_000_000, net_count=100_000)
+        assert estimate.total > 0
+        assert estimate.kernel > estimate.host_to_device
+        profile = estimate.to_profile()
+        assert profile.total <= estimate.total
+
+    def test_application_speedup_below_kernel_speedup(self):
+        """Amdahl: application speedup is bounded by the non-kernel phases."""
+        workload = make_workload(events=5_000_000)
+        kernel_speedup = KernelPerfModel(V100).kernel_speedup(workload)
+        app_speedup = ApplicationModel(V100).application_speedup(
+            workload, source_events=2_000_000, net_count=500_000
+        )
+        assert app_speedup < kernel_speedup
+
+
+class TestMultiGpuModel:
+    def test_scaling_curve_shape(self):
+        model = MultiGpuModel(V100)
+        workload = make_workload(events=50_000_000)
+        points = model.scaling_curve(workload, [1, 2, 4, 8])
+        times = [p.kernel_seconds for p in points]
+        assert times[0] > times[1] > times[2] > times[3]
+        # Sub-linear: 8 GPUs give less than 8X.
+        assert times[0] / times[3] < 8.0
+        assert points[3].speedup_vs_cpu > points[0].speedup_vs_cpu
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        assert "a" in text and "3" in text

@@ -1,0 +1,83 @@
+"""Tests for multi-device distribution and the partitioned CPU baseline."""
+
+import pytest
+
+from repro.core import SimConfig, simulate_multi_gpu
+from repro.reference import PartitionedCpuSimulator
+from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
+
+from conftest import build_random_netlist, build_random_stimulus
+
+CYCLES = 8
+CONFIG = SimConfig(clock_period=500, cycle_parallelism=4)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    netlist = build_random_netlist(num_gates=40, seed=31)
+    annotation = annotation_from_design_delays(
+        netlist, SyntheticDelayModel(seed=31).build(netlist)
+    )
+    stimulus = build_random_stimulus(netlist, CYCLES * 500, seed=310)
+    return netlist, annotation, stimulus
+
+
+class TestMultiGpu:
+    def test_toggle_counts_stable_across_device_counts(self, setup):
+        """Distributing the testbench across devices preserves total activity.
+
+        Each device slice is simulated independently, so events propagating
+        across a slice boundary may be attributed to either side; the total
+        toggle count must stay within a small boundary tolerance.
+        """
+        netlist, annotation, stimulus = setup
+        single = simulate_multi_gpu(
+            netlist, stimulus, CYCLES, num_devices=1,
+            annotation=annotation, config=CONFIG,
+        )
+        quad = simulate_multi_gpu(
+            netlist, stimulus, CYCLES, num_devices=4,
+            annotation=annotation, config=CONFIG,
+        )
+        assert quad.num_devices == 4
+        assert len(quad.shares) == 4
+        total_single = single.total_toggles()
+        total_quad = quad.total_toggles()
+        assert abs(total_single - total_quad) <= max(10, 0.02 * total_single)
+
+    def test_parallel_runtime_model(self, setup):
+        netlist, annotation, stimulus = setup
+        result = simulate_multi_gpu(
+            netlist, stimulus, CYCLES, num_devices=4,
+            annotation=annotation, config=CONFIG, launch_overhead=0.01,
+        )
+        assert result.parallel_kernel_runtime < result.serial_kernel_runtime + 0.01
+        assert result.speedup_vs_single_device > 1.0
+        assert result.load_imbalance() >= 1.0
+
+    def test_invalid_device_count(self, setup):
+        netlist, annotation, stimulus = setup
+        with pytest.raises(ValueError):
+            simulate_multi_gpu(netlist, stimulus, CYCLES, num_devices=0,
+                               annotation=annotation, config=CONFIG)
+
+
+class TestPartitionedCpu:
+    def test_report_structure_and_speedup(self, setup):
+        netlist, annotation, stimulus = setup
+        simulator = PartitionedCpuSimulator(
+            netlist, annotation=annotation, config=CONFIG, num_workers=8,
+            barrier_overhead=0.0,
+        )
+        result, report = simulator.run(stimulus, cycles=CYCLES)
+        assert result.total_toggles() > 0
+        assert report.num_workers == 8
+        assert len(report.per_level_worker_times) > 0
+        assert all(len(times) == 8 for times in report.per_level_worker_times)
+        assert report.parallel_kernel_time <= report.serial_kernel_time * 1.5
+        assert report.load_imbalance() >= 1.0
+
+    def test_worker_count_validated(self, setup):
+        netlist, annotation, _ = setup
+        with pytest.raises(ValueError):
+            PartitionedCpuSimulator(netlist, annotation=annotation, num_workers=0)

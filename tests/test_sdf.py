@@ -1,0 +1,181 @@
+"""Tests for the SDF parser, writer, and netlist annotation."""
+
+import pytest
+
+from repro.core.delaytable import FALL, RISE
+from repro.netlist import NetlistBuilder
+from repro.sdf import (
+    AnnotationError,
+    SdfError,
+    SyntheticDelayModel,
+    UnitDelayModel,
+    annotation_from_design_delays,
+    annotation_from_sdf,
+    default_annotation,
+    parse_condition,
+    parse_sdf,
+    write_sdf,
+)
+
+PAPER_STYLE_SDF = """
+(DELAYFILE
+  (SDFVERSION "3.0")
+  (DESIGN "mini")
+  (TIMESCALE 1ps)
+  (CELL
+    (CELLTYPE "mini")
+    (INSTANCE )
+    (DELAY
+      (ABSOLUTE
+        (INTERCONNECT u_nand/Y u_aoi/B (2) (3))
+      )
+    )
+  )
+  (CELL
+    (CELLTYPE "AOI21")
+    (INSTANCE u_aoi)
+    (DELAY
+      (ABSOLUTE
+        (IOPATH A1 Y (10) (11))
+        (IOPATH A2 Y (10) (11))
+        (IOPATH (posedge B) Y () (6))
+        (IOPATH (negedge B) Y (8) ())
+        (COND A2===1'b1&&A1===1'b0 (IOPATH (posedge B) Y () (5)))
+        (COND A2===1'b1&&A1===1'b0 (IOPATH (negedge B) Y (7) ()))
+      )
+    )
+  )
+)
+"""
+
+
+def build_mini_netlist():
+    builder = NetlistBuilder("mini")
+    a = builder.input("a")
+    b = builder.input("b")
+    c = builder.input("c")
+    n1 = builder.gate("NAND2", [a, b], name="u_nand")
+    builder.output("y")
+    builder.gate("AOI21", [a, c, n1], output_net="y", name="u_aoi")
+    return builder.build()
+
+
+class TestParser:
+    def test_parse_paper_style_file(self):
+        sdf = parse_sdf(PAPER_STYLE_SDF)
+        assert sdf.design == "mini"
+        assert len(sdf.cells) == 1
+        cell = sdf.cells[0]
+        assert cell.instance == "u_aoi"
+        assert cell.cell_type == "AOI21"
+        assert len(cell.iopaths) == 6
+        assert sdf.conditional_iopath_count() == 2
+        assert len(sdf.all_interconnects()) == 1
+
+    def test_conditional_edges_and_empty_fields(self):
+        sdf = parse_sdf(PAPER_STYLE_SDF)
+        conditional = [p for p in sdf.cells[0].iopaths if p.is_conditional]
+        posedge = next(p for p in conditional if p.input_edge == "posedge")
+        assert posedge.rise is None and posedge.fall == 5
+        negedge = next(p for p in conditional if p.input_edge == "negedge")
+        assert negedge.rise == 7 and negedge.fall is None
+
+    def test_parse_condition_expression(self):
+        assert parse_condition("A2===1'b1&&A1===1'b0") == {"A2": 1, "A1": 0}
+        assert parse_condition("") == {}
+        with pytest.raises(SdfError):
+            parse_condition("A||B")
+
+    def test_delay_triples_use_typical(self):
+        sdf = parse_sdf(
+            '(DELAYFILE (CELL (CELLTYPE "INV") (INSTANCE u0)'
+            " (DELAY (ABSOLUTE (IOPATH A Y (1:2:3) (4:5:6))))))"
+        )
+        path = sdf.cells[0].iopaths[0]
+        assert path.rise == 2 and path.fall == 5
+
+    def test_single_value_applies_to_both_edges(self):
+        sdf = parse_sdf(
+            '(DELAYFILE (CELL (CELLTYPE "INV") (INSTANCE u0)'
+            " (DELAY (ABSOLUTE (IOPATH A Y (9))))))"
+        )
+        path = sdf.cells[0].iopaths[0]
+        assert path.rise == 9 and path.fall == 9
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(SdfError):
+            parse_sdf("(DELAYFILE (CELL")
+
+    def test_requires_delayfile(self):
+        with pytest.raises(SdfError):
+            parse_sdf("(NOTSDF)")
+
+
+class TestAnnotation:
+    def test_annotation_from_sdf(self):
+        netlist = build_mini_netlist()
+        sdf = parse_sdf(PAPER_STYLE_SDF)
+        annotation = annotation_from_sdf(netlist, sdf)
+        table = annotation.table_for("u_aoi")
+        # Fig. 4 layout: COND A2=1, A1=0 selects column A1*4 + A2*2 + B*w.
+        matching_column = 2
+        assert table.lookup("B", RISE, FALL, matching_column) == 5
+        assert table.lookup("B", RISE, FALL, 4 + 2) == 6
+        assert table.lookup("B", FALL, RISE, matching_column) == 7
+        wire = annotation.wire_delay("u_aoi", "B")
+        assert (wire.rise, wire.fall) == (2, 3)
+        # The NAND has no SDF entry and falls back to intrinsic delays.
+        nand_table = annotation.table_for("u_nand")
+        assert nand_table.max_finite_delay() > 0
+
+    def test_strict_mode_rejects_unknown_instance(self):
+        netlist = build_mini_netlist()
+        sdf = parse_sdf(
+            '(DELAYFILE (CELL (CELLTYPE "INV") (INSTANCE nope)'
+            " (DELAY (ABSOLUTE (IOPATH A Y (1))))))"
+        )
+        with pytest.raises(AnnotationError):
+            annotation_from_sdf(netlist, sdf, strict=True)
+        annotation = annotation_from_sdf(netlist, sdf, strict=False)
+        assert "nope" not in annotation.gate_tables
+
+    def test_ablation_variants(self):
+        netlist = build_mini_netlist()
+        delays = SyntheticDelayModel(seed=3).build(netlist)
+        annotation = annotation_from_design_delays(netlist, delays)
+        no_net = annotation.without_net_delays()
+        assert not no_net.interconnect
+        averaged = annotation.with_averaged_sdf()
+        assert set(averaged.gate_tables) == set(annotation.gate_tables)
+
+    def test_default_annotation_covers_all_gates(self):
+        netlist = build_mini_netlist()
+        annotation = default_annotation(netlist)
+        for inst in netlist.combinational_instances():
+            if inst.cell.num_inputs:
+                assert annotation.table_for(inst.name).max_finite_delay() > 0
+
+
+class TestWriterRoundTrip:
+    def test_write_and_reparse(self):
+        netlist = build_mini_netlist()
+        delays = SyntheticDelayModel(seed=11, conditional_fraction=1.0).build(netlist)
+        text = write_sdf(netlist, delays)
+        sdf = parse_sdf(text)
+        annotation_direct = annotation_from_design_delays(netlist, delays)
+        annotation_via_sdf = annotation_from_sdf(netlist, sdf)
+        for name in annotation_direct.gate_tables:
+            direct = annotation_direct.table_for(name)
+            via_sdf = annotation_via_sdf.table_for(name)
+            for pin in direct.pins:
+                assert (direct.table_for(pin) == via_sdf.table_for(pin)).all()
+        assert annotation_direct.interconnect.keys() >= {
+            key for key, wire in annotation_via_sdf.interconnect.items()
+        }
+
+    def test_unit_delay_model(self):
+        netlist = build_mini_netlist()
+        delays = UnitDelayModel(delay=5).build(netlist)
+        annotation = annotation_from_design_delays(netlist, delays)
+        table = annotation.table_for("u_nand")
+        assert table.lookup("A", RISE, RISE, 0) == 5

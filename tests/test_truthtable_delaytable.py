@@ -1,0 +1,167 @@
+"""Tests for the Fig. 4 truth-table and conditional delay-table lookups."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import DEFAULT_LIBRARY
+from repro.core.delaytable import (
+    FALL,
+    RISE,
+    DelayArc,
+    GateDelayTable,
+    InterconnectDelay,
+    NO_DELAY,
+)
+from repro.core.truthtable import (
+    TruthTable,
+    index_for_values,
+    pin_weights,
+    values_for_index,
+)
+
+
+class TestPinWeights:
+    def test_two_pin_weights_match_paper(self):
+        # Paper Fig. 4: pin A has weight 2^1, pin B has weight 2^0.
+        assert pin_weights(2) == (2, 1)
+
+    def test_index_round_trip(self):
+        for num_pins in range(1, 6):
+            for index in range(2**num_pins):
+                values = values_for_index(index, num_pins)
+                assert index_for_values(values) == index
+
+    def test_index_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            index_for_values((0, 2))
+
+
+class TestTruthTable:
+    def test_and2_table_matches_paper_figure(self):
+        # Fig. 4 lists the AND-like table Y=[1,1,1,0] for a NAND; check both.
+        nand = DEFAULT_LIBRARY.truth_table("NAND2")
+        assert list(nand.table) == [1, 1, 1, 0]
+        and2 = DEFAULT_LIBRARY.truth_table("AND2")
+        assert list(and2.table) == [0, 0, 0, 1]
+
+    def test_every_library_cell_matches_its_function(self):
+        for cell in DEFAULT_LIBRARY.combinational_cells():
+            table = DEFAULT_LIBRARY.truth_table(cell.name)
+            assert table.is_equivalent_to(cell.function)
+
+    def test_evaluate_checks_arity(self):
+        table = DEFAULT_LIBRARY.truth_table("AOI21")
+        with pytest.raises(ValueError):
+            table.evaluate((1, 0))
+
+    def test_from_entries_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_entries([0, 1, 1])
+
+    def test_zero_input_cell(self):
+        table = DEFAULT_LIBRARY.truth_table("TIEHI")
+        assert table.num_pins == 0
+        assert table.lookup(0) == 1
+
+
+class TestGateDelayTable:
+    def test_uniform_table(self):
+        table = GateDelayTable.uniform(("A", "B"), rise=7, fall=9)
+        for pin in ("A", "B"):
+            for edge in (RISE, FALL):
+                for column in range(4):
+                    assert table.lookup(pin, edge, RISE, column) == 7
+                    assert table.lookup(pin, edge, FALL, column) == 9
+
+    def test_conditional_arc_overrides_matching_columns_only(self):
+        # Reproduce the paper's AOI21 example: pin B switching, COND on A1/A2.
+        cell = DEFAULT_LIBRARY.get("AOI21")
+        table = GateDelayTable(cell.inputs)
+        table.add_arc(DelayArc(pin="B", rise=8, fall=6))
+        table.add_arc(
+            DelayArc(pin="B", rise=None, fall=5, input_edge=RISE,
+                     condition={"A2": 1, "A1": 0})
+        )
+        # Column where A1=0, A2=1, B=anything: weights A1=4, A2=2, B=1.
+        matching = 2
+        not_matching = 4 + 2
+        assert table.lookup("B", RISE, FALL, matching) == 5
+        assert table.lookup("B", RISE, FALL, not_matching) == 6
+        assert table.lookup("B", FALL, FALL, matching) == 6  # negedge unaffected
+        assert table.lookup("B", RISE, RISE, matching) == 8
+
+    def test_unknown_pin_rejected(self):
+        table = GateDelayTable(("A",))
+        with pytest.raises(KeyError):
+            table.add_arc(DelayArc(pin="Z", rise=1, fall=1))
+        with pytest.raises(KeyError):
+            table._columns_matching({"Q": 1})
+
+    def test_min_delay_for_msi(self):
+        table = GateDelayTable(("A", "B"))
+        table.add_arc(DelayArc(pin="A", rise=10, fall=10))
+        table.add_arc(DelayArc(pin="B", rise=4, fall=4))
+        assert table.min_delay([0, 1], [RISE, RISE], RISE, 3) == 4
+
+    def test_averaged_collapses_conditions(self):
+        table = GateDelayTable(("A", "B"))
+        table.add_arc(DelayArc(pin="A", rise=10, fall=10))
+        table.add_arc(DelayArc(pin="A", rise=6, fall=6, condition={"B": 1}))
+        averaged = table.averaged()
+        values = {averaged.lookup("A", RISE, RISE, c) for c in range(4)}
+        assert len(values) == 1
+        assert 6 < values.pop() < 10
+
+    def test_undefined_arc_is_no_delay(self):
+        table = GateDelayTable(("A",))
+        table.add_arc(DelayArc(pin="A", rise=5, fall=None, input_edge=RISE))
+        assert table.lookup("A", RISE, RISE, 0) == 5
+        assert table.lookup("A", FALL, RISE, 0) == NO_DELAY
+
+    def test_max_finite_delay(self):
+        table = GateDelayTable.uniform(("A", "B"), rise=3, fall=12)
+        assert table.max_finite_delay() == 12
+
+    def test_requires_at_least_one_pin(self):
+        with pytest.raises(ValueError):
+            GateDelayTable(())
+
+
+class TestInterconnectDelay:
+    def test_edge_selection(self):
+        wire = InterconnectDelay(rise=3, fall=1)
+        assert wire.for_edge(1) == 3
+        assert wire.for_edge(0) == 1
+
+    def test_zero(self):
+        assert InterconnectDelay().is_zero()
+        assert not InterconnectDelay(rise=1).is_zero()
+
+
+@given(
+    num_pins=st.integers(min_value=1, max_value=4),
+    rise=st.integers(min_value=1, max_value=50),
+    fall=st.integers(min_value=1, max_value=50),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_conditional_override_property(num_pins, rise, fall, data):
+    """A conditional arc only changes columns that satisfy its condition."""
+    pins = tuple(f"P{i}" for i in range(num_pins))
+    table = GateDelayTable(pins)
+    table.add_arc(DelayArc(pin=pins[0], rise=rise, fall=fall))
+    condition_pins = pins[1:]
+    condition = {
+        pin: data.draw(st.integers(min_value=0, max_value=1)) for pin in condition_pins
+    }
+    table.add_arc(DelayArc(pin=pins[0], rise=rise + 5, fall=fall + 5,
+                           condition=condition))
+    weights = pin_weights(num_pins)
+    for column in range(2**num_pins):
+        values = values_for_index(column, num_pins)
+        satisfied = all(
+            values[pins.index(pin)] == wanted for pin, wanted in condition.items()
+        )
+        expected = rise + 5 if satisfied else rise
+        assert table.lookup(pins[0], RISE, RISE, column) == expected

@@ -1,0 +1,159 @@
+"""Tests for the Fig. 3 array waveform format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.waveform import (
+    EOW,
+    INITIAL_ONE_MARKER,
+    Waveform,
+    WaveformError,
+    concatenate_windows,
+)
+
+
+class TestConstruction:
+    def test_constant_zero(self):
+        wave = Waveform.constant(0)
+        assert wave.initial_value == 0
+        assert wave.toggle_count() == 0
+        assert wave.to_list() == [0, EOW]
+
+    def test_constant_one_uses_marker(self):
+        wave = Waveform.constant(1)
+        assert wave.initial_value == 1
+        assert wave.has_initial_one_marker
+        assert wave.to_list() == [INITIAL_ONE_MARKER, 0, EOW]
+
+    def test_paper_example_initial_one(self):
+        wave = Waveform.from_array([-1, 0, 34, 59, 123, EOW])
+        assert wave.initial_value == 1
+        assert wave.toggle_count() == 3
+        assert wave.value_at(40) == 0
+        assert wave.value_at(60) == 1
+
+    def test_paper_example_initial_zero(self):
+        wave = Waveform.from_array([0, 4, 78, 367, EOW])
+        assert wave.initial_value == 0
+        assert wave.value_at(5) == 1
+        assert wave.value_at(100) == 0
+        assert wave.final_value == 1
+
+    def test_from_changes_collapses_duplicates(self):
+        wave = Waveform.from_changes([(0, 0), (10, 1), (20, 1), (30, 0)])
+        assert wave.toggle_count() == 2
+
+    def test_from_changes_rejects_non_monotonic(self):
+        with pytest.raises(WaveformError):
+            Waveform.from_changes([(0, 0), (10, 1), (5, 0)])
+
+    def test_from_initial_and_toggles(self):
+        wave = Waveform.from_initial_and_toggles(1, [5, 9, 20])
+        assert wave.initial_value == 1
+        assert wave.value_at(6) == 0
+        assert wave.value_at(25) == 0
+        assert wave.toggle_count() == 3
+
+    def test_requires_eow(self):
+        with pytest.raises(WaveformError):
+            Waveform.from_array([0, 10])
+
+    def test_rejects_decreasing_timestamps(self):
+        with pytest.raises(WaveformError):
+            Waveform.from_array([0, 20, 10, EOW])
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(WaveformError):
+            Waveform.constant(2)
+
+
+class TestQueries:
+    def test_value_before_start(self):
+        wave = Waveform.from_initial_and_toggles(1, [100], start_time=50)
+        assert wave.value_at(0) == 1
+
+    def test_toggles_in_window(self):
+        wave = Waveform.from_initial_and_toggles(0, [10, 20, 30, 40])
+        assert wave.toggles_in(0, 100) == 4
+        assert wave.toggles_in(10, 30) == 2
+        assert wave.toggles_in(40, 100) == 0
+
+    def test_duration_at_value(self):
+        wave = Waveform.from_initial_and_toggles(0, [10, 30])
+        # 0 for [0,10), 1 for [10,30), 0 for [30,100]
+        assert wave.duration_at(1, 0, 100) == 20
+        assert wave.duration_at(0, 0, 100) == 80
+
+    def test_equality_and_hash(self):
+        first = Waveform.from_initial_and_toggles(0, [5, 9])
+        second = Waveform.from_initial_and_toggles(0, [5, 9])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != Waveform.from_initial_and_toggles(0, [5, 10])
+
+
+class TestTransformations:
+    def test_shift(self):
+        wave = Waveform.from_initial_and_toggles(0, [10, 20]).shifted(5)
+        assert [t for t, _ in wave.changes()] == [5, 15, 25]
+
+    def test_inverted(self):
+        wave = Waveform.from_initial_and_toggles(0, [10])
+        inv = wave.inverted()
+        assert inv.initial_value == 1
+        assert inv.value_at(15) == 0
+
+    def test_window_and_rebase(self):
+        wave = Waveform.from_initial_and_toggles(0, [10, 30, 50, 70])
+        window = wave.window(25, 60)
+        assert window.initial_value == 1  # value at t=25
+        assert window.toggle_count() == 2  # toggles at 30, 50
+        assert [t for t, _ in window.changes()] == [0, 5, 25]
+
+    def test_window_rejects_empty_range(self):
+        wave = Waveform.constant(0)
+        with pytest.raises(WaveformError):
+            wave.window(10, 10)
+
+    def test_concatenate_windows_inverse_of_window(self):
+        wave = Waveform.from_initial_and_toggles(0, [10, 30, 55, 70, 95])
+        length = 40
+        windows = [wave.window(i * length, (i + 1) * length) for i in range(3)]
+        stitched = concatenate_windows(windows, length)
+        for time in range(0, 115, 5):
+            assert stitched.value_at(time) == wave.value_at(time)
+
+
+@given(
+    initial=st.integers(min_value=0, max_value=1),
+    gaps=st.lists(st.integers(min_value=1, max_value=50), min_size=0, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_changes_property(initial, gaps):
+    """from_changes(to_change_list()) is the identity."""
+    times = []
+    current = 0
+    for gap in gaps:
+        current += gap
+        times.append(current)
+    wave = Waveform.from_initial_and_toggles(initial, times)
+    rebuilt = Waveform.from_changes(wave.to_change_list())
+    assert rebuilt == wave
+    assert wave.toggle_count() == len(times)
+
+
+@given(
+    gaps=st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=25),
+    split=st.integers(min_value=1, max_value=500),
+)
+@settings(max_examples=60, deadline=None)
+def test_window_preserves_values_property(gaps, split):
+    """Slicing then querying matches querying the original waveform."""
+    times = np.cumsum(gaps).tolist()
+    wave = Waveform.from_initial_and_toggles(0, times)
+    end = times[-1] + 10
+    split = min(split, end - 1)
+    window = wave.window(split, end, rebase=False)
+    for probe in range(split, end, 7):
+        assert window.value_at(probe) == wave.value_at(probe)

@@ -1,0 +1,150 @@
+"""Tests for VCD, SAIF, and stimulus generation."""
+
+import pytest
+
+from repro.core import GatspiEngine, SimConfig, Waveform
+from repro.netlist import NetlistBuilder
+from repro.sdf import UnitDelayModel, annotation_from_design_delays
+from repro.waveforms import (
+    NetActivity,
+    TestbenchSpec,
+    activity_from_result,
+    clock_waveform,
+    functional_stimulus,
+    measured_activity_factor,
+    parse_saif,
+    parse_vcd,
+    random_stimulus,
+    saif_files_match,
+    saif_from_result,
+    scan_stimulus,
+    stimulus_for_netlist,
+    write_saif,
+    write_vcd,
+)
+
+
+class TestVcd:
+    def test_round_trip(self):
+        waves = {
+            "a": Waveform.from_initial_and_toggles(0, [10, 25, 60]),
+            "b": Waveform.from_initial_and_toggles(1, [40]),
+            "quiet": Waveform.constant(0),
+        }
+        text = write_vcd(waves, end_time=100)
+        parsed = parse_vcd(text)
+        assert set(parsed) == set(waves)
+        for name, wave in waves.items():
+            assert parsed[name].toggle_count() == wave.toggle_count()
+            for probe in range(0, 100, 5):
+                assert parsed[name].value_at(probe) == wave.value_at(probe)
+
+    def test_x_values_map_to_zero(self):
+        text = (
+            "$timescale 1ps $end\n$scope module top $end\n"
+            "$var wire 1 ! sig $end\n$upscope $end\n$enddefinitions $end\n"
+            "$dumpvars\nx!\n$end\n#10\n1!\n"
+        )
+        parsed = parse_vcd(text)
+        assert parsed["sig"].value_at(0) == 0
+        assert parsed["sig"].value_at(11) == 1
+
+    def test_vector_signals_rejected(self):
+        text = (
+            "$var wire 8 ! bus [7:0] $end\n$enddefinitions $end\n#0\n"
+        )
+        with pytest.raises(Exception):
+            parse_vcd(text)
+
+
+class TestSaif:
+    def build_result(self):
+        builder = NetlistBuilder("saif_test")
+        a = builder.input("a")
+        builder.output("y")
+        builder.gate("INV", [a], output_net="y", name="u0")
+        netlist = builder.build()
+        annotation = annotation_from_design_delays(
+            netlist, UnitDelayModel(delay=5).build(netlist)
+        )
+        stimulus = {"a": Waveform.from_initial_and_toggles(0, [100, 300, 500])}
+        engine = GatspiEngine(netlist, annotation=annotation,
+                              config=SimConfig(clock_period=100))
+        return engine.simulate(stimulus, cycles=10)
+
+    def test_activity_from_result(self):
+        result = self.build_result()
+        activities = activity_from_result(result)
+        assert activities["a"].tc == 3
+        assert activities["y"].tc == 3
+        assert activities["a"].t0 + activities["a"].t1 == result.duration
+
+    def test_saif_round_trip_and_match(self):
+        result = self.build_result()
+        text = saif_from_result(result, design="saif_test")
+        parsed = parse_saif(text)
+        assert parsed.duration == result.duration
+        assert parsed.toggle_counts()["y"] == result.toggle_counts["y"]
+        assert saif_files_match(parsed, parsed)
+
+    def test_saif_mismatch_detected(self):
+        first = parse_saif(write_saif({"n": NetActivity(10, 10, 4)}, duration=20))
+        second = parse_saif(write_saif({"n": NetActivity(10, 10, 5)}, duration=20))
+        assert not saif_files_match(first, second)
+
+    def test_static_probability(self):
+        activity = NetActivity(t0=25, t1=75, tc=10)
+        assert activity.static_probability == pytest.approx(0.75)
+        assert activity.toggle_rate(100) == pytest.approx(0.1)
+
+
+class TestStimulus:
+    def test_clock_waveform_period(self):
+        clock = clock_waveform(cycles=4, period=100)
+        assert clock.toggle_count() == 7  # toggles every half period
+        assert clock.value_at(60) == 1
+        assert clock.value_at(120) == 0
+
+    def test_random_stimulus_activity(self):
+        nets = [f"n{i}" for i in range(20)]
+        stimulus = random_stimulus(nets, cycles=200, toggle_probability=1.0, seed=3)
+        factor = measured_activity_factor(stimulus, 200)
+        assert factor == pytest.approx(1.0, abs=0.02)
+
+    def test_scan_stimulus_is_high_activity(self):
+        nets = [f"n{i}" for i in range(10)]
+        stimulus = scan_stimulus(nets, cycles=100, seed=3)
+        assert measured_activity_factor(stimulus, 100) > 0.8
+
+    def test_functional_stimulus_hits_target_activity(self):
+        nets = [f"n{i}" for i in range(30)]
+        stimulus = functional_stimulus(nets, cycles=400, activity_factor=0.05, seed=9)
+        factor = measured_activity_factor(stimulus, 400)
+        assert 0.01 < factor < 0.15
+
+    def test_stimulus_for_netlist_covers_sources_and_clocks(self):
+        builder = NetlistBuilder("stim")
+        d = builder.input("d")
+        clk = builder.input("clk")
+        q = builder.flop(d, clk)
+        builder.output("y")
+        builder.gate("INV", [q], output_net="y")
+        netlist = builder.build()
+        spec = TestbenchSpec(name="t", cycles=50, activity_factor=0.2, seed=4)
+        stimulus = stimulus_for_netlist(netlist, spec, kind="functional")
+        assert set(stimulus) >= set(netlist.source_nets())
+        # The clock runs every cycle.
+        assert stimulus["clk"].toggle_count() >= 50
+
+    def test_unknown_kind_rejected(self):
+        builder = NetlistBuilder("stim2")
+        builder.input("a")
+        builder.output("y")
+        builder.gate("BUF", ["a"], output_net="y")
+        spec = TestbenchSpec(name="t", cycles=10)
+        with pytest.raises(ValueError):
+            stimulus_for_netlist(builder.build(), spec, kind="bogus")
+
+    def test_toggle_probability_validated(self):
+        with pytest.raises(ValueError):
+            random_stimulus(["a"], cycles=10, toggle_probability=1.5)
