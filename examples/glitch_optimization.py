@@ -23,9 +23,13 @@ def main() -> None:
     spec = TestbenchSpec(name="power_window", cycles=40, activity_factor=0.6, seed=7)
     stimulus = stimulus_for_netlist(netlist, spec, kind="random")
 
+    # All three simulation roles are named repro.api backends; swapping any
+    # engine in the flow is a string change.
     flow = GlitchOptimizationFlow(
         netlist, annotation=annotation,
         config=SimConfig(clock_period=1000, cycle_parallelism=4),
+        backend="gatspi", functional_backend="zero-delay",
+        baseline_backend="event",
     )
     outcome = flow.run(stimulus, cycles=spec.cycles, max_gates_to_fix=25,
                        skew_threshold=4.0)

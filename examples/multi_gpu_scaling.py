@@ -8,10 +8,10 @@ paper-scale scaling curve `t = t1/n + ovr`.
 Run with:  python examples/multi_gpu_scaling.py
 """
 
+from repro.api import get_backend
 from repro.bench.designs import industry_like
 from repro.core import SimConfig, simulate_multi_gpu
 from repro.gpu import KernelWorkload, MultiGpuModel, V100
-from repro.core.engine import GatspiEngine
 from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
 from repro.waveforms import TestbenchSpec, stimulus_for_netlist
 
@@ -31,7 +31,7 @@ def main() -> None:
     for devices in (1, 2, 4, 8):
         result = simulate_multi_gpu(
             netlist, stimulus, spec.cycles, num_devices=devices,
-            annotation=annotation, config=config,
+            annotation=annotation, config=config, backend="gatspi",
         )
         parallel = result.parallel_kernel_runtime
         if baseline is None:
@@ -41,8 +41,9 @@ def main() -> None:
               f"imbalance {result.load_imbalance():.2f}")
 
     # Modelled paper-scale curve for the same workload shape.
-    engine = GatspiEngine(netlist, annotation=annotation, config=config)
-    result = engine.simulate(stimulus, cycles=spec.cycles)
+    session = get_backend("gatspi").prepare(netlist, annotation=annotation,
+                                            config=config)
+    result = session.run(stimulus, cycles=spec.cycles)
     workload = KernelWorkload.from_result(netlist, result)
     print("\nmodelled V100 scaling (t = t1/n + overhead):")
     for point in MultiGpuModel(V100).scaling_curve(workload, [1, 2, 4, 8]):

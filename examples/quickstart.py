@@ -8,9 +8,9 @@ file a power tool would consume.
 Run with:  python examples/quickstart.py
 """
 
+from repro.api import get_backend
 from repro.bench.designs import ripple_carry_adder
-from repro.core import GatspiEngine, SimConfig
-from repro.reference import EventDrivenSimulator
+from repro.core import SimConfig
 from repro.sdf import SyntheticDelayModel, annotation_from_design_delays, write_sdf
 from repro.waveforms import TestbenchSpec, saif_from_result, stimulus_for_netlist
 
@@ -32,20 +32,21 @@ def main() -> None:
     spec = TestbenchSpec(name="random", cycles=100, activity_factor=1.0, seed=1)
     stimulus = stimulus_for_netlist(netlist, spec, kind="random")
 
-    # 4. GATSPI re-simulation.
+    # 4. GATSPI re-simulation through the unified backend registry.
     config = SimConfig(cycle_parallelism=8, clock_period=spec.clock_period)
-    engine = GatspiEngine(netlist, annotation=annotation, config=config)
-    result = engine.simulate(stimulus, cycles=spec.cycles)
+    session = get_backend("gatspi").prepare(netlist, annotation=annotation,
+                                            config=config)
+    result = session.run(stimulus, cycles=spec.cycles)
     print(f"activity factor: {result.activity_factor():.3f}, "
           f"total toggles: {result.total_toggles()}")
     print(f"kernel runtime: {result.kernel_runtime * 1e3:.1f} ms, "
           f"application runtime: {result.application_runtime * 1e3:.1f} ms")
 
     # 5. Accuracy check against the event-driven reference (the paper's
-    #    commercial-simulator comparison).
-    reference = EventDrivenSimulator(netlist, annotation=annotation,
-                                     config=config).simulate(stimulus,
-                                                             cycles=spec.cycles)
+    #    commercial-simulator comparison) — same call, different backend.
+    reference = get_backend("event").prepare(
+        netlist, annotation=annotation, config=config
+    ).run(stimulus, cycles=spec.cycles)
     assert result.matches_toggle_counts(reference), "SAIF mismatch!"
     print("SAIF toggle counts match the event-driven reference exactly")
 

@@ -10,21 +10,24 @@ GPU acceleration.
 Run with:  python examples/scan_vs_functional_power.py
 """
 
+from repro.api import get_backend
 from repro.bench.designs import nvdla_like_mac_block
-from repro.core import GatspiEngine, SimConfig
+from repro.core import SimConfig
 from repro.gpu import ApplicationModel, KernelPerfModel, KernelWorkload, V100
 from repro.power import PowerModel, summarize_activity
 from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
 from repro.waveforms import TestbenchSpec, stimulus_for_netlist
 
 
-def run_window(netlist, annotation, kind, cycles, activity, seed):
+def run_window(netlist, annotation, kind, cycles, activity, seed,
+               backend="gatspi"):
     spec = TestbenchSpec(name=kind, cycles=cycles, activity_factor=activity,
                          seed=seed)
     stimulus = stimulus_for_netlist(netlist, spec, kind=kind)
     config = SimConfig(cycle_parallelism=8, clock_period=spec.clock_period)
-    engine = GatspiEngine(netlist, annotation=annotation, config=config)
-    result = engine.simulate(stimulus, cycles=cycles)
+    session = get_backend(backend).prepare(netlist, annotation=annotation,
+                                           config=config)
+    result = session.run(stimulus, cycles=cycles)
     return spec, result
 
 

@@ -8,6 +8,20 @@ two-pass engine with a device-memory pool model, SDF and structural-Verilog
 front ends, SAIF/VCD back ends, an event-driven reference simulator standing
 in for the commercial baseline, analytic GPU performance models, and the
 glitch-power optimization flow.
+
+All simulation engines are served through one unified entry point, the
+:mod:`repro.api` backend registry::
+
+    from repro.api import get_backend
+
+    session = get_backend("gatspi").prepare(netlist, annotation, config)
+    result = session.run(stimulus, cycles=100)
+
+Backends ``"gatspi"``, ``"event"``, ``"zero-delay"``, and ``"threaded-cpu"``
+ship built in; the benchmark harness (:mod:`repro.bench`), the
+glitch-optimization flow (:mod:`repro.opt`), and the multi-device distributor
+(:mod:`repro.core.multi_gpu`) all accept backend names, never concrete
+classes.
 """
 
 __version__ = "0.1.0"
@@ -17,6 +31,7 @@ from .core import (
     GatspiEngine,
     SimConfig,
     SimulationResult,
+    StimulusError,
     Waveform,
     simulate,
     simulate_multi_gpu,
@@ -29,6 +44,14 @@ from .sdf import (
     parse_sdf,
     read_sdf,
 )
+from .api import (
+    BackendCapabilities,
+    Session,
+    SimBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
     "__version__",
@@ -38,6 +61,7 @@ __all__ = [
     "GatspiEngine",
     "SimConfig",
     "SimulationResult",
+    "StimulusError",
     "Waveform",
     "simulate",
     "simulate_multi_gpu",
@@ -50,4 +74,10 @@ __all__ = [
     "annotation_from_sdf",
     "parse_sdf",
     "read_sdf",
+    "BackendCapabilities",
+    "Session",
+    "SimBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
 ]

@@ -1,0 +1,70 @@
+"""``repro.api``: the unified backend registry and session layer.
+
+Every simulation engine in the repository is reachable through one
+three-step flow, regardless of how it is implemented::
+
+    from repro.api import get_backend
+
+    backend = get_backend("gatspi")              # or "event", "zero-delay",
+    session = backend.prepare(netlist,           # "threaded-cpu", ...
+                              annotation=annotation, config=config)
+    result = session.run(stimulus, cycles=100)   # -> SimulationResult
+
+``prepare`` does all per-design compilation once; ``run`` may be called any
+number of times with different stimuli (compile-once/simulate-many).  The
+benchmark harness, the glitch-optimization flow, and the multi-device
+distributor all dispatch through this registry, so swapping the engine under
+any of them is a string change.
+
+Register new engines with::
+
+    @register_backend("my-backend")
+    class MyBackend(SimBackend):
+        ...
+"""
+
+from .backend import BackendCapabilities, SimBackend
+from .registry import (
+    BackendRegistryError,
+    DuplicateBackendError,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from .session import Session
+
+# Importing the adapters registers the four built-in backends.
+from . import adapters  # noqa: E402,F401
+from .adapters import (
+    EventBackend,
+    EventSession,
+    GatspiBackend,
+    GatspiSession,
+    ThreadedCpuBackend,
+    ThreadedCpuSession,
+    ZeroDelayBackend,
+    ZeroDelaySession,
+)
+
+__all__ = [
+    "BackendCapabilities",
+    "SimBackend",
+    "Session",
+    "BackendRegistryError",
+    "DuplicateBackendError",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+    "EventBackend",
+    "EventSession",
+    "GatspiBackend",
+    "GatspiSession",
+    "ThreadedCpuBackend",
+    "ThreadedCpuSession",
+    "ZeroDelayBackend",
+    "ZeroDelaySession",
+]

@@ -1,0 +1,212 @@
+"""Adapters registering the four concrete simulators as named backends.
+
+=================  ==================================================
+Name               Engine
+=================  ==================================================
+``gatspi``         :class:`~repro.core.engine.GatspiEngine` — levelized
+                   two-pass GPU-style re-simulator (the paper's system)
+``event``          :class:`~repro.reference.event_sim.EventDrivenSimulator`
+                   — the commercial-simulator stand-in / oracle
+``zero-delay``     :class:`~repro.reference.zero_delay.ZeroDelaySimulator`
+                   — purely functional, used to isolate glitch activity
+``threaded-cpu``   :class:`~repro.reference.threaded.PartitionedCpuSimulator`
+                   — the OpenMP-style partitioned CPU baseline
+=================  ==================================================
+
+The concrete classes stay importable for backwards compatibility, but flows
+should reach engines exclusively through ``get_backend(name).prepare(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..core.config import SimConfig
+from ..core.engine import GatspiEngine
+from ..core.results import SimulationResult
+from ..core.waveform import Waveform
+from ..netlist import Netlist
+from ..reference.event_sim import EventDrivenSimulator
+from ..reference.threaded import PartitionedCpuSimulator, PartitionedRunReport
+from ..reference.zero_delay import ZeroDelaySimulator
+from ..sdf.annotate import DelayAnnotation
+from .backend import BackendCapabilities, SimBackend
+from .registry import register_backend
+from .session import Session
+
+
+def _reject_unknown_options(backend_name: str, options: Mapping[str, object]) -> None:
+    if options:
+        raise TypeError(
+            f"backend {backend_name!r} got unexpected options: "
+            f"{', '.join(sorted(options))}"
+        )
+
+
+# ----------------------------------------------------------------------
+# gatspi
+# ----------------------------------------------------------------------
+class GatspiSession(Session):
+    """Session over a compiled :class:`GatspiEngine`."""
+
+    def __init__(self, engine: GatspiEngine):
+        super().__init__("gatspi", engine.netlist, engine.config)
+        self.engine = engine
+
+    def _run(self, stimulus, cycles, duration) -> SimulationResult:
+        return self.engine.simulate(stimulus, duration=duration)
+
+
+@register_backend("gatspi")
+class GatspiBackend(SimBackend):
+    name = "gatspi"
+    capabilities = BackendCapabilities(
+        delay_aware=True,
+        glitch_accurate=True,
+        waveforms=True,
+        phase_timings=True,
+        description="Levelized two-pass GPU-style re-simulator (the paper's engine)",
+    )
+
+    def prepare(
+        self,
+        netlist: Netlist,
+        annotation: Optional[DelayAnnotation] = None,
+        config: Optional[SimConfig] = None,
+        **options,
+    ) -> GatspiSession:
+        _reject_unknown_options(self.name, options)
+        engine = GatspiEngine(netlist, annotation=annotation, config=config)
+        engine.compile()
+        return GatspiSession(engine)
+
+
+# ----------------------------------------------------------------------
+# event
+# ----------------------------------------------------------------------
+class EventSession(Session):
+    """Session over an elaborated :class:`EventDrivenSimulator`."""
+
+    def __init__(self, simulator: EventDrivenSimulator):
+        super().__init__("event", simulator.netlist, simulator.config)
+        self.simulator = simulator
+
+    def _run(self, stimulus, cycles, duration) -> SimulationResult:
+        return self.simulator.simulate(stimulus, duration=duration)
+
+
+@register_backend("event")
+class EventBackend(SimBackend):
+    name = "event"
+    capabilities = BackendCapabilities(
+        delay_aware=True,
+        glitch_accurate=True,
+        waveforms=True,
+        phase_timings=False,
+        description="Inertial-delay event-driven baseline (commercial-simulator stand-in)",
+    )
+
+    def prepare(
+        self,
+        netlist: Netlist,
+        annotation: Optional[DelayAnnotation] = None,
+        config: Optional[SimConfig] = None,
+        **options,
+    ) -> EventSession:
+        _reject_unknown_options(self.name, options)
+        simulator = EventDrivenSimulator(netlist, annotation=annotation, config=config)
+        return EventSession(simulator)
+
+
+# ----------------------------------------------------------------------
+# zero-delay
+# ----------------------------------------------------------------------
+class ZeroDelaySession(Session):
+    """Session over a levelized :class:`ZeroDelaySimulator`."""
+
+    def __init__(self, simulator: ZeroDelaySimulator, config: SimConfig):
+        super().__init__("zero-delay", simulator.netlist, config)
+        self.simulator = simulator
+
+    def _run(self, stimulus, cycles, duration) -> SimulationResult:
+        return self.simulator.simulate(
+            stimulus, duration=duration, clock_period=self.clock_period
+        )
+
+
+@register_backend("zero-delay")
+class ZeroDelayBackend(SimBackend):
+    name = "zero-delay"
+    capabilities = BackendCapabilities(
+        delay_aware=False,
+        glitch_accurate=False,
+        waveforms=True,
+        phase_timings=False,
+        description="Zero-delay functional simulation (glitch-free reference activity)",
+    )
+
+    def prepare(
+        self,
+        netlist: Netlist,
+        annotation: Optional[DelayAnnotation] = None,
+        config: Optional[SimConfig] = None,
+        **options,
+    ) -> ZeroDelaySession:
+        # ``annotation`` is accepted for interface uniformity and ignored:
+        # a zero-delay simulation has no delays to annotate.
+        _reject_unknown_options(self.name, options)
+        return ZeroDelaySession(ZeroDelaySimulator(netlist), config or SimConfig())
+
+
+# ----------------------------------------------------------------------
+# threaded-cpu
+# ----------------------------------------------------------------------
+class ThreadedCpuSession(Session):
+    """Session over a :class:`PartitionedCpuSimulator`.
+
+    The partition timing report of the most recent run is kept on
+    :attr:`last_report` (the uniform ``run`` contract only returns the
+    :class:`SimulationResult`).
+    """
+
+    def __init__(self, simulator: PartitionedCpuSimulator):
+        super().__init__("threaded-cpu", simulator.netlist, simulator.config)
+        self.simulator = simulator
+        self.last_report: Optional[PartitionedRunReport] = None
+
+    def _run(self, stimulus, cycles, duration) -> SimulationResult:
+        result, report = self.simulator.run(stimulus, duration=duration)
+        self.last_report = report
+        return result
+
+
+@register_backend("threaded-cpu")
+class ThreadedCpuBackend(SimBackend):
+    name = "threaded-cpu"
+    capabilities = BackendCapabilities(
+        delay_aware=True,
+        glitch_accurate=True,
+        waveforms=True,
+        phase_timings=True,
+        description="Partitioned (OpenMP-style) CPU port of the GATSPI algorithm",
+    )
+
+    def prepare(
+        self,
+        netlist: Netlist,
+        annotation: Optional[DelayAnnotation] = None,
+        config: Optional[SimConfig] = None,
+        *,
+        num_workers: int = 32,
+        barrier_overhead: float = 1e-5,
+        **options,
+    ) -> ThreadedCpuSession:
+        _reject_unknown_options(self.name, options)
+        simulator = PartitionedCpuSimulator(
+            netlist,
+            annotation=annotation,
+            config=config,
+            num_workers=num_workers,
+            barrier_overhead=barrier_overhead,
+        )
+        return ThreadedCpuSession(simulator)

@@ -1,0 +1,74 @@
+"""The ``SimBackend`` protocol: how a simulation engine joins the system.
+
+A backend is a stateless factory.  Its :meth:`SimBackend.prepare` method does
+all per-design work exactly once (levelization, truth-table/delay-table
+compilation, gate-state elaboration) and returns a
+:class:`~repro.api.session.Session` that can be run many times over different
+stimuli — the compile-once/simulate-many lifecycle the paper's deployment
+flow depends on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.config import SimConfig
+    from ..netlist import Netlist
+    from ..sdf.annotate import DelayAnnotation
+    from .session import Session
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can and cannot do, for flow-level dispatch.
+
+    ``delay_aware``
+        Gate/wire delays are honoured (a zero-delay functional backend is
+        not), so toggle counts include glitch activity.
+    ``glitch_accurate``
+        Inertial pulse filtering (PATHPULSE, wire filtering) is modelled, so
+        results are bit-exact against the event-driven oracle.
+    ``waveforms``
+        Full per-net waveforms can be returned (subject to config).
+    ``phase_timings``
+        :class:`~repro.core.results.PhaseTimings` is populated with the
+        paper's Table 5 phase breakdown.
+    """
+
+    delay_aware: bool = True
+    glitch_accurate: bool = True
+    waveforms: bool = True
+    phase_timings: bool = False
+    description: str = ""
+
+
+class SimBackend(abc.ABC):
+    """Protocol implemented by every registered simulation backend."""
+
+    #: Registry key; set by each concrete backend.
+    name: ClassVar[str] = ""
+
+    #: Feature summary; set by each concrete backend.
+    capabilities: ClassVar[BackendCapabilities] = BackendCapabilities()
+
+    @abc.abstractmethod
+    def prepare(
+        self,
+        netlist: "Netlist",
+        annotation: Optional["DelayAnnotation"] = None,
+        config: Optional["SimConfig"] = None,
+        **options,
+    ) -> "Session":
+        """Compile ``netlist`` (+ optional SDF annotation and config) into a
+        reusable :class:`Session`.
+
+        ``options`` are backend-specific knobs (e.g. ``num_workers`` for the
+        partitioned CPU backend); unknown options must be rejected with a
+        ``TypeError`` so typos do not pass silently.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

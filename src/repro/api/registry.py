@@ -1,0 +1,98 @@
+"""String-keyed registry of simulation backends.
+
+The registry is the seam between *flows* (benchmark harness, glitch
+optimization, multi-device distribution, user scripts) and *engines*: a flow
+asks for a backend by name and receives an object implementing the
+:class:`~repro.api.backend.SimBackend` protocol, never a concrete simulator
+class.  New engines (sharded, cached, remote) plug in with
+``@register_backend("my-name")`` without touching any flow code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from .backend import SimBackend
+
+
+class BackendRegistryError(Exception):
+    """Base class for backend registry failures."""
+
+
+class DuplicateBackendError(BackendRegistryError, ValueError):
+    """Raised when a backend name is registered twice."""
+
+
+class UnknownBackendError(BackendRegistryError, LookupError):
+    """Raised when looking up a name no backend was registered under."""
+
+
+_REGISTRY: Dict[str, SimBackend] = {}
+
+
+def register_backend(
+    name: str,
+    backend: Optional[Union[SimBackend, type]] = None,
+) -> Union[SimBackend, Callable[[type], type]]:
+    """Register a backend under ``name``.
+
+    Three call styles are supported::
+
+        @register_backend("gatspi")          # class decorator; the class is
+        class GatspiBackend(SimBackend): ...  # instantiated with no arguments
+
+        register_backend("event", EventBackend)    # a class
+        register_backend("event", EventBackend())  # an instance
+
+    Duplicate names are rejected with :class:`DuplicateBackendError` so two
+    plugins cannot silently shadow each other.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("backend name must be a non-empty string")
+
+    if backend is None:
+
+        def decorator(cls: type) -> type:
+            register_backend(name, cls)
+            return cls
+
+        return decorator
+
+    if name in _REGISTRY:
+        raise DuplicateBackendError(
+            f"backend {name!r} is already registered "
+            f"(by {type(_REGISTRY[name]).__name__})"
+        )
+    instance = backend() if isinstance(backend, type) else backend
+    _REGISTRY[name] = instance
+    return instance
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (used by tests and plugins)."""
+    if name not in _REGISTRY:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; available backends: "
+            f"{', '.join(available_backends()) or '(none)'}"
+        )
+    del _REGISTRY[name]
+
+
+def get_backend(name: str) -> SimBackend:
+    """Look up a backend by name.
+
+    The error message of a failed lookup lists every registered backend,
+    which makes typos in CLI/benchmark configuration self-explaining.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; available backends: "
+            f"{', '.join(available_backends()) or '(none)'}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, sorted alphabetically."""
+    return tuple(sorted(_REGISTRY))

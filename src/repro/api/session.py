@@ -1,0 +1,112 @@
+"""The ``Session`` layer: compile once, simulate many times, uniformly.
+
+A session owns one compiled design and exposes a single entry point::
+
+    result = session.run(stimulus, cycles=..., duration=...)
+
+``run`` applies the shared simulation contract before dispatching to the
+backend — stimulus validation and cycles/duration normalization, which the
+individual simulators used to duplicate — and after dispatching it guarantees
+a consistently populated :class:`~repro.core.results.SimulationStats`
+(``cycles``, ``gate_count`` and ``input_events`` are filled in even for
+backends that do not track them natively).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Optional
+
+from ..core.config import SimConfig
+from ..core.contract import fanin_weighted_toggles, normalize_horizon, validate_stimulus
+from ..core.results import SimulationResult
+from ..core.waveform import Waveform
+from ..netlist import Netlist
+
+
+class Session(abc.ABC):
+    """One prepared (compiled) design, ready to simulate any stimulus."""
+
+    def __init__(
+        self,
+        backend_name: str,
+        netlist: Netlist,
+        config: Optional[SimConfig] = None,
+    ):
+        self._backend_name = backend_name
+        self._netlist = netlist
+        self._config = config or SimConfig()
+        self._runs_completed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        return self._backend_name
+
+    @property
+    def netlist(self) -> Netlist:
+        return self._netlist
+
+    @property
+    def config(self) -> SimConfig:
+        return self._config
+
+    @property
+    def clock_period(self) -> int:
+        return self._config.clock_period
+
+    @property
+    def runs_completed(self) -> int:
+        """Number of successful :meth:`run` calls on this session."""
+        return self._runs_completed
+
+    # ------------------------------------------------------------------
+    # The uniform run contract
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stimulus: Mapping[str, Waveform],
+        *,
+        cycles: Optional[int] = None,
+        duration: Optional[int] = None,
+    ) -> SimulationResult:
+        """Simulate ``stimulus`` over the given horizon.
+
+        One of ``cycles`` / ``duration`` must be provided; the other is
+        derived from the session's clock period.  ``stimulus`` must cover
+        every source net of the prepared netlist.
+        """
+        cycles, duration = normalize_horizon(cycles, duration, self.clock_period)
+        validate_stimulus(self._netlist, stimulus)
+        result = self._run(stimulus, cycles, duration)
+        self._finalize_stats(result, cycles)
+        self._runs_completed += 1
+        return result
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        stimulus: Mapping[str, Waveform],
+        cycles: int,
+        duration: int,
+    ) -> SimulationResult:
+        """Backend-specific dispatch; ``cycles``/``duration`` are resolved."""
+
+    def _finalize_stats(self, result: SimulationResult, cycles: int) -> None:
+        """Make ``result.stats`` uniform across backends."""
+        stats = result.stats
+        stats.cycles = cycles
+        if stats.gate_count == 0:
+            stats.gate_count = self._netlist.gate_count
+        if stats.input_events == 0:
+            stats.input_events = fanin_weighted_toggles(
+                self._netlist, result.toggle_counts
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Session backend={self._backend_name!r} "
+            f"design={self._netlist.name!r} runs={self._runs_completed}>"
+        )

@@ -11,6 +11,7 @@ from .delaytable import (
     NO_DELAY,
 )
 from .config import PAPER_DEFAULT_CONFIG, SimConfig
+from .contract import StimulusError, normalize_horizon, validate_stimulus
 from .kernel import (
     GateKernelInputs,
     GateKernelResult,
@@ -20,7 +21,7 @@ from .kernel import (
 )
 from .memory import DeviceMemoryError, PoolStats, WaveformPool
 from .results import PhaseTimings, SimulationResult, SimulationStats
-from .engine import GatspiEngine, StimulusError, simulate
+from .engine import GatspiEngine, simulate
 from .multi_gpu import DeviceShare, MultiGpuResult, simulate_multi_gpu
 
 __all__ = [
@@ -41,6 +42,8 @@ __all__ = [
     "NO_DELAY",
     "PAPER_DEFAULT_CONFIG",
     "SimConfig",
+    "normalize_horizon",
+    "validate_stimulus",
     "GateKernelInputs",
     "GateKernelResult",
     "count_input_events",

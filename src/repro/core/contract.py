@@ -1,0 +1,67 @@
+"""The shared simulation contract all backends honour.
+
+Every simulator in the repository — the GATSPI engine, the event-driven
+baseline, the zero-delay functional simulator, and the partitioned CPU
+port — accepts the same testbench description: a stimulus waveform per
+source net plus a simulation horizon given as ``cycles`` and/or
+``duration``.  The horizon normalization and stimulus validation used to be
+re-implemented (slightly differently) in each simulator; this module is the
+single definition, used both by the concrete simulators and by the
+:mod:`repro.api` session layer.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from ..netlist import Netlist
+from .waveform import Waveform
+
+
+class StimulusError(ValueError):
+    """Raised when the provided testbench does not cover all source nets."""
+
+
+def normalize_horizon(
+    cycles: Optional[int],
+    duration: Optional[int],
+    clock_period: int,
+) -> Tuple[int, int]:
+    """Resolve the ``(cycles, duration)`` pair from whichever was given.
+
+    ``duration`` defaults to ``cycles * clock_period``; ``cycles`` defaults to
+    ``duration // clock_period`` (at least 1).  Exactly reproduces the rule
+    every simulator applied individually before this helper existed.
+    """
+    if duration is None:
+        if cycles is None:
+            raise ValueError("either cycles or duration must be provided")
+        duration = cycles * clock_period
+    if cycles is None:
+        cycles = max(1, duration // clock_period)
+    return cycles, duration
+
+
+def fanin_weighted_toggles(
+    netlist: Netlist, toggle_counts: Mapping[str, int]
+) -> int:
+    """Input events seen by gates: fanout-weighted net transitions.
+
+    This is the ``input_events`` statistic of
+    :class:`~repro.core.results.SimulationStats`, shared by every backend.
+    """
+    input_events = 0
+    for inst in netlist.combinational_instances():
+        for net in inst.input_nets():
+            input_events += toggle_counts.get(net, 0)
+    return input_events
+
+
+def validate_stimulus(netlist: Netlist, stimulus: Mapping[str, Waveform]) -> None:
+    """Check that every source net (primary input or sequential-element
+    output) has a stimulus waveform; raise :class:`StimulusError` otherwise."""
+    missing = [net for net in netlist.source_nets() if net not in stimulus]
+    if missing:
+        raise StimulusError(
+            f"stimulus missing for source nets: {sorted(missing)[:10]}"
+        )

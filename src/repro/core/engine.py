@@ -30,14 +30,16 @@ import numpy as np
 from ..netlist import CompiledGraph, Netlist, compile_netlist, levelize
 from ..sdf.annotate import DelayAnnotation, default_annotation
 from .config import SimConfig
+from .contract import (
+    StimulusError,
+    fanin_weighted_toggles,
+    normalize_horizon,
+    validate_stimulus,
+)
 from .kernel import GateKernelInputs, GateKernelResult, simulate_gate_window
 from .memory import DeviceMemoryError, WaveformPool
 from .results import PhaseTimings, SimulationResult, SimulationStats
 from .waveform import EOW, Waveform
-
-
-class StimulusError(ValueError):
-    """Raised when the provided testbench does not cover all source nets."""
 
 
 @dataclass
@@ -52,7 +54,12 @@ class _WindowRange:
 
 
 class GatspiEngine:
-    """GPU-style levelized two-pass gate re-simulator."""
+    """GPU-style levelized two-pass gate re-simulator.
+
+    Registered as the ``"gatspi"`` backend in :mod:`repro.api`; new code
+    should reach it via ``get_backend("gatspi").prepare(...)`` rather than
+    instantiating this class directly.
+    """
 
     def __init__(
         self,
@@ -80,6 +87,9 @@ class GatspiEngine:
     def compile(self) -> CompiledGraph:
         """Levelize the netlist and build all lookup arrays."""
         start = time.perf_counter()
+        # Recompiling must not keep lookup arrays from a previous compile
+        # (stale gates would survive annotation/config changes).
+        self._gate_inputs.clear()
         levelization = levelize(self.netlist)
         compiled = compile_netlist(self.netlist, levelization)
         annotation = self.annotation
@@ -148,18 +158,8 @@ class GatspiEngine:
         """
         compiled = self.compiled
         config = self.config
-        if duration is None:
-            if cycles is None:
-                raise ValueError("either cycles or duration must be provided")
-            duration = cycles * config.clock_period
-        if cycles is None:
-            cycles = max(1, duration // config.clock_period)
-
-        missing = [net for net in self.netlist.source_nets() if net not in stimulus]
-        if missing:
-            raise StimulusError(
-                f"stimulus missing for source nets: {sorted(missing)[:10]}"
-            )
+        cycles, duration = normalize_horizon(cycles, duration, config.clock_period)
+        validate_stimulus(self.netlist, stimulus)
 
         windows = self._window_ranges(duration)
         timings = PhaseTimings()
@@ -389,11 +389,7 @@ class GatspiEngine:
         stats.output_transitions = total_output_transitions
 
         # Input events seen by gates = fanout-weighted net transitions.
-        input_events = 0
-        for inst in self.netlist.combinational_instances():
-            for net in inst.input_nets():
-                input_events += result.toggle_counts.get(net, 0)
-        stats.input_events = input_events
+        stats.input_events = fanin_weighted_toggles(self.netlist, result.toggle_counts)
 
         timings.readback += time.perf_counter() - start
         return result
@@ -431,6 +427,19 @@ def simulate(
     annotation: Optional[DelayAnnotation] = None,
     config: Optional[SimConfig] = None,
 ) -> SimulationResult:
-    """One-call convenience wrapper around :class:`GatspiEngine`."""
-    engine = GatspiEngine(netlist, annotation=annotation, config=config)
-    return engine.simulate(stimulus, cycles=cycles, duration=duration)
+    """One-call convenience wrapper (deprecated).
+
+    Prefer the unified entry point::
+
+        from repro.api import get_backend
+        get_backend("gatspi").prepare(netlist, annotation, config).run(...)
+
+    which supports every registered backend and reuses the compiled design
+    across runs.
+    """
+    from ..api import get_backend
+
+    session = get_backend("gatspi").prepare(
+        netlist, annotation=annotation, config=config
+    )
+    return session.run(stimulus, cycles=cycles, duration=duration)

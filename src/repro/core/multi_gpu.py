@@ -5,8 +5,9 @@ cycle parallelism is set to ``32 * n`` and each GPU simulates 32 of the
 independent windows.  The kernel runtime then follows ``t = t1 / n + ovr``
 where ``ovr`` is the stream-synchronize + kernel-launch overhead.
 
-Without real GPUs, each "device" here is an independent :class:`GatspiEngine`
-run over its share of windows.  The measured per-device runtimes let us
+Without real GPUs, each "device" here is an independent backend-session run
+(``repro.api``, default backend ``"gatspi"``) over its share of windows.  The
+measured per-device runtimes let us
 report the *parallel* runtime as the slowest device (plus overhead), which is
 what a real multi-GPU run would show — including the paper's observation that
 deviation from linear scaling comes from uneven activity between the
@@ -22,7 +23,6 @@ from typing import Dict, List, Mapping, Optional
 from ..netlist import Netlist
 from ..sdf.annotate import DelayAnnotation
 from .config import SimConfig
-from .engine import GatspiEngine
 from .results import SimulationResult
 from .waveform import Waveform
 
@@ -94,21 +94,30 @@ def simulate_multi_gpu(
     annotation: Optional[DelayAnnotation] = None,
     config: Optional[SimConfig] = None,
     launch_overhead: float = 0.0,
+    backend: str = "gatspi",
 ) -> MultiGpuResult:
     """Distribute a testbench across ``num_devices`` model devices.
 
     Each device receives a contiguous slice of the testbench (its share of
-    the ``32 * n`` cycle-parallel windows) and simulates it with its own
-    engine.  Toggle counts are summed across devices; per-device kernel
-    runtimes are kept so the parallel runtime can be modelled as the slowest
-    device plus ``launch_overhead``.
+    the ``32 * n`` cycle-parallel windows) and simulates it through the
+    ``backend`` session (any backend registered in :mod:`repro.api`; the
+    design is compiled once and reused for every device share).  Toggle
+    counts are summed across devices; per-device kernel runtimes are kept so
+    the parallel runtime can be modelled as the slowest device plus
+    ``launch_overhead``.
     """
+    # Imported lazily: ``repro.api`` depends on ``repro.core``.
+    from ..api import get_backend
+
     if num_devices < 1:
         raise ValueError("num_devices must be at least 1")
     config = config or SimConfig()
     duration = cycles * config.clock_period
     slice_length = max(config.clock_period, -(-duration // num_devices))
 
+    session = get_backend(backend).prepare(
+        netlist, annotation=annotation, config=config
+    )
     result = MultiGpuResult(num_devices=num_devices, launch_overhead=launch_overhead)
     start = 0
     device_index = 0
@@ -117,8 +126,7 @@ def simulate_multi_gpu(
         share_stimulus = {
             net: wave.window(start, end, rebase=True) for net, wave in stimulus.items()
         }
-        engine = GatspiEngine(netlist, annotation=annotation, config=config)
-        share_result = engine.simulate(share_stimulus, duration=end - start)
+        share_result = session.run(share_stimulus, duration=end - start)
         result.shares.append(
             DeviceShare(
                 device_index=device_index,

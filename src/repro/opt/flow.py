@@ -23,13 +23,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from ..api import get_backend
 from ..core.config import SimConfig
-from ..core.engine import GatspiEngine
 from ..core.results import SimulationResult
 from ..core.waveform import Waveform
 from ..netlist import Netlist
 from ..power import GlitchReport, PowerModel, PowerReport, analyze_glitches
-from ..reference import EventDrivenSimulator, ZeroDelaySimulator
 from ..sdf.annotate import DelayAnnotation, default_annotation
 from .glitch_fix import FixRecord, balance_gate_inputs, estimate_arrival_times
 
@@ -88,7 +87,14 @@ class FlowResult:
 
 
 class GlitchOptimizationFlow:
-    """Re-simulate → analyze → fix → re-simulate, as deployed in the paper."""
+    """Re-simulate → analyze → fix → re-simulate, as deployed in the paper.
+
+    All three simulation roles are named backends from the
+    :mod:`repro.api` registry: the delay-aware re-simulator (``backend``,
+    default ``"gatspi"``), the functional glitch-free reference
+    (``functional_backend``, default ``"zero-delay"``), and the
+    turnaround-time baseline (``baseline_backend``, default ``"event"``).
+    """
 
     def __init__(
         self,
@@ -96,11 +102,17 @@ class GlitchOptimizationFlow:
         annotation: Optional[DelayAnnotation] = None,
         config: Optional[SimConfig] = None,
         measure_reference_turnaround: bool = True,
+        backend: str = "gatspi",
+        functional_backend: str = "zero-delay",
+        baseline_backend: str = "event",
     ):
         self.netlist = netlist
         self.annotation = annotation or default_annotation(netlist)
         self.config = config or SimConfig()
         self.measure_reference_turnaround = measure_reference_turnaround
+        self.backend = backend
+        self.functional_backend = functional_backend
+        self.baseline_backend = baseline_backend
 
     def run(
         self,
@@ -112,17 +124,19 @@ class GlitchOptimizationFlow:
         """Execute the full flow and return the report."""
         duration = cycles * self.config.clock_period
         power_model = PowerModel(self.netlist)
+        resim_backend = get_backend(self.backend)
+        functional_backend = get_backend(self.functional_backend)
 
         # --- baseline delay-aware re-simulation (GATSPI) -------------------
         start = time.perf_counter()
-        baseline_result = GatspiEngine(
+        baseline_result = resim_backend.prepare(
             self.netlist, annotation=self.annotation, config=self.config
-        ).simulate(stimulus, cycles=cycles)
+        ).run(stimulus, cycles=cycles)
         gatspi_seconds = time.perf_counter() - start
 
-        functional = ZeroDelaySimulator(self.netlist).simulate(
-            stimulus, duration=duration
-        )
+        functional = functional_backend.prepare(
+            self.netlist, annotation=self.annotation, config=self.config
+        ).run(stimulus, duration=duration)
         baseline_glitch = analyze_glitches(
             self.netlist, baseline_result, functional.toggle_counts, power_model
         )
@@ -149,15 +163,15 @@ class GlitchOptimizationFlow:
 
         # --- confirmation re-simulation ------------------------------------
         start = time.perf_counter()
-        optimized_result = GatspiEngine(
+        optimized_result = resim_backend.prepare(
             fixed_netlist, annotation=fixed_annotation, config=self.config
-        ).simulate(stimulus, cycles=cycles)
+        ).run(stimulus, cycles=cycles)
         gatspi_seconds += time.perf_counter() - start
 
         fixed_power_model = PowerModel(fixed_netlist)
-        optimized_functional = ZeroDelaySimulator(fixed_netlist).simulate(
-            stimulus, duration=duration
-        )
+        optimized_functional = functional_backend.prepare(
+            fixed_netlist, annotation=fixed_annotation, config=self.config
+        ).run(stimulus, duration=duration)
         optimized_glitch = analyze_glitches(
             fixed_netlist,
             optimized_result,
@@ -169,13 +183,14 @@ class GlitchOptimizationFlow:
         # --- reference turnaround (the commercial-simulator flow) ----------
         reference_seconds = 0.0
         if self.measure_reference_turnaround:
+            baseline_backend = get_backend(self.baseline_backend)
             start = time.perf_counter()
-            EventDrivenSimulator(
+            baseline_backend.prepare(
                 self.netlist, annotation=self.annotation, config=self.config
-            ).simulate(stimulus, cycles=cycles)
-            EventDrivenSimulator(
+            ).run(stimulus, cycles=cycles)
+            baseline_backend.prepare(
                 fixed_netlist, annotation=fixed_annotation, config=self.config
-            ).simulate(stimulus, cycles=cycles)
+            ).run(stimulus, cycles=cycles)
             reference_seconds = time.perf_counter() - start
 
         return FlowResult(

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import SimConfig
+from ..core.contract import fanin_weighted_toggles, normalize_horizon, validate_stimulus
 from ..core.kernel import resolve_gate_delay
 from ..core.results import PhaseTimings, SimulationResult, SimulationStats
 from ..core.truthtable import pin_weights
@@ -64,7 +65,11 @@ class _GateState:
 
 
 class EventDrivenSimulator:
-    """Inertial-delay event-driven gate-level simulator."""
+    """Inertial-delay event-driven gate-level simulator.
+
+    Registered as the ``"event"`` backend in :mod:`repro.api`; new code
+    should reach it via ``get_backend("event").prepare(...)``.
+    """
 
     def __init__(
         self,
@@ -130,16 +135,8 @@ class EventDrivenSimulator:
         duration: Optional[int] = None,
     ) -> SimulationResult:
         config = self.config
-        if duration is None:
-            if cycles is None:
-                raise ValueError("either cycles or duration must be provided")
-            duration = cycles * config.clock_period
-        if cycles is None:
-            cycles = max(1, duration // config.clock_period)
-
-        missing = [net for net in self.netlist.source_nets() if net not in stimulus]
-        if missing:
-            raise ValueError(f"stimulus missing for source nets: {sorted(missing)[:10]}")
+        cycles, duration = normalize_horizon(cycles, duration, config.clock_period)
+        validate_stimulus(self.netlist, stimulus)
 
         timings = PhaseTimings()
         start_all = time.perf_counter()
@@ -259,11 +256,7 @@ class EventDrivenSimulator:
                     state.recorded
                 )
         stats.output_transitions = total_transitions
-        input_events = 0
-        for inst in self.netlist.combinational_instances():
-            for net in inst.input_nets():
-                input_events += result.toggle_counts.get(net, 0)
-        stats.input_events = input_events
+        stats.input_events = fanin_weighted_toggles(self.netlist, result.toggle_counts)
         result.stats = stats
         timings.readback += time.perf_counter() - start_all - timings.application
         return result
@@ -381,6 +374,12 @@ def simulate_reference(
     annotation: Optional[DelayAnnotation] = None,
     config: Optional[SimConfig] = None,
 ) -> SimulationResult:
-    """One-call convenience wrapper around :class:`EventDrivenSimulator`."""
-    simulator = EventDrivenSimulator(netlist, annotation=annotation, config=config)
-    return simulator.simulate(stimulus, cycles=cycles, duration=duration)
+    """One-call convenience wrapper (deprecated).
+
+    Prefer ``repro.api.get_backend("event").prepare(...).run(...)``, which
+    reuses the elaborated gate states across runs.
+    """
+    from ..api import get_backend
+
+    session = get_backend("event").prepare(netlist, annotation=annotation, config=config)
+    return session.run(stimulus, cycles=cycles, duration=duration)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import SimConfig
+from ..core.contract import normalize_horizon
 from ..core.engine import GatspiEngine
 from ..core.kernel import simulate_gate_window
 from ..core.memory import WaveformPool
@@ -70,7 +71,12 @@ class PartitionedRunReport:
 
 
 class PartitionedCpuSimulator:
-    """OpenMP-style partitioned execution of the GATSPI algorithm on CPU."""
+    """OpenMP-style partitioned execution of the GATSPI algorithm on CPU.
+
+    Registered as the ``"threaded-cpu"`` backend in :mod:`repro.api`; new
+    code should reach it via ``get_backend("threaded-cpu").prepare(...)``
+    (the timing report is kept on the session's ``last_report``).
+    """
 
     def __init__(
         self,
@@ -101,10 +107,7 @@ class PartitionedCpuSimulator:
         level's tasks grouped by worker.
         """
         config = self.config
-        if duration is None:
-            if cycles is None:
-                raise ValueError("either cycles or duration must be provided")
-            duration = cycles * config.clock_period
+        cycles, duration = normalize_horizon(cycles, duration, config.clock_period)
 
         result = self._engine.simulate(stimulus, cycles=cycles, duration=duration)
         report = PartitionedRunReport(

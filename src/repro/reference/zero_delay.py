@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
+from ..core.contract import normalize_horizon, validate_stimulus
 from ..core.results import SimulationResult, SimulationStats
 from ..core.truthtable import pin_weights
 from ..core.waveform import Waveform
@@ -18,7 +19,11 @@ from ..netlist import Netlist, levelize
 
 
 class ZeroDelaySimulator:
-    """Levelized zero-delay (purely functional) simulator."""
+    """Levelized zero-delay (purely functional) simulator.
+
+    Registered as the ``"zero-delay"`` backend in :mod:`repro.api`; new code
+    should reach it via ``get_backend("zero-delay").prepare(...)``.
+    """
 
     def __init__(self, netlist: Netlist):
         self.netlist = netlist
@@ -40,17 +45,9 @@ class ZeroDelaySimulator:
         clock_period: int = 1000,
     ) -> SimulationResult:
         """Evaluate every net at every source-event timestamp."""
-        if duration is None:
-            if cycles is None:
-                raise ValueError("either cycles or duration must be provided")
-            duration = cycles * clock_period
-        if cycles is None:
-            cycles = max(1, duration // clock_period)
-
+        cycles, duration = normalize_horizon(cycles, duration, clock_period)
+        validate_stimulus(self.netlist, stimulus)
         sources = self.netlist.source_nets()
-        missing = [net for net in sources if net not in stimulus]
-        if missing:
-            raise ValueError(f"stimulus missing for source nets: {sorted(missing)[:10]}")
 
         event_times: Set[int] = {0}
         for net in sources:

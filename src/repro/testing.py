@@ -1,0 +1,61 @@
+"""Deterministic random-design and random-stimulus builders.
+
+Shared by the test suite, the benchmarks, and ad-hoc experiments.  These
+used to live in ``tests/conftest.py``, where importing them as
+``from conftest import ...`` was ambiguous whenever another ``conftest.py``
+(e.g. ``benchmarks/``) was collected first; as a real module they are
+importable from anywhere without path tricks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from .core.waveform import Waveform
+from .netlist import Netlist, NetlistBuilder
+
+#: Cell mix used by :func:`build_random_netlist`.
+RANDOM_NETLIST_CELLS = (
+    "INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2",
+    "AOI21", "OAI21", "MUX2", "AOI22", "MAJ3", "NAND3", "OR3",
+)
+
+
+def build_random_netlist(
+    num_inputs: int = 6, num_gates: int = 40, seed: int = 0
+) -> Netlist:
+    """A random combinational netlist used by equivalence tests."""
+    rng = random.Random(seed)
+    builder = NetlistBuilder(f"rand_{seed}")
+    nets = [builder.input(f"i{k}") for k in range(num_inputs)]
+    library = builder.netlist.library
+    for _ in range(num_gates):
+        cell = rng.choice(RANDOM_NETLIST_CELLS)
+        inputs = [rng.choice(nets) for _ in range(library.get(cell).num_inputs)]
+        nets.append(builder.gate(cell, inputs))
+    builder.output("out")
+    builder.gate("BUF", [nets[-1]], output_net="out")
+    return builder.build()
+
+
+def build_random_stimulus(
+    netlist: Netlist,
+    duration: int,
+    seed: int = 0,
+    min_gap: int = 30,
+    max_gap: int = 400,
+) -> Dict[str, Waveform]:
+    """Random toggles for every source net of ``netlist``."""
+    rng = random.Random(seed)
+    stimulus: Dict[str, Waveform] = {}
+    for net in netlist.source_nets():
+        time = 0
+        toggles = []
+        while True:
+            time += rng.randint(min_gap, max_gap)
+            if time >= duration:
+                break
+            toggles.append(time)
+        stimulus[net] = Waveform.from_initial_and_toggles(rng.randint(0, 1), toggles)
+    return stimulus

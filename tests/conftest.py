@@ -1,56 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The random design/stimulus builders live in :mod:`repro.testing`; they are
+re-exported here only for backwards compatibility of older helper imports.
+Test modules should import them explicitly::
+
+    from repro.testing import build_random_netlist, build_random_stimulus
+"""
 
 from __future__ import annotations
 
-import random
 import sys
 from pathlib import Path
 
 import pytest
 
-# Allow running the tests without installing the package.
+# Allow running the tests without installing the package and without the
+# pyproject ``pythonpath`` setting (e.g. ``pytest`` invoked from elsewhere).
 SRC = Path(__file__).resolve().parents[1] / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro import NetlistBuilder, Waveform  # noqa: E402
+from repro import NetlistBuilder  # noqa: E402
 from repro.sdf import SyntheticDelayModel, UnitDelayModel, annotation_from_design_delays  # noqa: E402
-
-
-def build_random_netlist(num_inputs: int = 6, num_gates: int = 40, seed: int = 0):
-    """A random combinational netlist used by equivalence tests."""
-    rng = random.Random(seed)
-    builder = NetlistBuilder(f"rand_{seed}")
-    nets = [builder.input(f"i{k}") for k in range(num_inputs)]
-    cells = [
-        "INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2",
-        "AOI21", "OAI21", "MUX2", "AOI22", "MAJ3", "NAND3", "OR3",
-    ]
-    library = builder.netlist.library
-    for _ in range(num_gates):
-        cell = rng.choice(cells)
-        inputs = [rng.choice(nets) for _ in range(library.get(cell).num_inputs)]
-        nets.append(builder.gate(cell, inputs))
-    builder.output("out")
-    builder.gate("BUF", [nets[-1]], output_net="out")
-    return builder.build()
-
-
-def build_random_stimulus(netlist, duration: int, seed: int = 0, min_gap: int = 30,
-                          max_gap: int = 400):
-    """Random toggles for every source net of ``netlist``."""
-    rng = random.Random(seed)
-    stimulus = {}
-    for net in netlist.source_nets():
-        time = 0
-        toggles = []
-        while True:
-            time += rng.randint(min_gap, max_gap)
-            if time >= duration:
-                break
-            toggles.append(time)
-        stimulus[net] = Waveform.from_initial_and_toggles(rng.randint(0, 1), toggles)
-    return stimulus
+from repro.testing import build_random_netlist, build_random_stimulus  # noqa: E402,F401
 
 
 @pytest.fixture

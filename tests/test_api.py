@@ -1,0 +1,166 @@
+"""Tests for the unified backend registry and session layer (`repro.api`)."""
+
+import pytest
+
+from repro.api import (
+    BackendCapabilities,
+    DuplicateBackendError,
+    Session,
+    SimBackend,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core import SimConfig, SimulationResult, StimulusError
+from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
+from repro.testing import build_random_netlist, build_random_stimulus
+
+DURATION = 4000
+CONFIG = SimConfig(clock_period=500, cycle_parallelism=4)
+BUILTIN_BACKENDS = ("event", "gatspi", "threaded-cpu", "zero-delay")
+
+
+@pytest.fixture(scope="module")
+def design():
+    netlist = build_random_netlist(num_gates=30, seed=17)
+    annotation = annotation_from_design_delays(
+        netlist, SyntheticDelayModel(seed=17).build(netlist)
+    )
+    stimulus = build_random_stimulus(netlist, DURATION, seed=170)
+    return netlist, annotation, stimulus
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        for name in BUILTIN_BACKENDS:
+            assert name in names
+        assert names == tuple(sorted(names))
+
+    def test_unknown_backend_error_lists_available(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("no-such-backend")
+        message = str(excinfo.value)
+        assert "no-such-backend" in message
+        for name in BUILTIN_BACKENDS:
+            assert name in message
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(DuplicateBackendError):
+            register_backend("gatspi", get_backend("event"))
+
+    def test_decorator_registration_and_unregister(self):
+        @register_backend("temp-backend")
+        class TempBackend(SimBackend):
+            name = "temp-backend"
+            capabilities = BackendCapabilities(description="test stub")
+
+            def prepare(self, netlist, annotation=None, config=None, **options):
+                raise NotImplementedError
+
+        try:
+            assert isinstance(get_backend("temp-backend"), TempBackend)
+            assert "temp-backend" in available_backends()
+        finally:
+            unregister_backend("temp-backend")
+        assert "temp-backend" not in available_backends()
+        with pytest.raises(UnknownBackendError):
+            unregister_backend("temp-backend")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("", get_backend("event"))
+
+
+class TestSessionContract:
+    @pytest.mark.parametrize("backend_name", BUILTIN_BACKENDS)
+    def test_prepare_run_returns_uniform_result(self, backend_name, design):
+        netlist, annotation, stimulus = design
+        backend = get_backend(backend_name)
+        session = backend.prepare(netlist, annotation=annotation, config=CONFIG)
+        result = session.run(stimulus, cycles=8)
+        assert isinstance(result, SimulationResult)
+        assert result.duration == 8 * CONFIG.clock_period
+        # Stats are uniformly populated, whichever engine ran.
+        assert result.stats.cycles == 8
+        assert result.stats.gate_count == netlist.gate_count
+        assert result.stats.input_events > 0
+        assert result.total_toggles() > 0
+        assert session.backend_name == backend_name
+        assert session.runs_completed == 1
+
+    @pytest.mark.parametrize("backend_name", BUILTIN_BACKENDS)
+    def test_missing_stimulus_rejected(self, backend_name, design):
+        netlist, annotation, _ = design
+        session = get_backend(backend_name).prepare(
+            netlist, annotation=annotation, config=CONFIG
+        )
+        with pytest.raises(StimulusError):
+            session.run({}, cycles=2)
+
+    @pytest.mark.parametrize("backend_name", BUILTIN_BACKENDS)
+    def test_cycles_or_duration_required(self, backend_name, design):
+        netlist, annotation, stimulus = design
+        session = get_backend(backend_name).prepare(
+            netlist, annotation=annotation, config=CONFIG
+        )
+        with pytest.raises(ValueError):
+            session.run(stimulus)
+
+    def test_compile_once_simulate_many(self, design):
+        netlist, annotation, stimulus = design
+        session = get_backend("gatspi").prepare(
+            netlist, annotation=annotation, config=CONFIG
+        )
+        first = session.run(stimulus, cycles=8)
+        second = session.run(stimulus, cycles=8)
+        assert first.toggle_counts == second.toggle_counts
+        assert session.runs_completed == 2
+        # A different stimulus reuses the same compiled design.
+        other = build_random_stimulus(netlist, DURATION, seed=999)
+        third = session.run(other, duration=DURATION)
+        assert third.stats.cycles == DURATION // CONFIG.clock_period
+
+    def test_unknown_prepare_option_rejected(self, design):
+        netlist, annotation, _ = design
+        with pytest.raises(TypeError):
+            get_backend("gatspi").prepare(
+                netlist, annotation=annotation, config=CONFIG, num_wokers=4
+            )
+
+    def test_capabilities_describe_backends(self):
+        assert get_backend("gatspi").capabilities.delay_aware
+        assert get_backend("event").capabilities.glitch_accurate
+        assert not get_backend("zero-delay").capabilities.delay_aware
+
+    def test_threaded_cpu_session_keeps_report(self, design):
+        netlist, annotation, stimulus = design
+        session = get_backend("threaded-cpu").prepare(
+            netlist, annotation=annotation, config=CONFIG, num_workers=4
+        )
+        assert session.last_report is None
+        session.run(stimulus, cycles=4)
+        assert session.last_report is not None
+        assert session.last_report.num_workers == 4
+
+
+class TestCrossBackendEquivalence:
+    """The ISSUE acceptance check: gatspi and event agree through the api."""
+
+    @pytest.mark.parametrize("seed", [2, 11])
+    def test_gatspi_and_event_toggle_counts_agree(self, seed):
+        netlist = build_random_netlist(num_gates=35, seed=seed)
+        annotation = annotation_from_design_delays(
+            netlist, SyntheticDelayModel(seed=seed).build(netlist)
+        )
+        stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 50)
+        results = {}
+        for name in ("gatspi", "event"):
+            session = get_backend(name).prepare(
+                netlist, annotation=annotation, config=CONFIG
+            )
+            results[name] = session.run(stimulus, duration=DURATION)
+        mismatches = results["gatspi"].differing_nets(results["event"])
+        assert not mismatches, f"toggle mismatches: {list(mismatches.items())[:5]}"

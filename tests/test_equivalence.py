@@ -15,7 +15,7 @@ from repro.core import GatspiEngine, SimConfig, Waveform
 from repro.reference import EventDrivenSimulator, ZeroDelaySimulator
 from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
 
-from conftest import build_random_netlist, build_random_stimulus
+from repro.testing import build_random_netlist, build_random_stimulus
 
 DURATION = 6000
 CONFIG = SimConfig(clock_period=500)

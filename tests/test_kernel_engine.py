@@ -243,6 +243,21 @@ class TestEngine:
         assert result.waveforms == {}
         assert result.total_toggles() > 0
 
+    def test_recompile_clears_stale_gate_inputs(self, small_netlist, small_annotation):
+        """compile() must rebuild the lookup arrays from scratch.
+
+        Regression test: ``_gate_inputs`` used to accumulate across compile()
+        calls, so entries from a previous compilation (e.g. before a netlist
+        edit) survived and could mask annotation/config changes.
+        """
+        engine = GatspiEngine(small_netlist, annotation=small_annotation)
+        engine.compile()
+        expected = set(engine._gate_inputs)
+        engine._gate_inputs["stale_gate"] = engine._gate_inputs[next(iter(expected))]
+        engine.compile()
+        assert "stale_gate" not in engine._gate_inputs
+        assert set(engine._gate_inputs) == expected
+
     def test_timings_are_populated(self, small_netlist, small_annotation):
         engine = GatspiEngine(small_netlist, annotation=small_annotation,
                               config=SimConfig(clock_period=1000))

@@ -6,7 +6,7 @@ from repro.core import SimConfig, simulate_multi_gpu
 from repro.reference import PartitionedCpuSimulator
 from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
 
-from conftest import build_random_netlist, build_random_stimulus
+from repro.testing import build_random_netlist, build_random_stimulus
 
 CYCLES = 8
 CONFIG = SimConfig(clock_period=500, cycle_parallelism=4)
