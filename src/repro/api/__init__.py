@@ -30,7 +30,9 @@ from .registry import (
     UnknownBackendError,
     available_backends,
     get_backend,
+    parse_backend_spec,
     register_backend,
+    resolve_backend,
     unregister_backend,
 )
 from .session import Session
@@ -57,7 +59,9 @@ __all__ = [
     "UnknownBackendError",
     "available_backends",
     "get_backend",
+    "parse_backend_spec",
     "register_backend",
+    "resolve_backend",
     "unregister_backend",
     "EventBackend",
     "EventSession",

@@ -73,9 +73,21 @@ class GatspiBackend(SimBackend):
         netlist: Netlist,
         annotation: Optional[DelayAnnotation] = None,
         config: Optional[SimConfig] = None,
+        *,
+        kernel: Optional[str] = None,
         **options,
     ) -> GatspiSession:
+        """Compile the design; ``kernel`` selects the Algorithm 1 executor.
+
+        ``kernel="vector"`` (default) runs the level-batched struct-of-arrays
+        kernel; ``kernel="scalar"`` runs the per-gate Python reference
+        kernel.  Both are bit-identical; the option overrides
+        ``config.kernel`` so equivalence harnesses can flip executors
+        without rebuilding configs.
+        """
         _reject_unknown_options(self.name, options)
+        if kernel is not None:
+            config = (config or SimConfig()).with_updates(kernel=kernel)
         engine = GatspiEngine(netlist, annotation=annotation, config=config)
         engine.compile()
         return GatspiSession(engine)

@@ -6,11 +6,16 @@ asks for a backend by name and receives an object implementing the
 :class:`~repro.api.backend.SimBackend` protocol, never a concrete simulator
 class.  New engines (sharded, cached, remote) plug in with
 ``@register_backend("my-name")`` without touching any flow code.
+
+Backend *specs* extend plain names with prepare-time options so flow
+configuration (benchmark CLIs, multi-device runs) can select engine variants
+without code changes: ``"gatspi:kernel=scalar"`` resolves to the ``gatspi``
+backend with ``prepare(..., kernel="scalar")``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from .backend import SimBackend
 
@@ -96,3 +101,53 @@ def get_backend(name: str) -> SimBackend:
 def available_backends() -> Tuple[str, ...]:
     """Names of all registered backends, sorted alphabetically."""
     return tuple(sorted(_REGISTRY))
+
+
+def _coerce_option(value: str) -> Any:
+    """Best-effort typing of an option value parsed from a spec string."""
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def parse_backend_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name:key=value,key=value"`` into a name and options.
+
+    A bare name parses to ``(name, {})``.  Values are coerced to
+    ``bool``/``int``/``float`` when they look like one, otherwise kept as
+    strings — e.g. ``"gatspi:kernel=scalar"`` or
+    ``"threaded-cpu:num_workers=8"``.
+    """
+    if not spec or not isinstance(spec, str):
+        raise ValueError("backend spec must be a non-empty string")
+    name, _, option_text = spec.partition(":")
+    options: Dict[str, Any] = {}
+    if option_text:
+        for item in option_text.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key:
+                raise ValueError(
+                    f"malformed backend option {item!r} in spec {spec!r}; "
+                    f"expected key=value"
+                )
+            options[key.strip()] = _coerce_option(value.strip())
+    return name, options
+
+
+def resolve_backend(spec: str) -> Tuple[SimBackend, Dict[str, Any]]:
+    """Look up a backend from a spec string, returning prepare options too.
+
+    ``resolve_backend("gatspi:kernel=scalar")`` returns the ``gatspi``
+    backend plus ``{"kernel": "scalar"}`` to splat into ``prepare``.
+    """
+    name, options = parse_backend_spec(spec)
+    return get_backend(name), options

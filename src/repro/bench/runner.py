@@ -10,6 +10,9 @@ paper-scale speedup estimates for the same workload shape.
 Backends are resolved through the :mod:`repro.api` registry, so any
 registered engine can be benchmarked against any other:
 ``run_case(case, backend="threaded-cpu", baseline_backend="event")``.
+Backend strings may be full specs with prepare options, e.g.
+``backend="gatspi:kernel=scalar"`` to benchmark the scalar reference kernel
+against the level-batched vector kernel.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..api import get_backend
+from ..api import resolve_backend
 from ..core.config import SimConfig
 from ..core.results import SimulationResult
 from ..gpu import ApplicationModel, GpuSpec, KernelPerfModel, KernelWorkload, V100
@@ -49,6 +52,11 @@ class BenchmarkRow:
     modeled_cpu_app_s: float = 0.0
     backend: str = "gatspi"
     baseline_backend: str = "event"
+    # Per-level batch execution stats of the primary backend (vector kernel).
+    kernel_mode: str = ""
+    level_batches: int = 0
+    max_batch_tasks: int = 0
+    mean_batch_tasks: float = 0.0
 
     @property
     def kernel_speedup(self) -> float:
@@ -123,15 +131,18 @@ def run_case(
     config = config or SimConfig(clock_period=case.clock_period)
     netlist, annotation, stimulus = prepare_case(case)
 
-    primary = get_backend(backend)
+    primary, primary_options = resolve_backend(backend)
     start = time.perf_counter()
-    session = primary.prepare(netlist, annotation=annotation, config=config)
+    session = primary.prepare(
+        netlist, annotation=annotation, config=config, **primary_options
+    )
     gatspi_result = session.run(stimulus, cycles=case.cycles)
     gatspi_app = time.perf_counter() - start
 
     if run_reference:
-        baseline_session = get_backend(baseline_backend).prepare(
-            netlist, annotation=annotation, config=config
+        baseline, baseline_options = resolve_backend(baseline_backend)
+        baseline_session = baseline.prepare(
+            netlist, annotation=annotation, config=config, **baseline_options
         )
         start = time.perf_counter()
         reference_result = baseline_session.run(stimulus, cycles=case.cycles)
@@ -174,6 +185,10 @@ def run_case(
         modeled_cpu_app_s=kernel_model.baseline_application_seconds(workload),
         backend=backend,
         baseline_backend=baseline_backend,
+        kernel_mode=gatspi_result.stats.kernel_mode,
+        level_batches=gatspi_result.stats.level_batches,
+        max_batch_tasks=gatspi_result.stats.max_batch_tasks,
+        mean_batch_tasks=gatspi_result.stats.mean_batch_tasks(),
     )
     return BenchmarkArtifacts(
         case=case,

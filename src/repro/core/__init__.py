@@ -1,7 +1,20 @@
 """GATSPI core: waveform format, lookup tables, kernel, and engine."""
 
-from .waveform import EOW, INITIAL_ONE_MARKER, Waveform, WaveformError, concatenate_windows
-from .truthtable import TruthTable, index_for_values, pin_weights, values_for_index
+from .waveform import (
+    EOW,
+    INITIAL_ONE_MARKER,
+    POOL_DTYPE,
+    Waveform,
+    WaveformError,
+    concatenate_windows,
+)
+from .truthtable import (
+    TruthTable,
+    index_for_values,
+    pack_truth_tables,
+    pin_weights,
+    values_for_index,
+)
 from .delaytable import (
     FALL,
     RISE,
@@ -9,6 +22,7 @@ from .delaytable import (
     GateDelayTable,
     InterconnectDelay,
     NO_DELAY,
+    flatten_delay_array,
 )
 from .config import PAPER_DEFAULT_CONFIG, SimConfig
 from .contract import StimulusError, normalize_horizon, validate_stimulus
@@ -19,21 +33,38 @@ from .kernel import (
     resolve_gate_delay,
     simulate_gate_window,
 )
-from .memory import DeviceMemoryError, PoolStats, WaveformPool
+from .memory import (
+    DeviceMemoryError,
+    PoolStats,
+    TimestampOverflowError,
+    WaveformPool,
+)
 from .results import PhaseTimings, SimulationResult, SimulationStats
+from .vector_kernel import (
+    LevelKernelResult,
+    LevelTensors,
+    PackedDesign,
+    TiledLevel,
+    pack_design,
+    simulate_level,
+    tile_level,
+)
 from .engine import GatspiEngine, simulate
 from .multi_gpu import DeviceShare, MultiGpuResult, simulate_multi_gpu
 
 __all__ = [
     "EOW",
     "INITIAL_ONE_MARKER",
+    "POOL_DTYPE",
     "Waveform",
     "WaveformError",
     "concatenate_windows",
     "TruthTable",
     "index_for_values",
+    "pack_truth_tables",
     "pin_weights",
     "values_for_index",
+    "flatten_delay_array",
     "FALL",
     "RISE",
     "DelayArc",
@@ -50,11 +81,19 @@ __all__ = [
     "resolve_gate_delay",
     "simulate_gate_window",
     "DeviceMemoryError",
+    "TimestampOverflowError",
     "PoolStats",
     "WaveformPool",
     "PhaseTimings",
     "SimulationResult",
     "SimulationStats",
+    "LevelKernelResult",
+    "LevelTensors",
+    "PackedDesign",
+    "TiledLevel",
+    "pack_design",
+    "simulate_level",
+    "tile_level",
     "GatspiEngine",
     "StimulusError",
     "simulate",

@@ -44,6 +44,14 @@ class SimConfig:
     two_pass:
         Run the kernel twice per level (count pass then store pass) exactly
         as the paper does; disabling it is a pure-software shortcut.
+    kernel:
+        Which kernel implementation executes Algorithm 1.  ``"vector"``
+        (default) runs the level-batched struct-of-arrays kernel
+        (:mod:`repro.core.vector_kernel`) — all gates of a level across all
+        windows in lock-step numpy operations, the software analogue of the
+        paper's one-thread-per-(gate, window) GPU grid.  ``"scalar"`` runs
+        the per-gate Python reference kernel (:mod:`repro.core.kernel`);
+        both produce bit-identical waveforms.
     device_memory_gb / waveform_pool_fraction:
         Model of the pre-allocated device memory chunk: of ``device_memory_gb``
         total, ``waveform_pool_fraction`` is reserved for waveform storage
@@ -57,6 +65,7 @@ class SimConfig:
     enable_net_delay_filtering: bool = True
     full_sdf: bool = True
     two_pass: bool = True
+    kernel: str = "vector"
     store_waveforms: bool = True
     device_memory_gb: float = 32.0
     waveform_pool_fraction: float = 0.75
@@ -79,6 +88,10 @@ class SimConfig:
             raise ValueError("clock_period must be positive")
         if self.window_overlap is not None and self.window_overlap < 0:
             raise ValueError("window_overlap must be non-negative")
+        if self.kernel not in ("vector", "scalar"):
+            raise ValueError(
+                f"kernel must be 'vector' or 'scalar', got {self.kernel!r}"
+            )
 
     @property
     def pathpulse_fraction(self) -> float:

@@ -189,6 +189,10 @@ class GateDelayTable:
                 result._tables[pin][:, output_edge, :] = average
         return result
 
+    def packed(self) -> Dict[str, np.ndarray]:
+        """Per-pin delay arrays in the flat layout of the vector kernel."""
+        return {pin: flatten_delay_array(self._tables[pin]) for pin in self._pins}
+
     def max_finite_delay(self) -> float:
         """Largest defined delay in the table (useful for pulse-width checks)."""
         best = 0.0
@@ -200,6 +204,21 @@ class GateDelayTable:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GateDelayTable(pins={self._pins!r})"
+
+
+def flatten_delay_array(table: np.ndarray) -> np.ndarray:
+    """Ravel one per-pin ``(2, 2, 2**n)`` delay array for the packed design.
+
+    The flat index convention, shared with the vector kernel, is::
+
+        index = (input_edge * 2 + output_edge) * 2**n + column_index
+
+    which is exactly C-order raveling of the ``(2, 2, 2**n)`` array.
+    """
+    arr = np.ascontiguousarray(table, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[0] != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected a (2, 2, 2**n) delay array, got {arr.shape}")
+    return arr.reshape(-1)
 
 
 @dataclass(frozen=True)

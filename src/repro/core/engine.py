@@ -39,6 +39,7 @@ from .contract import (
 from .kernel import GateKernelInputs, GateKernelResult, simulate_gate_window
 from .memory import DeviceMemoryError, WaveformPool
 from .results import PhaseTimings, SimulationResult, SimulationStats
+from .vector_kernel import PackedDesign, pack_design, simulate_level, tile_level
 from .waveform import EOW, Waveform
 
 
@@ -72,6 +73,7 @@ class GatspiEngine:
         self.config = config or SimConfig()
         self._compiled: Optional[CompiledGraph] = None
         self._gate_inputs: Dict[str, GateKernelInputs] = {}
+        self._packed: Optional[PackedDesign] = None
         self._compile_time = 0.0
         self._estimated_path_delay = 0
 
@@ -84,12 +86,31 @@ class GatspiEngine:
             self.compile()
         return self._compiled
 
+    @property
+    def packed_design(self) -> PackedDesign:
+        """The compile-time struct-of-arrays design tensors (vector kernel).
+
+        Built once per compile and reused by every run — including every
+        device share of :func:`~repro.core.multi_gpu.simulate_multi_gpu`.
+        """
+        if self._packed is None:
+            self.compile()
+        return self._packed
+
     def compile(self) -> CompiledGraph:
-        """Levelize the netlist and build all lookup arrays."""
+        """Levelize the netlist and build all lookup arrays.
+
+        Produces two equivalent views of the design: the per-gate
+        :class:`GateKernelInputs` the scalar reference kernel consumes, and
+        the packed :class:`PackedDesign` tensors the level-batched vector
+        kernel executes (built from the very same truth/delay arrays, so the
+        two kernels cannot diverge on compiled data).
+        """
         start = time.perf_counter()
         # Recompiling must not keep lookup arrays from a previous compile
         # (stale gates would survive annotation/config changes).
         self._gate_inputs.clear()
+        self._packed = None
         levelization = levelize(self.netlist)
         compiled = compile_netlist(self.netlist, levelization)
         annotation = self.annotation
@@ -121,6 +142,7 @@ class GatspiEngine:
                 wire_rise=tuple(wire_rise),
                 wire_fall=tuple(wire_fall),
             )
+        self._packed = pack_design(compiled.gates_by_level, self._gate_inputs)
         # Estimate the critical path delay; it bounds how far an event can
         # still propagate past a cycle-parallel window boundary and therefore
         # sizes the default settle margin (window overlap).
@@ -162,6 +184,7 @@ class GatspiEngine:
         validate_stimulus(self.netlist, stimulus)
 
         windows = self._window_ranges(duration)
+        self._check_sentinel_headroom(stimulus, windows)
         timings = PhaseTimings()
         stats = SimulationStats(
             gate_count=compiled.gate_count,
@@ -169,6 +192,7 @@ class GatspiEngine:
             widest_level=compiled.levelization.widest_level,
             windows=len(windows),
             cycles=cycles,
+            kernel_mode=config.kernel,
         )
 
         window_outputs: Dict[str, Dict[int, Waveform]] = {}
@@ -181,6 +205,38 @@ class GatspiEngine:
             stimulus, windows, window_outputs, duration, timings, stats
         )
         return result
+
+    def _check_sentinel_headroom(
+        self, stimulus: Mapping[str, Waveform], windows: Sequence["_WindowRange"]
+    ) -> None:
+        """Refuse runs whose timestamps could reach the ``EOW`` sentinel.
+
+        A toggle written at or beyond ``EOW`` (INT32_MAX) terminates its
+        waveform early on readback — a silent wrong answer.  Window-local
+        input times are bounded by both the longest extended window and the
+        largest stimulus timestamp; adding the estimated critical-path delay
+        bounds every output time the kernel can produce.
+        """
+        max_timestamp = 0
+        for net in self.netlist.source_nets():
+            wave = stimulus[net]
+            # data[-1] is EOW, data[-2] the final timestamp.
+            max_timestamp = max(max_timestamp, int(wave.data[-2]))
+        if max_timestamp >= EOW:
+            raise StimulusError(
+                f"stimulus contains a timestamp ({max_timestamp}) at or "
+                f"beyond the EOW sentinel ({EOW}); such waveforms cannot be "
+                f"represented in the array waveform format"
+            )
+        longest = max(window.length for window in windows) + self.window_overlap
+        headroom = min(longest, max_timestamp) + self._estimated_path_delay
+        if headroom >= EOW:
+            raise StimulusError(
+                f"stimulus timestamps approach the EOW sentinel ({EOW}): "
+                f"window-local times up to {headroom} could be produced, "
+                f"which would silently truncate output waveforms; shorten "
+                f"the run or raise cycle_parallelism"
+            )
 
     # ------------------------------------------------------------------
     # Window / segment management
@@ -266,7 +322,46 @@ class GatspiEngine:
             pool.store_waveform(net, window_index, wave)
         timings.host_to_device += time.perf_counter() - start
 
-        # Level-by-level two-pass simulation.
+        # Level-by-level two-pass simulation through the configured kernel.
+        if config.kernel == "vector":
+            self._run_levels_vector(pool, windows, timings, stats)
+        else:
+            self._run_levels_scalar(pool, windows, timings, stats)
+
+        # Read back gate output waveforms for this batch of windows, trimming
+        # each one to exactly [start, end): the settle margin on the left is
+        # discarded, and so is any propagation tail past the right edge (the
+        # next window reproduces it with full knowledge of its stimulus).
+        # Only the final window keeps its tail, since nothing follows it.
+        start = time.perf_counter()
+        for gate in compiled.gates.values():
+            per_net = window_outputs.setdefault(gate.output_net, {})
+            for window in windows:
+                wave = pool.read_waveform(gate.output_net, window.index)
+                margin = window.start - extended_starts[window.index]
+                if overlap > 0 and window.end < duration:
+                    right_edge = window.end - extended_starts[window.index]
+                else:
+                    right_edge = EOW - 1
+                if margin > 0 or right_edge != EOW - 1:
+                    wave = wave.window(margin, right_edge, rebase=True)
+                per_net[window.index] = wave
+        stats.pool_words_used = max(stats.pool_words_used, pool.used_words)
+        timings.readback += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Level execution: scalar reference kernel
+    # ------------------------------------------------------------------
+    def _run_levels_scalar(
+        self,
+        pool: WaveformPool,
+        windows: Sequence[_WindowRange],
+        timings: PhaseTimings,
+        stats: SimulationStats,
+    ) -> None:
+        """Per-(gate, window) Python kernel loop — the reference oracle."""
+        config = self.config
+        compiled = self.compiled
         for level in compiled.gates_by_level:
             schedule_start = time.perf_counter()
             tasks = [
@@ -326,26 +421,122 @@ class GatspiEngine:
                 )
             timings.kernel += time.perf_counter() - kernel_start
 
-        # Read back gate output waveforms for this batch of windows, trimming
-        # each one to exactly [start, end): the settle margin on the left is
-        # discarded, and so is any propagation tail past the right edge (the
-        # next window reproduces it with full knowledge of its stimulus).
-        # Only the final window keeps its tail, since nothing follows it.
-        start = time.perf_counter()
-        for gate in compiled.gates.values():
-            per_net = window_outputs.setdefault(gate.output_net, {})
-            for window in windows:
-                wave = pool.read_waveform(gate.output_net, window.index)
-                margin = window.start - extended_starts[window.index]
-                if overlap > 0 and window.end < duration:
-                    right_edge = window.end - extended_starts[window.index]
-                else:
-                    right_edge = EOW - 1
-                if margin > 0 or right_edge != EOW - 1:
-                    wave = wave.window(margin, right_edge, rebase=True)
-                per_net[window.index] = wave
-        stats.pool_words_used = max(stats.pool_words_used, pool.used_words)
-        timings.readback += time.perf_counter() - start
+    # ------------------------------------------------------------------
+    # Level execution: level-batched vector kernel
+    # ------------------------------------------------------------------
+    def _run_levels_vector(
+        self,
+        pool: WaveformPool,
+        windows: Sequence[_WindowRange],
+        timings: PhaseTimings,
+        stats: SimulationStats,
+    ) -> None:
+        """Struct-of-arrays execution: one batched launch per level per pass.
+
+        For each level the count pass sizes every output waveform, the
+        addresses come from one prefix-sum allocation, and the store pass
+        writes all outputs with vectorized scatters — the software analogue
+        of the paper's per-level GPU grid launches.
+        """
+        config = self.config
+        packed = self.packed_design
+        W = len(windows)
+        window_indices = [window.index for window in windows]
+
+        schedule_start = time.perf_counter()
+        null_pointer = pool.store_padding_waveform()
+        timings.scheduling += time.perf_counter() - schedule_start
+
+        for level in packed.levels:
+            G = level.gate_count
+            P = level.max_pins
+            T = G * W
+
+            # Gather input pointers and toggle capacities per task.  Each
+            # net's per-window pointer row is built once and broadcast to
+            # every gate that reads it (fanout reuse).
+            schedule_start = time.perf_counter()
+            pointers = np.full((T, P), null_pointer, dtype=np.int64)
+            capacities = np.zeros(T, dtype=np.int64)
+            pointer_rows: Dict[str, np.ndarray] = {}
+            capacity_rows: Dict[str, np.ndarray] = {}
+            for g, nets in enumerate(level.input_nets):
+                base = g * W
+                for pin, net in enumerate(nets):
+                    row = pointer_rows.get(net)
+                    if row is None:
+                        row = np.fromiter(
+                            (pool.pointer(net, wi) for wi in window_indices),
+                            dtype=np.int64,
+                            count=W,
+                        )
+                        pointer_rows[net] = row
+                        capacity_rows[net] = np.fromiter(
+                            (pool.toggle_count(net, wi) for wi in window_indices),
+                            dtype=np.int64,
+                            count=W,
+                        )
+                    pointers[base : base + W, pin] = row
+                    capacities[base : base + W] += capacity_rows[net]
+            timings.scheduling += time.perf_counter() - schedule_start
+
+            # Count pass: one batched launch sizes every output waveform.
+            # The tiled per-task tensors are shared with the store pass.
+            kernel_start = time.perf_counter()
+            tiled = tile_level(level, W)
+            first_pass = simulate_level(
+                pool.data,
+                pointers,
+                packed,
+                level,
+                W,
+                capacities,
+                pathpulse_fraction=config.pathpulse_fraction,
+                net_delay_filtering=config.enable_net_delay_filtering,
+                tiled=tiled,
+            )
+            stats.kernel_invocations += T
+            stats.level_batches += 1
+            stats.max_batch_tasks = max(stats.max_batch_tasks, T)
+            timings.kernel += time.perf_counter() - kernel_start
+
+            # Prefix-sum layout of all output addresses of the level.
+            schedule_start = time.perf_counter()
+            addresses = pool.allocate_batch(first_pass.storage_words)
+            timings.scheduling += time.perf_counter() - schedule_start
+
+            # Store pass: re-run the batched kernel (as the paper does) and
+            # scatter the output waveforms to their assigned addresses.
+            kernel_start = time.perf_counter()
+            if config.two_pass:
+                result = simulate_level(
+                    pool.data,
+                    pointers,
+                    packed,
+                    level,
+                    W,
+                    capacities,
+                    pathpulse_fraction=config.pathpulse_fraction,
+                    net_delay_filtering=config.enable_net_delay_filtering,
+                    tiled=tiled,
+                )
+                stats.kernel_invocations += T
+                stats.level_batches += 1
+            else:
+                result = first_pass
+            timings.kernel += time.perf_counter() - kernel_start
+
+            schedule_start = time.perf_counter()
+            pool.store_level_outputs(
+                level.output_nets,
+                window_indices,
+                addresses,
+                result.initial_values,
+                result.toggle_buffer,
+                result.toggle_starts,
+                result.toggle_counts,
+            )
+            timings.scheduling += time.perf_counter() - schedule_start
 
     # ------------------------------------------------------------------
     # Result assembly

@@ -3,22 +3,34 @@
 GATSPI pre-allocates one chunk of device memory for *all* waveforms of the
 simulation, plus arrays of input/output waveform start-address pointers, so
 no host/device traffic occurs while the kernels run.  This module models that
-layout: a flat ``int64`` array, an allocator that lays out waveforms
-back-to-back, and pointer bookkeeping keyed by ``(net, window)``.
+layout: a flat array, an allocator that lays out waveforms back-to-back, and
+pointer bookkeeping keyed by ``(net, window)``.
 
 The two-pass kernel scheme exists precisely to make this layout possible: the
 count pass reports each output waveform's storage size, the allocator assigns
-start addresses, and the store pass writes into them.
+start addresses (:meth:`WaveformPool.allocate_batch` lays out a whole level
+in one prefix-sum), and the store pass writes into them.
+
+Pool dtype
+----------
+
+The pool has exactly one element dtype, :data:`~repro.core.waveform.POOL_DTYPE`
+(``int64``), enforced here for every store.  The end-of-waveform sentinel
+``EOW`` is ``INT32_MAX`` as in the paper, *not* the int64 maximum, so a
+timestamp can numerically exceed the sentinel without overflowing the dtype —
+which would silently truncate the waveform on readback.  Every store therefore
+guards that no timestamp has reached ``EOW`` and raises
+:class:`TimestampOverflowError` instead of corrupting the Fig. 3 format.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from .waveform import EOW, INITIAL_ONE_MARKER, Waveform
+from .waveform import EOW, INITIAL_ONE_MARKER, POOL_DTYPE, Waveform
 
 
 class DeviceMemoryError(RuntimeError):
@@ -26,6 +38,15 @@ class DeviceMemoryError(RuntimeError):
 
     The engine reacts the way the paper describes: the testbench windows are
     split into segments and GATSPI is invoked sequentially on each.
+    """
+
+
+class TimestampOverflowError(RuntimeError):
+    """Raised when a timestamp reaches the ``EOW`` sentinel.
+
+    A toggle time numerically equal to or above ``EOW`` would terminate its
+    waveform early on readback — a silent wrong answer.  The pool refuses the
+    store instead.
     """
 
 
@@ -51,9 +72,11 @@ class WaveformPool:
             raise ValueError("pool capacity must be at least 4 words")
         self.capacity_words = int(capacity_words)
         size = min(self.capacity_words, max(4, int(initial_words)))
-        self._data = np.full(size, EOW, dtype=np.int64)
+        self._data = np.full(size, EOW, dtype=POOL_DTYPE)
         self._next_free = 0
         self._pointers: Dict[Tuple[str, int], int] = {}
+        self._sizes: Dict[Tuple[str, int], int] = {}
+        self._toggle_counts: Dict[Tuple[str, int], int] = {}
 
     # ------------------------------------------------------------------
     # Allocation
@@ -78,7 +101,7 @@ class WaveformPool:
             )
         if required > self._data.size:
             new_size = min(self.capacity_words, max(required, self._data.size * 2))
-            grown = np.full(new_size, EOW, dtype=np.int64)
+            grown = np.full(new_size, EOW, dtype=POOL_DTYPE)
             grown[: self._next_free] = self._data[: self._next_free]
             self._data = grown
 
@@ -98,15 +121,64 @@ class WaveformPool:
         self._next_free += words
         return address
 
+    def allocate_batch(self, sizes: np.ndarray) -> np.ndarray:
+        """Lay out one waveform per entry of ``sizes`` with a prefix sum.
+
+        Produces exactly the addresses a loop of :meth:`allocate` calls would
+        (each waveform even-aligned, laid out back-to-back), but in O(1)
+        numpy work per level — this is how the store pass of the vector
+        kernel gets every output address of a level at once.
+        """
+        sizes = np.ascontiguousarray(sizes, dtype=np.int64)
+        if sizes.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(sizes.min()) < 2:
+            raise ValueError("a waveform needs at least 2 words (entry + EOW)")
+        # Even-aligned back-to-back layout: from an even base, each slot
+        # occupies size + (size & 1) words, so addresses are an exclusive
+        # prefix sum of the padded sizes.
+        base = self._next_free + (self._next_free & 1)
+        padded = sizes + (sizes & 1)
+        addresses = np.empty(sizes.size, dtype=np.int64)
+        addresses[0] = base
+        np.cumsum(padded[:-1], out=addresses[1:])
+        addresses[1:] += base
+        end = int(addresses[-1] + sizes[-1])
+        self._ensure(end - self._next_free)
+        self._next_free = end
+        return addresses
+
     # ------------------------------------------------------------------
     # Waveform storage
     # ------------------------------------------------------------------
+    def _register(self, net: str, window: int, address: int, size: int,
+                  toggle_count: int) -> None:
+        key = (net, window)
+        self._pointers[key] = address
+        self._sizes[key] = int(size)
+        self._toggle_counts[key] = int(toggle_count)
+
     def store_waveform(self, net: str, window: int, waveform: Waveform) -> int:
         """Copy a waveform into the pool; returns its start address."""
         raw = waveform.data
+        if raw.dtype != POOL_DTYPE:
+            raise TypeError(
+                f"waveform dtype {raw.dtype} does not match pool dtype {POOL_DTYPE}"
+            )
         address = self.allocate(raw.size)
         self._data[address : address + raw.size] = raw
-        self._pointers[(net, window)] = address
+        self._register(net, window, address, raw.size, waveform.toggle_count())
+        return address
+
+    def store_padding_waveform(self) -> int:
+        """Store the canonical null waveform (``[0, EOW]``), unregistered.
+
+        Padded pins of the level-batched kernel point here: a constant-0
+        signal that never produces events.
+        """
+        address = self.allocate(2)
+        self._data[address] = 0
+        self._data[address + 1] = EOW
         return address
 
     def store_kernel_output(
@@ -118,6 +190,11 @@ class WaveformPool:
         toggle_times: List[int],
     ) -> None:
         """Write a kernel result at a pre-assigned address (store pass)."""
+        if toggle_times and toggle_times[-1] >= EOW:
+            raise TimestampOverflowError(
+                f"toggle time {toggle_times[-1]} on net {net!r} reached the "
+                f"EOW sentinel ({EOW})"
+            )
         cursor = address
         if initial_value:
             self._data[cursor] = INITIAL_ONE_MARKER
@@ -128,7 +205,67 @@ class WaveformPool:
             self._data[cursor] = time
             cursor += 1
         self._data[cursor] = EOW
-        self._pointers[(net, window)] = address
+        self._register(
+            net, window, address, cursor + 1 - address, len(toggle_times)
+        )
+
+    def store_level_outputs(
+        self,
+        nets: Sequence[str],
+        window_indices: Sequence[int],
+        addresses: np.ndarray,
+        initial_values: np.ndarray,
+        toggle_buffer: np.ndarray,
+        toggle_starts: np.ndarray,
+        toggle_counts: np.ndarray,
+    ) -> None:
+        """Vectorized store pass for one level of the vector kernel.
+
+        Tasks are gate-major over ``window_indices`` (``task = gate * W +
+        window``), matching :func:`repro.core.vector_kernel.simulate_level`.
+        All waveforms of the level are written with a handful of numpy
+        scatter operations.
+        """
+        W = len(window_indices)
+        T = len(nets) * W
+        addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+        if addresses.size != T:
+            raise ValueError(f"expected {T} addresses, got {addresses.size}")
+        if T == 0:
+            return
+        data = self._data
+        has_marker = initial_values != 0
+        data[addresses[has_marker]] = INITIAL_ONE_MARKER
+        establish = addresses + has_marker
+        data[establish] = 0
+        total = int(toggle_counts.sum())
+        if total:
+            # Flat gather/scatter indices for all toggle segments at once:
+            # within-segment offsets are a ramp reset at each segment start.
+            ramp = np.arange(total, dtype=np.int64)
+            seg_base = np.cumsum(toggle_counts) - toggle_counts
+            ramp -= np.repeat(seg_base, toggle_counts)
+            src = np.repeat(toggle_starts, toggle_counts) + ramp
+            dst = np.repeat(establish + 1, toggle_counts) + ramp
+            times = toggle_buffer[src]
+            if int(times.max()) >= EOW:
+                raise TimestampOverflowError(
+                    f"a toggle time in level store reached the EOW sentinel ({EOW})"
+                )
+            data[dst] = times
+        data[establish + 1 + toggle_counts] = EOW
+        sizes = establish + 2 + toggle_counts - addresses
+        for g, net in enumerate(nets):
+            base = g * W
+            for w, window in enumerate(window_indices):
+                t = base + w
+                self._register(
+                    net,
+                    window,
+                    int(addresses[t]),
+                    int(sizes[t]),
+                    int(toggle_counts[t]),
+                )
 
     def pointer(self, net: str, window: int) -> int:
         """Start address of a stored waveform."""
@@ -139,24 +276,44 @@ class WaveformPool:
                 f"no waveform stored for net {net!r}, window {window}"
             ) from None
 
+    def toggle_count(self, net: str, window: int) -> int:
+        """Real transitions of a stored waveform (drives count-pass sizing)."""
+        try:
+            return self._toggle_counts[(net, window)]
+        except KeyError:
+            raise KeyError(
+                f"no waveform stored for net {net!r}, window {window}"
+            ) from None
+
     def has_waveform(self, net: str, window: int) -> bool:
         return (net, window) in self._pointers
 
     def read_waveform(self, net: str, window: int) -> Waveform:
-        """Re-materialise a stored waveform (result readback)."""
+        """Waveform readback as a zero-copy view into the pool.
+
+        The returned :class:`Waveform` wraps a read-only slice of the pool
+        array — no per-element copy.  The pool is append-only for the
+        lifetime of a simulation batch (only :meth:`reset` rewrites stored
+        words), so the view stays valid as long as the caller holds it: even
+        if the pool grows, the view keeps the old buffer alive.
+        """
         address = self.pointer(net, window)
-        cursor = address
-        values: List[int] = []
-        while True:
-            value = int(self._data[cursor])
-            values.append(value)
-            if value == EOW:
-                break
-            cursor += 1
-        return Waveform.from_array(values)
+        # Every store path registers through _register, so a known pointer
+        # always has a recorded size.
+        size = self._sizes[(net, window)]
+        view = self._data[address : address + size].view()
+        view.setflags(write=False)
+        return Waveform(view)
 
     def reset(self) -> None:
-        """Free everything (used between sequential testbench segments)."""
+        """Free everything (used between sequential testbench segments).
+
+        Invalidates any zero-copy views previously handed out by
+        :meth:`read_waveform`; callers that keep results across a reset must
+        copy them first.
+        """
         self._next_free = 0
         self._pointers.clear()
+        self._sizes.clear()
+        self._toggle_counts.clear()
         self._data[:] = EOW

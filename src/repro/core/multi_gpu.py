@@ -12,6 +12,12 @@ report the *parallel* runtime as the slowest device (plus overhead), which is
 what a real multi-GPU run would show — including the paper's observation that
 deviation from linear scaling comes from uneven activity between the
 distributed windows.
+
+The design is prepared exactly once: every device share runs through the same
+session, so the gatspi backend's packed struct-of-arrays level tensors
+(:class:`~repro.core.vector_kernel.PackedDesign`, built at compile time) are
+partitioned across shares by window, never re-derived per device — only the
+per-share stimulus windows and waveform pools are device-local.
 """
 
 from __future__ import annotations
@@ -40,6 +46,16 @@ class DeviceShare:
     def kernel_runtime(self) -> float:
         return self.result.kernel_runtime
 
+    @property
+    def level_batches(self) -> int:
+        """Level-batched kernel launches this share executed."""
+        return self.result.stats.level_batches
+
+    @property
+    def max_batch_tasks(self) -> int:
+        """Largest (gate, window) batch this share launched."""
+        return self.result.stats.max_batch_tasks
+
 
 @dataclass
 class MultiGpuResult:
@@ -49,6 +65,12 @@ class MultiGpuResult:
     shares: List[DeviceShare] = field(default_factory=list)
     toggle_counts: Dict[str, int] = field(default_factory=dict)
     launch_overhead: float = 0.0
+    #: Which kernel executed Algorithm 1 on every share.
+    kernel_mode: str = ""
+    #: Invariant of this implementation: all shares run through one prepared
+    #: session, so the packed design tensors are built once and partitioned
+    #: by window — never re-derived per device.
+    compiled_once: bool = True
 
     @property
     def parallel_kernel_runtime(self) -> float:
@@ -95,19 +117,24 @@ def simulate_multi_gpu(
     config: Optional[SimConfig] = None,
     launch_overhead: float = 0.0,
     backend: str = "gatspi",
+    backend_options: Optional[Mapping[str, object]] = None,
 ) -> MultiGpuResult:
     """Distribute a testbench across ``num_devices`` model devices.
 
     Each device receives a contiguous slice of the testbench (its share of
-    the ``32 * n`` cycle-parallel windows) and simulates it through the
-    ``backend`` session (any backend registered in :mod:`repro.api`; the
-    design is compiled once and reused for every device share).  Toggle
-    counts are summed across devices; per-device kernel runtimes are kept so
-    the parallel runtime can be modelled as the slowest device plus
+    the ``32 * n`` cycle-parallel windows) and simulates it through one
+    shared ``backend`` session: the design — including the gatspi backend's
+    packed struct-of-arrays level tensors — is compiled exactly once, and
+    each share's level batches execute over that shared compile artifact.
+    Toggle counts are summed across devices; per-device kernel runtimes are
+    kept so the parallel runtime can be modelled as the slowest device plus
     ``launch_overhead``.
+
+    ``backend`` accepts a registry spec (``"gatspi:kernel=scalar"``), and
+    ``backend_options`` adds explicit prepare options on top of the spec.
     """
     # Imported lazily: ``repro.api`` depends on ``repro.core``.
-    from ..api import get_backend
+    from ..api import resolve_backend
 
     if num_devices < 1:
         raise ValueError("num_devices must be at least 1")
@@ -115,8 +142,11 @@ def simulate_multi_gpu(
     duration = cycles * config.clock_period
     slice_length = max(config.clock_period, -(-duration // num_devices))
 
-    session = get_backend(backend).prepare(
-        netlist, annotation=annotation, config=config
+    backend_impl, options = resolve_backend(backend)
+    if backend_options:
+        options = {**options, **backend_options}
+    session = backend_impl.prepare(
+        netlist, annotation=annotation, config=config, **options
     )
     result = MultiGpuResult(num_devices=num_devices, launch_overhead=launch_overhead)
     start = 0
@@ -127,6 +157,7 @@ def simulate_multi_gpu(
             net: wave.window(start, end, rebase=True) for net, wave in stimulus.items()
         }
         share_result = session.run(share_stimulus, duration=end - start)
+        result.kernel_mode = share_result.stats.kernel_mode
         result.shares.append(
             DeviceShare(
                 device_index=device_index,

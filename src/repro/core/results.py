@@ -68,6 +68,18 @@ class SimulationStats:
     output_transitions: int = 0
     kernel_invocations: int = 0
     pool_words_used: int = 0
+    #: Which kernel executed Algorithm 1 ("vector" or "scalar").
+    kernel_mode: str = ""
+    #: Level-batched kernel launches (vector kernel; counts every pass).
+    level_batches: int = 0
+    #: Largest single batch, in (gate, window) tasks.
+    max_batch_tasks: int = 0
+
+    def mean_batch_tasks(self) -> float:
+        """Average tasks per level-batched kernel launch."""
+        if self.level_batches == 0:
+            return 0.0
+        return self.kernel_invocations / self.level_batches
 
     def activity_factor(self) -> float:
         """Average toggles per gate per cycle (the paper's activity factor)."""

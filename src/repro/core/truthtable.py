@@ -14,7 +14,7 @@ weights are ``A = 2**1`` and ``B = 2**0`` so, e.g., ``A=1, B=1`` indexes entry
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -106,3 +106,32 @@ class TruthTable:
             if int(self.table[index]) != (function(values) & 1):
                 return False
         return True
+
+
+def pack_truth_tables(
+    tables: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate truth-table arrays into one flat design tensor.
+
+    Returns ``(flat, offsets)`` where ``flat`` is a single ``int8`` array and
+    ``offsets[k]`` is the start of table ``k`` inside it, so the vector kernel
+    evaluates any gate with ``flat[offsets[gate] + column_index]``.  Tables
+    that are the *same object* (cells sharing a library truth table) are
+    stored once.
+    """
+    offsets = np.zeros(len(tables), dtype=np.int64)
+    chunks: List[np.ndarray] = []
+    offset_by_id: dict = {}
+    cursor = 0
+    for k, table in enumerate(tables):
+        key = id(table)
+        if key in offset_by_id:
+            offsets[k] = offset_by_id[key]
+            continue
+        chunk = np.ascontiguousarray(table, dtype=np.int8).reshape(-1)
+        chunks.append(chunk)
+        offset_by_id[key] = cursor
+        offsets[k] = cursor
+        cursor += chunk.size
+    flat = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int8)
+    return flat, offsets

@@ -1,0 +1,415 @@
+"""Level-batched struct-of-arrays execution of Algorithm 1.
+
+The scalar kernel (:mod:`repro.core.kernel`) runs one Python loop per
+``(gate, window)`` task, which makes the interpreter itself the hot path.
+This module is the GPU-faithful alternative: ``compile()`` lowers the
+levelized netlist into *packed design tensors* — flat truth-table and
+delay-table arrays plus per-level gate/pin attribute matrices — and
+:func:`simulate_level` then executes Algorithm 1 for **every task of a level
+at once**, exactly the way a CUDA grid would: all tasks advance through the
+same lock-step event loop with numpy boolean masks playing the role of the
+SIMT active mask.  Tasks that exhaust their input waveforms retire from the
+batch; the loop ends when the batch is empty.
+
+Bit-exactness with the scalar kernel is a hard contract (the scalar path
+stays registered as the reference oracle): every arithmetic step below
+mirrors the scalar statement it replaces, including the float64 arrival-time
+arithmetic, the MSI equality comparison, and the truncating ``int()``
+conversion of output timestamps.
+
+Task layout
+-----------
+
+A level with ``G`` gates simulated over ``W`` cycle-parallel windows forms
+``T = G * W`` tasks ordered gate-major (``task = gate * W + window``).  Gates
+of different arity share one batch: pin axes are padded to the level's widest
+gate, and padded pins point at a canonical null waveform (``[0, EOW]``) so
+they never produce events, carry weight 0, and cannot perturb the column
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .delaytable import flatten_delay_array
+from .kernel import GateKernelInputs
+from .truthtable import pack_truth_tables
+from .waveform import EOW, INITIAL_ONE_MARKER
+
+
+@dataclass(frozen=True)
+class LevelTensors:
+    """Packed design tensors for one logic level (one row per gate).
+
+    ``weights``/``wire_rise``/``wire_fall``/``delay_offsets`` are padded to
+    the widest gate of the level; ``num_pins`` records each gate's real
+    arity.  ``tt_offsets`` and ``delay_offsets`` index the design-level flat
+    tensors on :class:`PackedDesign`.
+    """
+
+    gate_names: Tuple[str, ...]
+    output_nets: Tuple[str, ...]
+    input_nets: Tuple[Tuple[str, ...], ...]
+    num_pins: np.ndarray  # (G,)    int64
+    weights: np.ndarray  # (G, P)  int64, 0 on padded pins
+    wire_rise: np.ndarray  # (G, P)  float64
+    wire_fall: np.ndarray  # (G, P)  float64
+    tt_offsets: np.ndarray  # (G,)    int64 into PackedDesign.tt_flat
+    delay_offsets: np.ndarray  # (G, P)  int64 into PackedDesign.delay_flat
+    num_columns: np.ndarray  # (G,)    int64, 2**num_pins
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.gate_names)
+
+    @property
+    def max_pins(self) -> int:
+        return int(self.weights.shape[1]) if self.weights.ndim == 2 else 0
+
+
+@dataclass(frozen=True)
+class PackedDesign:
+    """The whole design lowered to flat tensors, one :class:`LevelTensors`
+    per logic level.  Built once at compile time and shared by every
+    simulation run (and every multi-device share) of the session."""
+
+    tt_flat: np.ndarray  # int8: concatenated truth tables
+    delay_flat: np.ndarray  # float64: concatenated per-pin delay arrays
+    levels: Tuple[LevelTensors, ...]
+
+    @property
+    def gate_count(self) -> int:
+        return sum(level.gate_count for level in self.levels)
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def level_task_counts(self, windows: int) -> List[int]:
+        """Batch size (tasks) of each level for a given window count."""
+        return [level.gate_count * windows for level in self.levels]
+
+
+def pack_design(
+    gates_by_level: Sequence[Sequence],
+    gate_inputs: Mapping[str, GateKernelInputs],
+) -> PackedDesign:
+    """Lower compiled per-gate kernel inputs into packed design tensors.
+
+    ``gates_by_level`` is ``CompiledGraph.gates_by_level``; ``gate_inputs``
+    is the per-gate :class:`GateKernelInputs` mapping the scalar path
+    consumes, so both kernels are guaranteed to read the *same* truth and
+    delay tables.
+    """
+    tt_tables: List[np.ndarray] = []
+    delay_blocks: List[np.ndarray] = []
+    delay_offset_by_id: Dict[int, int] = {}
+    delay_chunks: List[np.ndarray] = []
+    delay_cursor = 0
+
+    def delay_offset(arr: np.ndarray) -> int:
+        nonlocal delay_cursor
+        key = id(arr)
+        if key not in delay_offset_by_id:
+            chunk = flatten_delay_array(arr)
+            delay_chunks.append(chunk)
+            delay_offset_by_id[key] = delay_cursor
+            delay_cursor += chunk.size
+        return delay_offset_by_id[key]
+
+    levels: List[LevelTensors] = []
+    for level_gates in gates_by_level:
+        names: List[str] = []
+        outputs: List[str] = []
+        inputs: List[Tuple[str, ...]] = []
+        pins: List[int] = []
+        for gate in level_gates:
+            names.append(gate.name)
+            outputs.append(gate.output_net)
+            inputs.append(tuple(gate.input_nets))
+            pins.append(len(gate.input_nets))
+        G = len(names)
+        P = max(pins) if pins else 0
+        num_pins = np.asarray(pins, dtype=np.int64)
+        weights = np.zeros((G, P), dtype=np.int64)
+        wire_rise = np.zeros((G, P), dtype=np.float64)
+        wire_fall = np.zeros((G, P), dtype=np.float64)
+        tt_offsets = np.zeros(G, dtype=np.int64)
+        delay_offsets = np.zeros((G, P), dtype=np.int64)
+        num_columns = np.zeros(G, dtype=np.int64)
+        for g, gate in enumerate(level_gates):
+            inp = gate_inputs[gate.name]
+            n = inp.num_pins
+            num_columns[g] = 1 << n
+            tt_tables.append(inp.truth_table)
+            for i in range(n):
+                weights[g, i] = 1 << (n - 1 - i)
+                wire_rise[g, i] = inp.wire_rise[i]
+                wire_fall[g, i] = inp.wire_fall[i]
+                delay_offsets[g, i] = delay_offset(inp.delay_arrays[i])
+        levels.append(
+            LevelTensors(
+                gate_names=tuple(names),
+                output_nets=tuple(outputs),
+                input_nets=tuple(inputs),
+                num_pins=num_pins,
+                weights=weights,
+                wire_rise=wire_rise,
+                wire_fall=wire_fall,
+                tt_offsets=tt_offsets,
+                delay_offsets=delay_offsets,
+                num_columns=num_columns,
+            )
+        )
+
+    tt_flat, tt_offsets_all = pack_truth_tables(tt_tables)
+    cursor = 0
+    for level in levels:
+        G = level.gate_count
+        level.tt_offsets[:] = tt_offsets_all[cursor : cursor + G]
+        cursor += G
+    delay_flat = (
+        np.concatenate(delay_chunks) if delay_chunks else np.zeros(0, dtype=np.float64)
+    )
+    return PackedDesign(
+        tt_flat=tt_flat, delay_flat=delay_flat, levels=tuple(levels)
+    )
+
+
+@dataclass(frozen=True)
+class TiledLevel:
+    """Per-gate level tensors tiled across windows (one row per task).
+
+    Built once per (level, window-count) and shared by the count and store
+    passes — the tiling is pure repetition, so recomputing it per pass would
+    double the batch set-up cost for identical results.
+    """
+
+    weights: np.ndarray  # (T, P) int64
+    wire_rise: np.ndarray  # (T, P) float64
+    wire_fall: np.ndarray  # (T, P) float64
+    tt_offsets: np.ndarray  # (T,)   int64
+    delay_offsets: np.ndarray  # (T, P) int64
+    num_columns: np.ndarray  # (T,)   int64
+    pin_mask: np.ndarray  # (T, P) bool
+
+
+def tile_level(level: LevelTensors, windows: int) -> TiledLevel:
+    """Tile the per-gate tensors of a level into per-task rows
+    (``task = gate * windows + window``)."""
+    return TiledLevel(
+        weights=np.repeat(level.weights, windows, axis=0),
+        wire_rise=np.repeat(level.wire_rise, windows, axis=0),
+        wire_fall=np.repeat(level.wire_fall, windows, axis=0),
+        tt_offsets=np.repeat(level.tt_offsets, windows),
+        delay_offsets=np.repeat(level.delay_offsets, windows, axis=0),
+        num_columns=np.repeat(level.num_columns, windows),
+        pin_mask=(
+            np.arange(level.max_pins, dtype=np.int64)[None, :]
+            < np.repeat(level.num_pins, windows)[:, None]
+        ),
+    )
+
+
+@dataclass
+class LevelKernelResult:
+    """Output of one level-batched kernel launch (all tasks of a level).
+
+    Toggle times live in one flat buffer with per-task start offsets — the
+    same struct-of-arrays shape the store pass writes to the waveform pool.
+    """
+
+    initial_values: np.ndarray  # (T,) int64
+    toggle_buffer: np.ndarray  # flat int64
+    toggle_starts: np.ndarray  # (T,) int64
+    toggle_counts: np.ndarray  # (T,) int64
+
+    @property
+    def task_count(self) -> int:
+        return int(self.initial_values.size)
+
+    @property
+    def storage_words(self) -> np.ndarray:
+        """Pool words per task: establishing entry + toggles + EOW + marker."""
+        return 2 + self.toggle_counts + (self.initial_values != 0)
+
+    def toggles_for(self, task: int) -> np.ndarray:
+        start = int(self.toggle_starts[task])
+        return self.toggle_buffer[start : start + int(self.toggle_counts[task])]
+
+
+def simulate_level(
+    pool: np.ndarray,
+    input_pointers: np.ndarray,
+    design: PackedDesign,
+    level: LevelTensors,
+    windows: int,
+    toggle_capacity: np.ndarray,
+    pathpulse_fraction: float = 1.0,
+    net_delay_filtering: bool = True,
+    tiled: Optional[TiledLevel] = None,
+) -> LevelKernelResult:
+    """Run Algorithm 1 for every ``(gate, window)`` task of one level.
+
+    ``input_pointers`` is ``(T, P)`` with padded pins pointing at a null
+    waveform (``[0, EOW]``); ``toggle_capacity`` is a per-task upper bound on
+    produced toggles (the task's total input-toggle count is always safe:
+    every event-loop iteration consumes at least one input transition).
+    ``tiled`` optionally supplies the :func:`tile_level` result so the count
+    and store passes share one tiling.
+    """
+    G = level.gate_count
+    T = G * windows
+    P = level.max_pins
+    if input_pointers.shape != (T, P):
+        raise ValueError(
+            f"input pointers must have shape {(T, P)}, got {input_pointers.shape}"
+        )
+
+    tt_flat = design.tt_flat
+    delay_flat = design.delay_flat
+    limit = pool.size - 1
+
+    if tiled is None:
+        tiled = tile_level(level, windows)
+    weights = tiled.weights
+    wire_rise = tiled.wire_rise
+    wire_fall = tiled.wire_fall
+    tt_off = tiled.tt_offsets
+    delay_off = tiled.delay_offsets
+    ncols = tiled.num_columns
+    pin_mask = tiled.pin_mask
+
+    # Lines 3-6: skip initial-one markers, resolve the initial column/output.
+    ptr = np.ascontiguousarray(input_pointers, dtype=np.int64).copy()
+    if P:
+        ptr += pool[np.minimum(ptr, limit)] == INITIAL_ONE_MARKER
+        col = (weights * (ptr & 1)).sum(axis=1)
+    else:
+        col = np.zeros(T, dtype=np.int64)
+    out = tt_flat[tt_off + col].astype(np.int64)
+    initial_values = out.copy()
+
+    caps = np.ascontiguousarray(toggle_capacity, dtype=np.int64)
+    if caps.shape != (T,):
+        raise ValueError(f"toggle capacity must have shape {(T,)}, got {caps.shape}")
+    toggle_starts = np.zeros(T, dtype=np.int64)
+    np.cumsum(caps[:-1], out=toggle_starts[1:])
+    toggle_buffer = np.zeros(int(caps.sum()), dtype=np.int64)
+    toggle_counts = np.zeros(T, dtype=np.int64)
+    last_time = np.zeros(T, dtype=np.int64)
+
+    idx = np.arange(T, dtype=np.int64)
+    if P == 0:
+        idx = idx[:0]
+
+    # Main lock-step event loop (Algorithm 1 lines 7-25, all tasks at once).
+    while idx.size:
+        p = ptr[idx]
+        pm = pin_mask[idx]
+        wr = wire_rise[idx]
+        wf = wire_fall[idx]
+
+        # Interconnect inertial filtering (lines 10-12): drop input pulses
+        # narrower than the wire delay of their leading edge.
+        if net_delay_filtering:
+            while True:
+                first = pool[np.minimum(p + 1, limit)]
+                second = pool[np.minimum(p + 2, limit)]
+                nd = np.where(p & 1, wf, wr)
+                drop = (
+                    pm
+                    & (first != EOW)
+                    & (second != EOW)
+                    & (second - nd - first < 0)
+                )
+                if not drop.any():
+                    break
+                p = p + (drop << 1)
+            ptr[idx] = p
+
+        upcoming = pool[np.minimum(p + 1, limit)]
+        nd = np.where(p & 1, wf, wr)
+        arrival = np.where(pm & (upcoming != EOW), upcoming + nd, np.inf)
+        next_time = arrival.min(axis=1)
+
+        alive = next_time < EOW
+        if not alive.all():
+            idx = idx[alive]
+            if not idx.size:
+                break
+            p = p[alive]
+            arrival = arrival[alive]
+            next_time = next_time[alive]
+
+        # MSI resolution (lines 14-18): advance every pin arriving now.
+        arriving = arrival == next_time[:, None]
+        p = p + arriving
+        ptr[idx] = p
+        w = weights[idx]
+        new_pin_value = p & 1
+        col[idx] += np.where(
+            arriving, np.where(new_pin_value == 1, w, -w), 0
+        ).sum(axis=1)
+
+        c = col[idx]
+        new_out = tt_flat[tt_off[idx] + c].astype(np.int64)
+        changed = new_out != out[idx]
+        if not changed.any():
+            continue
+
+        # Output evaluation and inertial filtering (lines 19-25).
+        ci = idx[changed]
+        cc = c[changed]
+        arr_c = arriving[changed]
+        input_edge = 1 - (p[changed] & 1)  # RISE=0 for a pin that just rose
+        output_edge = 1 - new_out[changed]  # RISE=0 when the output rises
+        Cc = ncols[ci]
+        doff = delay_off[ci]
+        base = doff + (output_edge * Cc)[:, None] + cc[:, None]
+        exact_idx = base + input_edge * (2 * Cc[:, None])
+        d_exact = np.where(
+            arr_c, delay_flat[np.where(arr_c, exact_idx, 0)], np.inf
+        )
+        best = d_exact.min(axis=1)
+        opp_idx = base + (1 - input_edge) * (2 * Cc[:, None])
+        d_opp = np.where(arr_c, delay_flat[np.where(arr_c, opp_idx, 0)], np.inf)
+        best_opp = d_opp.min(axis=1)
+        gate_delay = np.where(
+            np.isfinite(best),
+            best,
+            np.where(np.isfinite(best_opp), best_opp, 0.0),
+        )
+
+        output_time = (next_time[changed] + gate_delay).astype(np.int64)
+        min_pulse = gate_delay * pathpulse_fraction
+        last_c = last_time[ci]
+        reject = (toggle_counts[ci] > 0) & (
+            (output_time - last_c < min_pulse) | (output_time <= last_c)
+        )
+
+        # Reject: cancel the previous output pulse, do not record this one.
+        rej = ci[reject]
+        toggle_counts[rej] -= 1
+        prev = toggle_starts[rej] + toggle_counts[rej] - 1
+        last_time[rej] = np.where(
+            toggle_counts[rej] > 0, toggle_buffer[np.maximum(prev, 0)], 0
+        )
+        # Accept: record the transition.
+        acc = ci[~reject]
+        acc_times = output_time[~reject]
+        toggle_buffer[toggle_starts[acc] + toggle_counts[acc]] = acc_times
+        toggle_counts[acc] += 1
+        last_time[acc] = acc_times
+        out[ci] = new_out[changed]
+
+    return LevelKernelResult(
+        initial_values=initial_values,
+        toggle_buffer=toggle_buffer,
+        toggle_starts=toggle_starts,
+        toggle_counts=toggle_counts,
+    )

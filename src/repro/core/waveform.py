@@ -33,13 +33,29 @@ EOW: int = 2**31 - 1
 #: Placeholder used at index 0 to encode an initial value of 1.
 INITIAL_ONE_MARKER: int = -1
 
+#: The one dtype used for waveform arrays and the device memory pool.
+#: Timestamps are stored as 64-bit integers while ``EOW`` stays at the
+#: paper's INT32_MAX, so overflow guarding happens against the sentinel
+#: value (see :mod:`repro.core.memory`), never against the dtype limit.
+POOL_DTYPE = np.int64
+
 
 class WaveformError(ValueError):
     """Raised when a waveform array violates the Fig. 3 format."""
 
 
 def _as_int_array(values: Iterable[int]) -> np.ndarray:
-    arr = np.asarray(list(values), dtype=np.int64)
+    if isinstance(values, np.ndarray):
+        if values.dtype == POOL_DTYPE and not values.flags.writeable:
+            # Zero-copy path: pool readback hands in *read-only* views of the
+            # waveform pool; keep them as views.  Writeable arrays are copied
+            # so a caller mutating its array cannot invalidate a validated
+            # waveform after the fact.
+            arr = values
+        else:
+            arr = values.astype(POOL_DTYPE)  # astype always copies here
+    else:
+        arr = np.asarray(list(values), dtype=POOL_DTYPE)
     if arr.ndim != 1:
         raise WaveformError("waveform data must be one-dimensional")
     return arr
