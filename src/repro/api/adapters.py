@@ -75,19 +75,29 @@ class GatspiBackend(SimBackend):
         config: Optional[SimConfig] = None,
         *,
         kernel: Optional[str] = None,
+        restructure: Optional[str] = None,
         **options,
     ) -> GatspiSession:
-        """Compile the design; ``kernel`` selects the Algorithm 1 executor.
+        """Compile the design; ``kernel``/``restructure`` pick the executors.
 
         ``kernel="vector"`` (default) runs the level-batched struct-of-arrays
         kernel; ``kernel="scalar"`` runs the per-gate Python reference
-        kernel.  Both are bit-identical; the option overrides
-        ``config.kernel`` so equivalence harnesses can flip executors
-        without rebuilding configs.
+        kernel.  ``restructure="vector"`` (default) runs the bulk-array
+        restructure/load/readback pipeline; ``restructure="python"`` runs
+        the per-(net, window) reference pipeline.  All combinations are
+        bit-identical; the options override the config fields so
+        equivalence harnesses can flip executors without rebuilding
+        configs (e.g. the specs ``"gatspi:kernel=scalar"`` and
+        ``"gatspi:restructure=python"``).
         """
         _reject_unknown_options(self.name, options)
+        overrides = {}
         if kernel is not None:
-            config = (config or SimConfig()).with_updates(kernel=kernel)
+            overrides["kernel"] = kernel
+        if restructure is not None:
+            overrides["restructure"] = restructure
+        if overrides:
+            config = (config or SimConfig()).with_updates(**overrides)
         engine = GatspiEngine(netlist, annotation=annotation, config=config)
         engine.compile()
         return GatspiSession(engine)

@@ -57,6 +57,17 @@ class BenchmarkRow:
     level_batches: int = 0
     max_batch_tasks: int = 0
     mean_batch_tasks: float = 0.0
+    # Per-phase application timings of the primary backend (Table 5 shape).
+    restructure_mode: str = ""
+    restructure_s: float = 0.0
+    host_to_device_s: float = 0.0
+    scheduling_s: float = 0.0
+    readback_s: float = 0.0
+
+    @property
+    def boundary_phase_s(self) -> float:
+        """Non-kernel restructure/load/readback time of the primary backend."""
+        return self.restructure_s + self.host_to_device_s + self.readback_s
 
     @property
     def kernel_speedup(self) -> float:
@@ -189,6 +200,11 @@ def run_case(
         level_batches=gatspi_result.stats.level_batches,
         max_batch_tasks=gatspi_result.stats.max_batch_tasks,
         mean_batch_tasks=gatspi_result.stats.mean_batch_tasks(),
+        restructure_mode=gatspi_result.stats.restructure_mode,
+        restructure_s=gatspi_result.timings.restructure,
+        host_to_device_s=gatspi_result.timings.host_to_device,
+        scheduling_s=gatspi_result.timings.scheduling,
+        readback_s=gatspi_result.timings.readback,
     )
     return BenchmarkArtifacts(
         case=case,

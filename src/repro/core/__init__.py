@@ -39,6 +39,15 @@ from .memory import (
     TimestampOverflowError,
     WaveformPool,
 )
+from .restructure import (
+    SourceEvents,
+    TrimmedReadback,
+    WindowSlices,
+    lower_stimulus,
+    slice_stimulus,
+    slice_windows,
+    stitch_windows,
+)
 from .results import PhaseTimings, SimulationResult, SimulationStats
 from .vector_kernel import (
     LevelKernelResult,
@@ -94,6 +103,13 @@ __all__ = [
     "pack_design",
     "simulate_level",
     "tile_level",
+    "SourceEvents",
+    "TrimmedReadback",
+    "WindowSlices",
+    "lower_stimulus",
+    "slice_stimulus",
+    "slice_windows",
+    "stitch_windows",
     "GatspiEngine",
     "StimulusError",
     "simulate",

@@ -52,6 +52,16 @@ class SimConfig:
         paper's one-thread-per-(gate, window) GPU grid.  ``"scalar"`` runs
         the per-gate Python reference kernel (:mod:`repro.core.kernel`);
         both produce bit-identical waveforms.
+    restructure:
+        Which implementation runs the non-kernel phases (testbench
+        restructuring, pool loading, readback/stitching).  ``"vector"``
+        (default) is the bulk-array pipeline (:mod:`repro.core.restructure`):
+        the stimulus is lowered once into flat event tensors, slice bounds
+        come from ``searchsorted`` prefix sums, windows are bulk-loaded via
+        :meth:`~repro.core.memory.WaveformPool.load_windows`, and output
+        stitching is array ops.  ``"python"`` is the per-``(net, window)``
+        :class:`Waveform`-object reference path; both produce bit-identical
+        waveforms, mirroring the ``kernel`` oracle pattern.
     device_memory_gb / waveform_pool_fraction:
         Model of the pre-allocated device memory chunk: of ``device_memory_gb``
         total, ``waveform_pool_fraction`` is reserved for waveform storage
@@ -66,6 +76,7 @@ class SimConfig:
     full_sdf: bool = True
     two_pass: bool = True
     kernel: str = "vector"
+    restructure: str = "vector"
     store_waveforms: bool = True
     device_memory_gb: float = 32.0
     waveform_pool_fraction: float = 0.75
@@ -91,6 +102,11 @@ class SimConfig:
         if self.kernel not in ("vector", "scalar"):
             raise ValueError(
                 f"kernel must be 'vector' or 'scalar', got {self.kernel!r}"
+            )
+        if self.restructure not in ("vector", "python"):
+            raise ValueError(
+                f"restructure must be 'vector' or 'python', got "
+                f"{self.restructure!r}"
             )
 
     @property

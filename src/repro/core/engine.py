@@ -38,9 +38,18 @@ from .contract import (
 )
 from .kernel import GateKernelInputs, GateKernelResult, simulate_gate_window
 from .memory import DeviceMemoryError, WaveformPool
+from .restructure import (
+    SourceEvents,
+    TrimmedReadback,
+    gather_segments,
+    lower_stimulus,
+    slice_windows,
+    stitch_windows,
+    trim_readback,
+)
 from .results import PhaseTimings, SimulationResult, SimulationStats
 from .vector_kernel import PackedDesign, pack_design, simulate_level, tile_level
-from .waveform import EOW, Waveform
+from .waveform import EOW, INITIAL_ONE_MARKER, Waveform
 
 
 @dataclass
@@ -52,6 +61,42 @@ class _WindowRange:
     @property
     def length(self) -> int:
         return self.end - self.start
+
+
+class _ReadbackAccumulator:
+    """Trimmed per-window outputs accumulated across segment batches.
+
+    Batches arrive in window order (the segment queue preserves it), so
+    concatenating a net's per-batch arrays yields its windows in run
+    order — the shape :func:`~repro.core.restructure.stitch_windows`
+    consumes.  Holding arrays instead of :class:`Waveform` objects is what
+    lets result assembly stay vectorized end to end.
+    """
+
+    def __init__(self, nets: Tuple[str, ...]):
+        self.nets = nets
+        self._batches: List[TrimmedReadback] = []
+        self._net_offsets: List[np.ndarray] = []
+
+    def append(self, batch: TrimmedReadback) -> None:
+        offsets = np.zeros(len(self.nets) + 1, dtype=np.int64)
+        np.cumsum(batch.counts.sum(axis=1), out=offsets[1:])
+        self._batches.append(batch)
+        self._net_offsets.append(offsets)
+
+    def net_series(self, index: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(establish_values, toggle_counts, times) of one net, all windows."""
+        establish = np.concatenate(
+            [batch.establish_values[index] for batch in self._batches]
+        )
+        counts = np.concatenate([batch.counts[index] for batch in self._batches])
+        times = np.concatenate(
+            [
+                batch.times[offsets[index] : offsets[index + 1]]
+                for batch, offsets in zip(self._batches, self._net_offsets)
+            ]
+        )
+        return establish, counts, times
 
 
 class GatspiEngine:
@@ -193,14 +238,35 @@ class GatspiEngine:
             windows=len(windows),
             cycles=cycles,
             kernel_mode=config.kernel,
+            restructure_mode=config.restructure,
         )
+
+        if config.restructure == "vector":
+            # Lower the stimulus once into flat event tensors; every
+            # segment batch slices the same tensors.
+            start = time.perf_counter()
+            events = lower_stimulus(tuple(self.netlist.source_nets()), stimulus)
+            timings.restructure += time.perf_counter() - start
+            readback = _ReadbackAccumulator(
+                tuple(gate.output_net for gate in compiled.gates.values())
+            )
+            stats.segments = self._segment_windows(
+                windows,
+                lambda batch: self._simulate_batch_vector(
+                    events, batch, duration, timings, stats, readback
+                ),
+            )
+            return self._assemble_result_vector(
+                stimulus, windows, readback, duration, timings, stats
+            )
 
         window_outputs: Dict[str, Dict[int, Waveform]] = {}
-        segments = self._segment_windows(
-            stimulus, windows, duration, timings, stats, window_outputs
+        stats.segments = self._segment_windows(
+            windows,
+            lambda batch: self._simulate_batch(
+                stimulus, batch, duration, timings, stats, window_outputs
+            ),
         )
-        stats.segments = segments
-
         result = self._assemble_result(
             stimulus, windows, window_outputs, duration, timings, stats
         )
@@ -258,23 +324,22 @@ class GatspiEngine:
 
     def _segment_windows(
         self,
-        stimulus: Mapping[str, Waveform],
         windows: Sequence[_WindowRange],
-        duration: int,
-        timings: PhaseTimings,
-        stats: SimulationStats,
-        window_outputs: Dict[str, Dict[int, Waveform]],
+        simulate_batch,
     ) -> int:
-        """Simulate windows, splitting into segments if the pool overflows."""
+        """Run ``simulate_batch`` over windows, splitting on pool overflow.
+
+        The queue preserves window order across splits, so batches always
+        cover the run front to back — the invariant result assembly (of
+        either restructure pipeline) relies on.
+        """
         pending: List[Sequence[_WindowRange]] = [list(windows)]
         segments = 0
         retries = 0
         while pending:
             batch = pending.pop(0)
             try:
-                self._simulate_batch(
-                    stimulus, batch, duration, timings, stats, window_outputs
-                )
+                simulate_batch(batch)
                 segments += 1
             except DeviceMemoryError:
                 retries += 1
@@ -346,6 +411,92 @@ class GatspiEngine:
                 if margin > 0 or right_edge != EOW - 1:
                     wave = wave.window(margin, right_edge, rebase=True)
                 per_net[window.index] = wave
+        stats.pool_words_used = max(stats.pool_words_used, pool.used_words)
+        timings.readback += time.perf_counter() - start
+
+    def _simulate_batch_vector(
+        self,
+        events: SourceEvents,
+        windows: Sequence[_WindowRange],
+        duration: int,
+        timings: PhaseTimings,
+        stats: SimulationStats,
+        readback: _ReadbackAccumulator,
+    ) -> None:
+        """One segment batch through the bulk-array pipeline.
+
+        Same phases as :meth:`_simulate_batch` — restructure, load, level
+        execution, readback — but the boundary phases never touch
+        per-window :class:`Waveform` objects: slice bounds come from
+        ``searchsorted`` over the lowered event tensors, the pool is
+        filled by one :meth:`WaveformPool.load_windows` call, and trimmed
+        outputs land in the accumulator as flat arrays.
+        """
+        config = self.config
+        pool = WaveformPool(config.waveform_pool_words)
+        overlap = self.window_overlap
+        B = len(windows)
+        window_indices = [window.index for window in windows]
+        extended_starts = np.asarray(
+            [max(0, window.start - overlap) for window in windows], dtype=np.int64
+        )
+        ends = np.asarray([window.end for window in windows], dtype=np.int64)
+
+        # Restructure: per-(net, window) slice bounds over the flat event
+        # tensor — the cycle-parallelism step without any waveform copies.
+        start = time.perf_counter()
+        slices = slice_windows(events, extended_starts, ends)
+        timings.restructure += time.perf_counter() - start
+
+        # Load: one batched scatter writes every window into the pool.
+        start = time.perf_counter()
+        pool.load_windows(
+            events.nets,
+            window_indices,
+            slices.initial_values,
+            events.times,
+            slices.starts,
+            slices.counts,
+            extended_starts,
+        )
+        timings.host_to_device += time.perf_counter() - start
+
+        if config.kernel == "vector":
+            self._run_levels_vector(pool, windows, timings, stats)
+        else:
+            self._run_levels_scalar(pool, windows, timings, stats)
+
+        # Readback: trim every output window to [start, end) — settle
+        # margin and propagation tail dropped exactly as the reference
+        # path does — and lift the survivors to absolute time.
+        start = time.perf_counter()
+        nets = readback.nets
+        addresses, toggle_counts = pool.window_table(nets, window_indices)
+        markers = (pool.data[addresses] == INITIAL_ONE_MARKER).astype(np.int64)
+        task_offsets = np.zeros(toggle_counts.size + 1, dtype=np.int64)
+        np.cumsum(toggle_counts, out=task_offsets[1:])
+        local_times = gather_segments(pool.data, addresses + markers + 1, toggle_counts)
+        margins = np.asarray(
+            [window.start for window in windows], dtype=np.int64
+        ) - extended_starts
+        if overlap > 0:
+            right_edges = np.where(ends < duration, ends - extended_starts, EOW - 1)
+        else:
+            right_edges = np.full(B, EOW - 1, dtype=np.int64)
+        apply_trim = (margins > 0) | (right_edges != EOW - 1)
+        N = len(nets)
+        trimmed = trim_readback(
+            local_times,
+            task_offsets,
+            markers,
+            np.tile(margins, N),
+            np.tile(right_edges, N),
+            np.tile(apply_trim, N),
+            extended_starts,
+            N,
+            B,
+        )
+        readback.append(trimmed)
         stats.pool_words_used = max(stats.pool_words_used, pool.used_words)
         timings.readback += time.perf_counter() - start
 
@@ -582,6 +733,52 @@ class GatspiEngine:
         # Input events seen by gates = fanout-weighted net transitions.
         stats.input_events = fanin_weighted_toggles(self.netlist, result.toggle_counts)
 
+        timings.readback += time.perf_counter() - start
+        return result
+
+    def _assemble_result_vector(
+        self,
+        stimulus: Mapping[str, Waveform],
+        windows: Sequence[_WindowRange],
+        readback: _ReadbackAccumulator,
+        duration: int,
+        timings: PhaseTimings,
+        stats: SimulationStats,
+    ) -> SimulationResult:
+        """Vectorized counterpart of :meth:`_assemble_result`.
+
+        Stitching runs over the accumulated per-window arrays
+        (:func:`~repro.core.restructure.stitch_windows`), reproducing the
+        reference :meth:`_stitch` seam rules bit-exactly; without stored
+        waveforms, per-net counts are sums over the trimmed window counts,
+        exactly as the reference path sums per-window toggle counts.
+        """
+        start = time.perf_counter()
+        result = SimulationResult(duration=duration, timings=timings, stats=stats)
+
+        for net in self.netlist.source_nets():
+            wave = stimulus[net]
+            result.toggle_counts[net] = wave.toggles_in(0, duration - 1)
+            if self.config.store_waveforms:
+                result.waveforms[net] = wave
+
+        window_starts = np.asarray(
+            [window.start for window in windows], dtype=np.int64
+        )
+        total_output_transitions = 0
+        for index, net in enumerate(readback.nets):
+            establish, counts, times = readback.net_series(index)
+            if self.config.store_waveforms:
+                stitched = stitch_windows(window_starts, establish, counts, times)
+                result.waveforms[net] = stitched
+                count = stitched.toggle_count()
+            else:
+                count = int(counts.sum())
+            result.toggle_counts[net] = count
+            total_output_transitions += count
+        stats.output_transitions = total_output_transitions
+
+        stats.input_events = fanin_weighted_toggles(self.netlist, result.toggle_counts)
         timings.readback += time.perf_counter() - start
         return result
 

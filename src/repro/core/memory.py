@@ -30,6 +30,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from .restructure import gather_segments
 from .waveform import EOW, INITIAL_ONE_MARKER, POOL_DTYPE, Waveform
 
 
@@ -266,6 +267,99 @@ class WaveformPool:
                     int(sizes[t]),
                     int(toggle_counts[t]),
                 )
+
+    def load_windows(
+        self,
+        nets: Sequence[str],
+        window_indices: Sequence[int],
+        initial_values: np.ndarray,
+        times: np.ndarray,
+        starts: np.ndarray,
+        counts: np.ndarray,
+        rebase_offsets: np.ndarray,
+    ) -> None:
+        """Bulk-load one sliced stimulus window per ``(net, window)`` pair.
+
+        The batched counterpart of calling :meth:`store_waveform` once per
+        pair: ``initial_values``/``starts``/``counts`` are ``(N, W)`` (or
+        flat net-major) slice descriptors into the flat ``times`` event
+        buffer (see :func:`repro.core.restructure.slice_windows`), and
+        ``rebase_offsets`` holds each window's extended start, subtracted
+        from every copied timestamp so each window is stored in
+        window-local time.  Layout, registration, and the resulting pool
+        image are identical to the per-waveform path; the writes are a
+        handful of numpy scatters.
+        """
+        N, W = len(nets), len(window_indices)
+        T = N * W
+        initial_values = np.ascontiguousarray(initial_values, dtype=np.int64).ravel()
+        starts = np.ascontiguousarray(starts, dtype=np.int64).ravel()
+        counts = np.ascontiguousarray(counts, dtype=np.int64).ravel()
+        if initial_values.size != T or starts.size != T or counts.size != T:
+            raise ValueError(
+                f"expected {T} window slices, got {initial_values.size}"
+            )
+        if T == 0:
+            return
+        has_marker = initial_values != 0
+        addresses = self.allocate_batch(2 + counts + has_marker)
+        data = self._data
+        data[addresses[has_marker]] = INITIAL_ONE_MARKER
+        establish = addresses + has_marker
+        data[establish] = 0
+        total = int(counts.sum())
+        if total:
+            copied = gather_segments(times, starts, counts)
+            offsets = np.broadcast_to(
+                np.ascontiguousarray(rebase_offsets, dtype=np.int64), (N, W)
+            ).ravel()
+            copied = copied - np.repeat(offsets, counts)
+            if int(copied.max()) >= EOW:
+                raise TimestampOverflowError(
+                    f"a stimulus window timestamp reached the EOW sentinel ({EOW})"
+                )
+            ramp = np.arange(total, dtype=np.int64)
+            ramp -= np.repeat(np.cumsum(counts) - counts, counts)
+            data[np.repeat(establish + 1, counts) + ramp] = copied
+        data[establish + 1 + counts] = EOW
+        sizes = establish + 2 + counts - addresses
+        for n, net in enumerate(nets):
+            base = n * W
+            for w, window in enumerate(window_indices):
+                t = base + w
+                self._register(
+                    net,
+                    window,
+                    int(addresses[t]),
+                    int(sizes[t]),
+                    int(counts[t]),
+                )
+
+    def window_table(
+        self, nets: Sequence[str], window_indices: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stored layout of every ``(net, window)`` pair, as flat arrays.
+
+        Returns ``(addresses, toggle_counts)`` in net-major task order —
+        the bulk readback path's view of the pool bookkeeping.
+        """
+        T = len(nets) * len(window_indices)
+        addresses = np.empty(T, dtype=np.int64)
+        toggle_counts = np.empty(T, dtype=np.int64)
+        pointers = self._pointers
+        t = 0
+        for net in nets:
+            for window in window_indices:
+                key = (net, window)
+                try:
+                    addresses[t] = pointers[key]
+                except KeyError:
+                    raise KeyError(
+                        f"no waveform stored for net {net!r}, window {window}"
+                    ) from None
+                toggle_counts[t] = self._toggle_counts[key]
+                t += 1
+        return addresses, toggle_counts
 
     def pointer(self, net: str, window: int) -> int:
         """Start address of a stored waveform."""

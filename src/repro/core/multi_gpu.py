@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional
 from ..netlist import Netlist
 from ..sdf.annotate import DelayAnnotation
 from .config import SimConfig
+from .restructure import slice_stimulus
 from .results import SimulationResult
 from .waveform import Waveform
 
@@ -153,9 +154,9 @@ def simulate_multi_gpu(
     device_index = 0
     while start < duration and device_index < num_devices:
         end = min(start + slice_length, duration)
-        share_stimulus = {
-            net: wave.window(start, end, rebase=True) for net, wave in stimulus.items()
-        }
+        # Carve this device's share of the testbench with the vectorized
+        # slicer (bit-identical to per-net Waveform.window calls).
+        share_stimulus = slice_stimulus(stimulus, start, end)
         share_result = session.run(share_stimulus, duration=end - start)
         result.kernel_mode = share_result.stats.kernel_mode
         result.shares.append(

@@ -1,0 +1,401 @@
+"""Vectorized testbench restructure / load / readback pipeline (Fig. 5).
+
+The GATSPI application phases around the kernel — slicing every source
+waveform into cycle-parallel windows, loading the slices into the device
+memory pool, and stitching per-window outputs back into full-run waveforms —
+used to be per-``(net, window)`` Python loops over :class:`Waveform`
+objects.  After the level-batched vector kernel (PR 2) they became the
+dominant non-kernel cost.  This module keeps every one of those phases in
+bulk array form:
+
+* :func:`lower_stimulus` flattens the stimulus once per run into one
+  concatenated event tensor (toggle times, per-net offsets, initial values).
+* :func:`slice_windows` computes every ``(net, window)`` slice bound with
+  two ``searchsorted`` calls over the whole tensor — no per-window copies.
+  The slices feed :meth:`~repro.core.memory.WaveformPool.load_windows`,
+  which writes all windows of a batch with a handful of numpy scatters.
+* :func:`trim_readback` trims every stored output window to its
+  ``[start, end)`` range (dropping the settle margin and the propagation
+  tail) in one segmented ``searchsorted`` pass.
+* :func:`stitch_windows` reassembles the full-run waveform of a net from
+  its trimmed windows, reproducing the engine's sequential seam rules
+  bit-exactly (a numpy fast path covers the common seam-consistent case).
+
+Everything here is bit-identical to the per-object reference pipeline,
+which stays reachable via ``SimConfig(restructure="python")`` exactly as
+``kernel="scalar"`` keeps the scalar kernel as the execution oracle.
+
+Segmented ``searchsorted``
+--------------------------
+
+Several phases need, for *each* of ``T`` independently-sorted segments
+packed in one flat buffer, the number of elements below a per-segment
+threshold.  Every timestamp is in ``[0, EOW)``, so shifting segment ``k``
+(values and threshold alike) by ``k * S`` — with a stride ``S`` exceeding
+both ``EOW`` and every threshold, since thresholds may be *absolute* times
+past ``EOW`` on runs longer than the sentinel — makes the flat buffer
+globally sorted and keeps every query inside its own segment's band; a
+single ``searchsorted`` then answers all ``T`` queries at once.  ``int64``
+gives this trick headroom for billions of segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .waveform import EOW, INITIAL_ONE_MARKER, POOL_DTYPE, Waveform, WaveformError
+
+
+# ----------------------------------------------------------------------
+# Lowered stimulus event tensors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SourceEvents:
+    """The whole stimulus lowered to one flat event tensor.
+
+    ``times`` concatenates every source net's *real* toggle times (the
+    establishing entry of each waveform is not a transition); net ``i``
+    owns ``times[offsets[i]:offsets[i+1]]``, sorted ascending.  Built once
+    per run and reused by every pool-overflow segment batch.
+    """
+
+    nets: Tuple[str, ...]
+    times: np.ndarray  # flat int64 toggle times, per-net sorted
+    offsets: np.ndarray  # (N+1,) int64 prefix offsets into times
+    initial_values: np.ndarray  # (N,) int64 in {0, 1}
+
+    @property
+    def net_count(self) -> int:
+        return len(self.nets)
+
+
+def lower_stimulus(
+    nets: Sequence[str], stimulus: Mapping[str, Waveform]
+) -> SourceEvents:
+    """Flatten ``stimulus`` into one :class:`SourceEvents` tensor."""
+    nets = tuple(nets)
+    chunks: List[np.ndarray] = []
+    offsets = np.zeros(len(nets) + 1, dtype=np.int64)
+    initial_values = np.zeros(len(nets), dtype=np.int64)
+    for i, net in enumerate(nets):
+        wave = stimulus[net]
+        toggles = wave.timestamps[1:]  # skip the establishing entry
+        chunks.append(toggles)
+        offsets[i + 1] = offsets[i] + toggles.size
+        initial_values[i] = wave.initial_value
+    times = (
+        np.concatenate(chunks) if chunks else np.zeros(0, dtype=POOL_DTYPE)
+    )
+    return SourceEvents(
+        nets=nets, times=times, offsets=offsets, initial_values=initial_values
+    )
+
+
+@dataclass(frozen=True)
+class WindowSlices:
+    """Per-``(net, window)`` slice bounds into a :class:`SourceEvents` tensor.
+
+    All arrays are ``(N, W)``: ``starts`` indexes ``SourceEvents.times``,
+    ``counts`` is the number of toggles strictly inside the extended
+    window, and ``initial_values`` is the logic value each sliced waveform
+    establishes at its (extended) window start.
+    """
+
+    starts: np.ndarray
+    counts: np.ndarray
+    initial_values: np.ndarray
+
+
+def slice_windows(
+    events: SourceEvents,
+    window_starts: np.ndarray,
+    window_ends: np.ndarray,
+) -> WindowSlices:
+    """Slice every source net into every window, without copying events.
+
+    ``window_starts`` are the margin-extended starts; a slice establishes
+    ``value_at(start)`` and contains the toggles with ``start < t < end``
+    — exactly :meth:`Waveform.window`'s contract, computed for all
+    ``N * W`` pairs with two ``searchsorted`` calls.
+    """
+    N = events.net_count
+    starts = np.ascontiguousarray(window_starts, dtype=np.int64)
+    ends = np.ascontiguousarray(window_ends, dtype=np.int64)
+    seg_base = events.offsets[:-1][:, None]
+    counts_per_net = np.diff(events.offsets)
+    rows = np.repeat(np.arange(N, dtype=np.int64), counts_per_net)
+    # Window bounds are absolute times and may exceed EOW on runs longer
+    # than the sentinel (event *times* never do); the stride must cover
+    # the largest query so no query escapes its segment's band.
+    stride = _segment_stride(ends)
+    if N * stride < _SHIFT_OVERFLOW_GUARD:
+        shifted = events.times + rows * stride
+        shift = np.arange(N, dtype=np.int64)[:, None] * stride
+        lo = (
+            np.searchsorted(shifted, starts[None, :] + shift, side="right")
+            - seg_base
+        )
+        hi = (
+            np.searchsorted(shifted, ends[None, :] + shift, side="left")
+            - seg_base
+        )
+    else:
+        # Degenerate horizon (duration ~2**62 time units): shift arithmetic
+        # would overflow int64, so fall back to one searchsorted per net.
+        lo = np.empty((N, starts.size), dtype=np.int64)
+        hi = np.empty((N, ends.size), dtype=np.int64)
+        for i in range(N):
+            net_times = events.times[events.offsets[i] : events.offsets[i + 1]]
+            lo[i] = np.searchsorted(net_times, starts, side="right")
+            hi[i] = np.searchsorted(net_times, ends, side="left")
+    initial = events.initial_values[:, None] ^ (lo & 1)
+    return WindowSlices(
+        starts=seg_base + lo, counts=hi - lo, initial_values=initial
+    )
+
+
+# ----------------------------------------------------------------------
+# Segmented gather / trim helpers (readback path)
+# ----------------------------------------------------------------------
+#: Ceiling for ``segments * stride`` so the shifted buffers stay in int64.
+_SHIFT_OVERFLOW_GUARD = 1 << 62
+
+
+def _segment_stride(thresholds: np.ndarray) -> int:
+    """Per-segment shift stride covering every value (< ``EOW``) and query."""
+    if thresholds.size == 0:
+        return EOW
+    return max(EOW, int(thresholds.max()) + 1)
+
+
+def gather_segments(
+    buffer: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``buffer[starts[k] : starts[k] + counts[k]]`` for all k."""
+    counts = np.ascontiguousarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=buffer.dtype)
+    ramp = np.arange(total, dtype=np.int64)
+    seg_base = np.cumsum(counts) - counts
+    ramp -= np.repeat(seg_base, counts)
+    return buffer[np.repeat(np.ascontiguousarray(starts, dtype=np.int64), counts) + ramp]
+
+
+def segmented_counts(
+    values: np.ndarray,
+    seg_offsets: np.ndarray,
+    thresholds: np.ndarray,
+    side: str,
+) -> np.ndarray:
+    """Per-segment ``searchsorted`` over one flat buffer.
+
+    ``values`` holds ``T`` independently sorted segments (segment ``k`` is
+    ``values[seg_offsets[k]:seg_offsets[k+1]]``), every element in
+    ``[0, EOW)``.  Returns, for each segment, the number of its elements
+    ``<= thresholds[k]`` (``side="right"``) or ``< thresholds[k]``
+    (``side="left"``), using the per-segment shift trick from the module
+    docstring.
+    """
+    T = thresholds.size
+    counts = np.diff(seg_offsets)
+    stride = _segment_stride(thresholds)
+    if T * stride >= _SHIFT_OVERFLOW_GUARD:
+        # Degenerate horizon: shift arithmetic would overflow int64.
+        return np.asarray(
+            [
+                np.searchsorted(
+                    values[seg_offsets[k] : seg_offsets[k + 1]],
+                    thresholds[k],
+                    side=side,
+                )
+                for k in range(T)
+            ],
+            dtype=np.int64,
+        )
+    rows = np.repeat(np.arange(T, dtype=np.int64), counts)
+    shifted = values + rows * stride
+    queries = thresholds + np.arange(T, dtype=np.int64) * stride
+    return np.searchsorted(shifted, queries, side=side) - seg_offsets[:-1]
+
+
+@dataclass(frozen=True)
+class TrimmedReadback:
+    """Output windows of one batch, trimmed and lifted to absolute time.
+
+    Tasks are net-major (``task = net * B + window``, ``B`` windows in the
+    batch).  ``times`` is flat in task order; window ``b`` of net ``n``
+    owns ``counts[n, b]`` entries.  ``establish_values`` is the logic value
+    each trimmed window establishes at its window start.
+    """
+
+    establish_values: np.ndarray  # (N, B)
+    counts: np.ndarray  # (N, B)
+    times: np.ndarray  # flat int64, absolute time
+
+
+def trim_readback(
+    local_times: np.ndarray,
+    task_offsets: np.ndarray,
+    initial_values: np.ndarray,
+    margins: np.ndarray,
+    right_edges: np.ndarray,
+    apply_trim: np.ndarray,
+    absolute_offsets: np.ndarray,
+    net_count: int,
+    window_count: int,
+) -> TrimmedReadback:
+    """Trim every stored output window to its ``[start, end)`` range.
+
+    ``local_times`` concatenates the stored (window-local) toggle times of
+    all ``T = net_count * window_count`` tasks (net-major); per task,
+    trimming keeps the toggles strictly inside ``(margin, right_edge)`` —
+    dropping the settle margin on the left and the propagation tail on the
+    right — unless ``apply_trim`` is false (final window / no overlap), in
+    which case the window is kept whole, exactly as the reference readback
+    does.  ``margins``/``right_edges``/``apply_trim`` are per task;
+    ``absolute_offsets`` (the extended window starts, one per window)
+    lifts kept times to absolute time.
+    """
+    toggle_counts = np.diff(task_offsets)
+    if net_count == 0 or window_count == 0:
+        return TrimmedReadback(
+            establish_values=np.zeros((net_count, window_count), dtype=np.int64),
+            counts=np.zeros((net_count, window_count), dtype=np.int64),
+            times=np.zeros(0, dtype=np.int64),
+        )
+    lcnt = segmented_counts(local_times, task_offsets, margins, side="right")
+    rcnt = segmented_counts(local_times, task_offsets, right_edges, side="left")
+    lcnt = np.where(apply_trim, lcnt, 0)
+    rcnt = np.where(apply_trim, rcnt, toggle_counts)
+    kept = rcnt - lcnt
+    establish = (initial_values ^ (lcnt & 1)).reshape(net_count, window_count)
+    times = gather_segments(local_times, task_offsets[:-1] + lcnt, kept)
+    per_task_offset = np.broadcast_to(
+        absolute_offsets, (net_count, window_count)
+    ).ravel()
+    times = times + np.repeat(per_task_offset, kept)
+    return TrimmedReadback(
+        establish_values=establish,
+        counts=kept.reshape(net_count, window_count),
+        times=times,
+    )
+
+
+# ----------------------------------------------------------------------
+# Stitching (vectorized inverse of the restructure step)
+# ----------------------------------------------------------------------
+def _waveform_from_times(first_value: int, times: np.ndarray) -> Waveform:
+    """Build a waveform whose change times are ``times`` (first establishes)."""
+    data = np.empty(times.size + 1 + (1 if first_value else 0), dtype=POOL_DTYPE)
+    cursor = 0
+    if first_value:
+        data[0] = INITIAL_ONE_MARKER
+        cursor = 1
+    data[cursor : cursor + times.size] = times
+    data[-1] = EOW
+    data.setflags(write=False)
+    return Waveform(data)
+
+
+def stitch_windows(
+    window_starts: np.ndarray,
+    establish_values: np.ndarray,
+    toggle_counts: np.ndarray,
+    times: np.ndarray,
+) -> Waveform:
+    """Stitch trimmed per-window outputs back into one full-run waveform.
+
+    Reproduces the engine's sequential seam rules bit-exactly: a change is
+    dropped when it repeats the last kept value, or when its time does not
+    advance past the last kept change (a window-boundary artefact).  The
+    common case — every window establishes exactly the value its
+    predecessor ended on and times strictly advance across seams — is
+    recognised with three numpy comparisons and handled without any
+    per-window work; otherwise only each window's seam is resolved
+    sequentially (never individual events).
+
+    ``window_starts`` are the absolute establishing times (one per
+    window), ``times`` the flat absolute toggle times, window-major.
+    """
+    W = window_starts.size
+    if W == 0:
+        return _waveform_from_times(0, np.zeros(1, dtype=np.int64))
+    finals = establish_values ^ (toggle_counts & 1)
+    seam_consistent = bool(
+        np.array_equal(establish_values[1:], finals[:-1])
+        and (
+            times.size == 0
+            or (
+                times[0] > window_starts[0]
+                and bool(np.all(np.diff(times) > 0))
+            )
+        )
+    )
+    if seam_consistent:
+        # Every non-first establishing entry repeats its predecessor's
+        # final value (dropped by the value rule); all toggles advance.
+        all_times = np.empty(times.size + 1, dtype=np.int64)
+        all_times[0] = window_starts[0]
+        all_times[1:] = times
+        return _waveform_from_times(int(establish_values[0]), all_times)
+
+    pieces: List[np.ndarray] = []
+    last_time = 0
+    last_value = -1  # no change kept yet
+    offset = 0
+    for w in range(W):
+        count = int(toggle_counts[w])
+        seg = times[offset : offset + count]
+        offset += count
+        t0 = int(window_starts[w])
+        v0 = int(establish_values[w])
+        if last_value < 0 or (v0 != last_value and t0 > last_time):
+            # The establishing entry is kept; the window's own toggles
+            # alternate from it with increasing times, so all follow.
+            pieces.append(np.asarray([t0], dtype=np.int64))
+            pieces.append(seg)
+        else:
+            # The establishing entry is dropped (same value, or a seam
+            # artefact at or before the last kept change).  The first
+            # surviving toggle is the first one past the last kept time
+            # whose value differs from the last kept value; values
+            # alternate, so it is that index or the one after.
+            i = int(np.searchsorted(seg, last_time, side="right"))
+            if i < count and (v0 ^ ((i + 1) & 1)) == last_value:
+                i += 1
+            if i >= count:
+                continue
+            pieces.append(seg[i:])
+        last_time = int(seg[-1]) if count else t0
+        last_value = v0 ^ (count & 1)
+    # Window 0 always keeps its establishing entry, so pieces is non-empty
+    # and the stitched waveform establishes window 0's value.
+    return _waveform_from_times(int(establish_values[0]), np.concatenate(pieces))
+
+
+# ----------------------------------------------------------------------
+# Whole-stimulus slicing (multi-device share distribution)
+# ----------------------------------------------------------------------
+def slice_stimulus(
+    stimulus: Mapping[str, Waveform], t_start: int, t_end: int
+) -> Dict[str, Waveform]:
+    """Vectorized ``{net: wave.window(t_start, t_end, rebase=True)}``.
+
+    Used by the multi-device distributor to carve each device's share of
+    the testbench without per-event Python loops; bit-identical to calling
+    :meth:`Waveform.window` per net.
+    """
+    if t_end <= t_start:
+        raise WaveformError("window end must be after window start")
+    sliced: Dict[str, Waveform] = {}
+    for net, wave in stimulus.items():
+        toggles = wave.timestamps[1:]
+        lo = int(np.searchsorted(toggles, t_start, side="right"))
+        hi = int(np.searchsorted(toggles, t_end, side="left"))
+        initial = wave.initial_value ^ (lo & 1)
+        sliced[net] = Waveform.from_toggle_array(initial, toggles[lo:hi] - t_start)
+    return sliced

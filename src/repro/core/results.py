@@ -70,6 +70,8 @@ class SimulationStats:
     pool_words_used: int = 0
     #: Which kernel executed Algorithm 1 ("vector" or "scalar").
     kernel_mode: str = ""
+    #: Which pipeline ran restructure/load/readback ("vector" or "python").
+    restructure_mode: str = ""
     #: Level-batched kernel launches (vector kernel; counts every pass).
     level_batches: int = 0
     #: Largest single batch, in (gate, window) tasks.

@@ -125,6 +125,36 @@ class Waveform:
         return cls.from_array(data)
 
     @classmethod
+    def from_toggle_array(
+        cls, initial_value: int, toggle_times: Sequence[int], start_time: int = 0
+    ) -> "Waveform":
+        """Build a waveform from an initial value and an *array* of toggles.
+
+        The vectorized counterpart of :meth:`from_initial_and_toggles`: the
+        Fig. 3 array is assembled directly from ``toggle_times`` (which must
+        already be sorted, strictly increasing, and greater than
+        ``start_time`` — validation rejects anything else) instead of
+        looping over per-change Python tuples.  This is the constructor the
+        bulk restructure/slicing paths use.
+        """
+        if initial_value not in (0, 1):
+            raise WaveformError(
+                f"logic value must be 0 or 1, got {initial_value!r}"
+            )
+        times = np.asarray(toggle_times, dtype=POOL_DTYPE)
+        if times.ndim != 1:
+            raise WaveformError("toggle times must be one-dimensional")
+        marker = 1 if initial_value else 0
+        data = np.empty(times.size + marker + 2, dtype=POOL_DTYPE)
+        if marker:
+            data[0] = INITIAL_ONE_MARKER
+        data[marker] = start_time
+        data[marker + 1 : marker + 1 + times.size] = times
+        data[-1] = EOW
+        data.setflags(write=False)
+        return cls(data)
+
+    @classmethod
     def from_initial_and_toggles(
         cls, initial_value: int, toggle_times: Sequence[int], start_time: int = 0
     ) -> "Waveform":

@@ -10,7 +10,7 @@ importable from anywhere without path tricks.
 from __future__ import annotations
 
 import random
-from typing import Dict
+from typing import Dict, List
 
 from .core.waveform import Waveform
 from .netlist import Netlist, NetlistBuilder
@@ -57,5 +57,71 @@ def build_random_stimulus(
             if time >= duration:
                 break
             toggles.append(time)
-        stimulus[net] = Waveform.from_initial_and_toggles(rng.randint(0, 1), toggles)
+        stimulus[net] = Waveform.from_toggle_array(rng.randint(0, 1), toggles)
+    return stimulus
+
+
+def build_boundary_stimulus(
+    netlist: Netlist,
+    duration: int,
+    window_length: int,
+    seed: int = 0,
+) -> Dict[str, Waveform]:
+    """Toggles clustered exactly at cycle-parallel window boundaries.
+
+    The restructure step slices waveforms at multiples of the window
+    length; transitions landing exactly *on*, one unit *before*, and one
+    unit *after* each boundary exercise the strict/inclusive edges of the
+    slicing and of the settle-margin trim.  Each net gets a random subset
+    of ``{boundary - 1, boundary, boundary + 1}`` at every boundary.
+    """
+    if window_length < 4:
+        raise ValueError("window_length must be at least 4")
+    rng = random.Random(seed)
+    boundaries = list(range(window_length, duration, window_length))
+    stimulus: Dict[str, Waveform] = {}
+    for index, net in enumerate(netlist.source_nets()):
+        net_rng = random.Random(rng.randrange(1 << 30) + index)
+        toggles: List[int] = []
+        for boundary in boundaries:
+            for offset in (-1, 0, 1):
+                time = boundary + offset
+                if 0 < time < duration and net_rng.random() < 0.5:
+                    toggles.append(time)
+        stimulus[net] = Waveform.from_toggle_array(net_rng.randint(0, 1), toggles)
+    return stimulus
+
+
+def build_sparse_stimulus(
+    netlist: Netlist,
+    duration: int,
+    seed: int = 0,
+    burst_count: int = 2,
+    burst_span: int = 200,
+) -> Dict[str, Waveform]:
+    """A stimulus that leaves most cycle-parallel windows empty.
+
+    Activity is confined to ``burst_count`` short bursts at random
+    positions; every window outside a burst carries no events at all, and
+    a third of the nets are completely constant — the empty-window and
+    constant-net edge cases of the restructure/load/readback pipeline.
+    """
+    rng = random.Random(seed)
+    bursts = [rng.randrange(0, max(1, duration - burst_span)) for _ in range(burst_count)]
+    stimulus: Dict[str, Waveform] = {}
+    for index, net in enumerate(netlist.source_nets()):
+        net_rng = random.Random(rng.randrange(1 << 30) + index)
+        if index % 3 == 0:
+            stimulus[net] = Waveform.constant(net_rng.randint(0, 1))
+            continue
+        toggles: List[int] = []
+        for burst in bursts:
+            time = burst
+            while time < min(burst + burst_span, duration):
+                time += net_rng.randint(10, 60)
+                if 0 < time < duration:
+                    toggles.append(time)
+        stimulus[net] = Waveform.from_toggle_array(
+            net_rng.randint(0, 1), sorted(set(toggles))
+        )
     return stimulus

@@ -41,7 +41,7 @@ def clock_waveform(cycles: int, period: int, start_value: int = 0) -> Waveform:
     while time < end:
         toggles.append(time)
         time += half
-    return Waveform.from_initial_and_toggles(start_value, toggles)
+    return Waveform.from_toggle_array(start_value, toggles)
 
 
 def random_stimulus(
@@ -69,9 +69,7 @@ def random_stimulus(
                 time = cycle * clock_period + offset_within_cycle
                 if 0 < time < duration:
                     toggles.append(time)
-        stimulus[net] = Waveform.from_initial_and_toggles(
-            net_rng.randint(0, 1), toggles
-        )
+        stimulus[net] = Waveform.from_toggle_array(net_rng.randint(0, 1), toggles)
     return stimulus
 
 
@@ -143,9 +141,7 @@ def functional_stimulus(
                 time = cycle * clock_period + 1 + net_rng.randint(0, clock_period // 4)
                 if 0 < time < duration:
                     toggles.append(time)
-        stimulus[net] = Waveform.from_initial_and_toggles(
-            net_rng.randint(0, 1), toggles
-        )
+        stimulus[net] = Waveform.from_toggle_array(net_rng.randint(0, 1), toggles)
     return stimulus
 
 

@@ -1,0 +1,236 @@
+"""Cross-backend differential harness over randomized netlists and stimuli.
+
+Every test drives the same seeded-random workload through several engine
+variants and checks they agree:
+
+* ``gatspi`` (vector kernel + vector restructure pipeline, the default),
+* ``gatspi:kernel=scalar`` (per-gate Python kernel oracle),
+* ``gatspi:restructure=python`` (per-(net, window) pipeline oracle),
+* ``event`` (the event-driven commercial-simulator stand-in).
+
+Among gatspi variants the contract is **bit-identical waveforms**; against
+the event-driven baseline it is the paper's SAIF accuracy criterion
+(identical per-net toggle counts).  The stimuli target the seams the
+vectorized restructure/load/readback pipeline must preserve: mixed gate
+arities, events exactly on window boundaries, settle-overlap edge cases,
+pool-overflow segment splits, and empty windows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import resolve_backend
+from repro.core import SimConfig
+from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
+from repro.testing import (
+    build_boundary_stimulus,
+    build_random_netlist,
+    build_random_stimulus,
+    build_sparse_stimulus,
+)
+
+DURATION = 24_000
+
+#: The gatspi variants that must produce bit-identical waveforms.
+GATSPI_SPECS = (
+    "gatspi",
+    "gatspi:kernel=scalar",
+    "gatspi:restructure=python",
+    "gatspi:kernel=scalar,restructure=python",
+)
+
+
+def _prepare_design(seed: int, num_inputs: int = 6, num_gates: int = 36):
+    netlist = build_random_netlist(
+        num_inputs=num_inputs, num_gates=num_gates, seed=seed
+    )
+    delays = SyntheticDelayModel(seed=seed).build(netlist)
+    annotation = annotation_from_design_delays(netlist, delays)
+    return netlist, annotation
+
+
+def _run(spec: str, netlist, annotation, stimulus, config=None, duration=DURATION):
+    backend, options = resolve_backend(spec)
+    session = backend.prepare(
+        netlist, annotation=annotation, config=config, **options
+    )
+    return session.run(stimulus, duration=duration)
+
+
+def _assert_bit_identical(reference, candidate, context: str):
+    assert reference.toggle_counts == candidate.toggle_counts, (
+        f"{context}: toggle counts diverge on "
+        f"{reference.differing_nets(candidate)}"
+    )
+    assert set(reference.waveforms) == set(candidate.waveforms), context
+    for net in reference.waveforms:
+        assert reference.waveforms[net] == candidate.waveforms[net], (
+            f"{context}: waveform diverges on net {net!r}: "
+            f"{reference.waveforms[net].to_list()[:12]} vs "
+            f"{candidate.waveforms[net].to_list()[:12]}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_gatspi_variants_bit_identical_random_designs(seed):
+    """All four gatspi executor combinations agree bit-for-bit.
+
+    Random designs draw from the full arity mix (1- to 4-input cells) and
+    random stimuli cover generic event spacing.
+    """
+    netlist, annotation = _prepare_design(seed)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 50)
+    results = {
+        spec: _run(spec, netlist, annotation, stimulus) for spec in GATSPI_SPECS
+    }
+    reference = results["gatspi:kernel=scalar,restructure=python"]
+    for spec in GATSPI_SPECS[:-1]:
+        _assert_bit_identical(reference, results[spec], f"seed={seed} {spec}")
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_gatspi_matches_event_baseline_toggle_counts(seed):
+    """The SAIF criterion against the independent event-driven oracle."""
+    netlist, annotation = _prepare_design(seed, num_gates=28)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 9)
+    gatspi = _run("gatspi", netlist, annotation, stimulus)
+    event = _run("event", netlist, annotation, stimulus)
+    assert gatspi.matches_toggle_counts(event), gatspi.differing_nets(event)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_window_boundary_events(seed):
+    """Toggles exactly on/±1 around every window boundary.
+
+    cycle_parallelism=8 over DURATION gives a 3000-unit window; the
+    boundary stimulus places events at ``k*3000 - 1``, ``k*3000``, and
+    ``k*3000 + 1``, the strict/inclusive edges of slicing and trimming.
+    """
+    netlist, annotation = _prepare_design(seed, num_gates=30)
+    config = SimConfig(cycle_parallelism=8)
+    window_length = -(-DURATION // config.cycle_parallelism)
+    stimulus = build_boundary_stimulus(
+        netlist, DURATION, window_length, seed=seed
+    )
+    results = {
+        spec: _run(spec, netlist, annotation, stimulus, config=config)
+        for spec in GATSPI_SPECS
+    }
+    reference = results["gatspi:kernel=scalar,restructure=python"]
+    for spec in GATSPI_SPECS[:-1]:
+        _assert_bit_identical(reference, results[spec], f"boundary seed={seed} {spec}")
+    # The event-driven baseline is deliberately not consulted here: with
+    # many nets toggling at the same timestamp (the point of this
+    # stimulus), the two-pass kernel and the event queue resolve
+    # simultaneous arrivals differently — a pre-existing engine-vs-event
+    # difference independent of windowing (it reproduces at
+    # cycle_parallelism=1) and of the restructure pipeline under test.
+
+
+@pytest.mark.parametrize("overlap", [None, 0, 1, 7, 5000])
+def test_settle_overlap_edge_cases(overlap):
+    """Window overlap from disabled (0) through tiny to larger-than-window.
+
+    ``overlap=0`` keeps every propagation tail (the stitch seam rules do
+    the dedup); a tiny overlap exercises partial settle margins; a margin
+    larger than the window length clamps at the run start.  The two
+    restructure pipelines must agree bit-for-bit in every regime.
+    """
+    netlist, annotation = _prepare_design(3)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=17)
+    config = SimConfig(cycle_parallelism=8, window_overlap=overlap)
+    vector = _run("gatspi", netlist, annotation, stimulus, config=config)
+    python = _run(
+        "gatspi:restructure=python", netlist, annotation, stimulus, config=config
+    )
+    _assert_bit_identical(python, vector, f"overlap={overlap}")
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_pool_overflow_segment_splits(seed):
+    """A pool too small for the full run forces sequential segments.
+
+    The segment queue re-batches windows; both pipelines must keep the
+    same segment count and stay bit-identical across the splits.
+    """
+    netlist, annotation = _prepare_design(seed, num_gates=24)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 5)
+    config = SimConfig(cycle_parallelism=16, device_memory_gb=2e-5)
+    vector = _run("gatspi", netlist, annotation, stimulus, config=config)
+    python = _run(
+        "gatspi:restructure=python", netlist, annotation, stimulus, config=config
+    )
+    assert vector.stats.segments > 1, "workload must actually split"
+    assert vector.stats.segments == python.stats.segments
+    _assert_bit_identical(python, vector, f"segments seed={seed}")
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_empty_windows_and_constant_nets(seed):
+    """Most windows carry no events; a third of the nets never toggle."""
+    netlist, annotation = _prepare_design(seed, num_gates=30)
+    stimulus = build_sparse_stimulus(netlist, DURATION, seed=seed)
+    results = {
+        spec: _run(spec, netlist, annotation, stimulus) for spec in GATSPI_SPECS
+    }
+    reference = results["gatspi:kernel=scalar,restructure=python"]
+    for spec in GATSPI_SPECS[:-1]:
+        _assert_bit_identical(reference, results[spec], f"sparse seed={seed} {spec}")
+    event = _run("event", netlist, annotation, stimulus)
+    assert results["gatspi"].matches_toggle_counts(event)
+
+
+@pytest.mark.parametrize("bounds", [(0, 6_000), (5_999, 6_001), (3_000, DURATION)])
+def test_slice_stimulus_matches_reference_windowing(bounds):
+    """The multi-device share slicer equals per-net ``Waveform.window``."""
+    from repro.core import slice_stimulus
+
+    netlist, _ = _prepare_design(5)
+    window_length = -(-DURATION // 8)
+    start, end = bounds
+    for stimulus in (
+        build_random_stimulus(netlist, DURATION, seed=23),
+        build_boundary_stimulus(netlist, DURATION, window_length, seed=24),
+    ):
+        sliced = slice_stimulus(stimulus, start, end)
+        for net, wave in stimulus.items():
+            assert sliced[net] == wave.window(start, end, rebase=True), net
+
+
+def test_duration_beyond_eow_sentinel():
+    """Runs longer than the EOW sentinel value stay bit-identical.
+
+    Absolute window starts/ends then exceed ``EOW`` even though every
+    event time stays below it (the engine only bounds *window-local*
+    times).  The segmented-searchsorted shift stride must cover those
+    absolute bounds — with a fixed ``EOW`` stride, queries escaped their
+    segment's band and sliced one net's events into another (regression).
+    """
+    from repro.core import EOW
+
+    netlist, annotation = _prepare_design(2, num_gates=20)
+    stimulus = build_random_stimulus(netlist, 20_000, seed=8)
+    duration = 3 * EOW
+    config = SimConfig(cycle_parallelism=8)
+    vector = _run(
+        "gatspi", netlist, annotation, stimulus, config=config, duration=duration
+    )
+    python = _run(
+        "gatspi:restructure=python",
+        netlist, annotation, stimulus, config=config, duration=duration,
+    )
+    _assert_bit_identical(python, vector, "duration beyond EOW")
+
+
+def test_differential_without_stored_waveforms():
+    """Toggle-count-only mode sums trimmed per-window counts identically."""
+    netlist, annotation = _prepare_design(11)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=42)
+    config = SimConfig(store_waveforms=False, cycle_parallelism=8)
+    vector = _run("gatspi", netlist, annotation, stimulus, config=config)
+    python = _run(
+        "gatspi:restructure=python", netlist, annotation, stimulus, config=config
+    )
+    assert not vector.waveforms and not python.waveforms
+    assert vector.toggle_counts == python.toggle_counts

@@ -1,0 +1,183 @@
+"""Golden-file regression tests for restructure slicing and stitching.
+
+``tests/data/restructure_golden.json`` freezes the exact Fig. 3 arrays —
+including the ``EOW`` sentinel and initial-value-1 markers — that the
+restructure step must produce when slicing canonical waveforms into
+cycle-parallel windows, that stitching must produce when reassembling
+per-window outputs (including ``window_overlap`` seams and propagation
+tails), and that the engine must produce end to end on a small hand-built
+design.  Both the per-object reference pipeline and the vectorized
+pipeline are held to the same golden bytes, so a regression in either —
+or a silent divergence between them — fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import NetlistBuilder
+from repro.core import SimConfig, Waveform, WaveformPool
+from repro.core.engine import GatspiEngine, _WindowRange
+from repro.core.restructure import (
+    lower_stimulus,
+    slice_windows,
+    stitch_windows,
+)
+from repro.sdf import UnitDelayModel, annotation_from_design_delays
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "restructure_golden.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _case_ids(cases):
+    return [case["name"] for case in cases]
+
+
+# ----------------------------------------------------------------------
+# Window slicing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "case", GOLDEN["slice_cases"], ids=_case_ids(GOLDEN["slice_cases"])
+)
+def test_reference_window_slicing_matches_golden(case):
+    """``Waveform.window`` (the reference slicer) reproduces the fixtures."""
+    wave = Waveform.from_array(case["source"])
+    for (start, end), expected in zip(case["windows"], case["expected"]):
+        assert wave.window(start, end, rebase=True).to_list() == expected, (
+            f"{case['name']}: window [{start}, {end})"
+        )
+
+
+@pytest.mark.parametrize(
+    "case", GOLDEN["slice_cases"], ids=_case_ids(GOLDEN["slice_cases"])
+)
+def test_vectorized_slice_and_load_matches_golden(case):
+    """The lowered-event slicer + bulk pool load store the same bytes.
+
+    The slices go through ``lower_stimulus`` → ``slice_windows`` →
+    ``WaveformPool.load_windows`` and are read back from the pool, so the
+    fixture pins the full vectorized restructure/load path including the
+    stored ``EOW`` terminators and markers.
+    """
+    wave = Waveform.from_array(case["source"])
+    events = lower_stimulus(("s",), {"s": wave})
+    starts = np.asarray([w[0] for w in case["windows"]], dtype=np.int64)
+    ends = np.asarray([w[1] for w in case["windows"]], dtype=np.int64)
+    slices = slice_windows(events, starts, ends)
+    pool = WaveformPool(1 << 16)
+    window_indices = list(range(len(case["windows"])))
+    pool.load_windows(
+        ("s",),
+        window_indices,
+        slices.initial_values,
+        events.times,
+        slices.starts,
+        slices.counts,
+        starts,
+    )
+    for index, expected in enumerate(case["expected"]):
+        assert pool.read_waveform("s", index).to_list() == expected, (
+            f"{case['name']}: window {index}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Stitching
+# ----------------------------------------------------------------------
+def _stitch_arrays(case):
+    window_starts = np.asarray(case["window_starts"], dtype=np.int64)
+    establish = np.asarray(
+        [w["establish"] for w in case["windows"]], dtype=np.int64
+    )
+    counts = np.asarray(
+        [len(w["toggles_local"]) for w in case["windows"]], dtype=np.int64
+    )
+    times = np.asarray(
+        [
+            t + start
+            for w, start in zip(case["windows"], case["window_starts"])
+            for t in w["toggles_local"]
+        ],
+        dtype=np.int64,
+    )
+    return window_starts, establish, counts, times
+
+
+@pytest.mark.parametrize(
+    "case", GOLDEN["stitch_cases"], ids=_case_ids(GOLDEN["stitch_cases"])
+)
+def test_vectorized_stitching_matches_golden(case):
+    window_starts, establish, counts, times = _stitch_arrays(case)
+    stitched = stitch_windows(window_starts, establish, counts, times)
+    assert stitched.to_list() == case["expected"], case["name"]
+
+
+@pytest.mark.parametrize(
+    "case", GOLDEN["stitch_cases"], ids=_case_ids(GOLDEN["stitch_cases"])
+)
+def test_reference_stitching_matches_golden(case):
+    """The engine's sequential ``_stitch`` agrees with the same fixtures."""
+    builder = NetlistBuilder("stitch_ref")
+    a = builder.input("a")
+    builder.gate("INV", [a])
+    engine = GatspiEngine(builder.build())
+    windows = [
+        _WindowRange(index=i, start=start, end=start)
+        for i, start in enumerate(case["window_starts"])
+    ]
+    per_window = {
+        i: Waveform.from_toggle_array(w["establish"], w["toggles_local"])
+        for i, w in enumerate(case["windows"])
+    }
+    stitched = engine._stitch("n", per_window, windows)
+    assert stitched.to_list() == case["expected"], case["name"]
+
+
+# ----------------------------------------------------------------------
+# End to end through the engine
+# ----------------------------------------------------------------------
+def _golden_netlist():
+    builder = NetlistBuilder("golden_small")
+    a = builder.input("a")
+    b = builder.input("b")
+    n1 = builder.gate("NAND2", [a, b], name="u_nand")
+    n2 = builder.gate("INV", [n1], name="u_inv")
+    builder.output("y")
+    builder.gate("XOR2", [n1, n2], output_net="y", name="u_xor")
+    return builder.build()
+
+
+@pytest.mark.parametrize(
+    "case", GOLDEN["engine_cases"], ids=_case_ids(GOLDEN["engine_cases"])
+)
+@pytest.mark.parametrize("restructure", ["python", "vector"])
+def test_engine_waveforms_match_golden(case, restructure):
+    """Full simulations reproduce the frozen waveforms in both pipelines.
+
+    Covers the settle-margin trim (``default_overlap``), propagation
+    tails with the margin disabled (``zero_overlap_keeps_tails``), and a
+    deliberately undersized margin (``tiny_overlap``) whose seam
+    artifacts the stitch rules must resolve exactly as frozen.
+    """
+    netlist = _golden_netlist()
+    annotation = annotation_from_design_delays(
+        netlist, UnitDelayModel(delay=10).build(netlist)
+    )
+    stimulus = {
+        net: Waveform.from_array(arr) for net, arr in case["stimulus"].items()
+    }
+    config = SimConfig(restructure=restructure, **case["config"])
+    engine = GatspiEngine(netlist, annotation=annotation, config=config)
+    result = engine.simulate(stimulus, duration=case["duration"])
+    assert dict(sorted(result.toggle_counts.items())) == (
+        case["expected_toggle_counts"]
+    ), case["name"]
+    assert sorted(result.waveforms) == sorted(case["expected_waveforms"])
+    for net, expected in case["expected_waveforms"].items():
+        assert result.waveforms[net].to_list() == expected, (
+            f"{case['name']}: net {net!r} ({restructure})"
+        )
