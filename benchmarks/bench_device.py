@@ -1,0 +1,163 @@
+"""Microbenchmark: array-backend (device) throughput of the xp data plane.
+
+Runs the Table-2 speedup workload through the ``gatspi`` backend once per
+*available* array backend (:mod:`repro.core.xp` — numpy always; torch/cupy
+when installed) and writes ``BENCH_device.json`` at the repository root
+with gate-evaluations-per-second and per-phase timings for each, so the
+device-portability layer's performance is tracked as data, not anecdotes.
+
+Accuracy gates everything: every backend's per-case total switching
+activity must equal the numpy backend's (the differential suite holds the
+full waveforms bit-identical; the bench re-checks the aggregate).
+
+The numpy no-regression floor: routing the pipeline through the xp layer
+must not slow the numpy path down.  The bench compares the numpy backend's
+gate-evals/sec against the vector-kernel rate recorded in
+``BENCH_kernel.json`` (refreshed on the same machine by
+``bench_kernel_vector.py``; CI runs that first) and asserts the ratio
+stays above :data:`NUMPY_NO_REGRESSION_FLOOR` — generous slack for machine
+noise, tight enough to catch an accidental per-op dispatch cost.  The
+smoke configuration (``REPRO_BENCH_DEVICE_SMOKE=1``) only sanity-checks
+that the ratio is positive: a 50-cycle run on a shared CI runner is too
+small to gate on a real floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.api import resolve_backend  # noqa: E402
+from repro.bench import table2_cases  # noqa: E402
+from repro.bench.runner import prepare_case  # noqa: E402
+from repro.core import SimConfig  # noqa: E402
+from repro.core.xp import available_array_backends  # noqa: E402
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_device.json"
+KERNEL_REFERENCE_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+#: Required ratio of the numpy-device rate to the BENCH_kernel.json vector
+#: rate (same machine).  The xp layer's numpy backend *is* numpy, so the
+#: true ratio is ~1.0; 0.5 absorbs run-to-run noise while still failing on
+#: a real dispatch regression.
+NUMPY_NO_REGRESSION_FLOOR = 0.5
+SMOKE_NO_REGRESSION_FLOOR = 0.0
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_DEVICE_SMOKE", "0") == "1"
+
+
+def _cases():
+    cases = table2_cases()
+    if _smoke():
+        cases = [case for case in cases if case.name == "32b_int_adder"]
+        cases = [replace(case, cycles=min(case.cycles, 50)) for case in cases]
+    return cases
+
+
+def _measure(case, device: str):
+    netlist, annotation, stimulus = prepare_case(case)
+    config = SimConfig(clock_period=case.clock_period, device=device)
+    backend, options = resolve_backend("gatspi")
+    session = backend.prepare(
+        netlist, annotation=annotation, config=config, **options
+    )
+    start = time.perf_counter()
+    result = session.run(stimulus, cycles=case.cycles)
+    wall = time.perf_counter() - start
+    stats = result.stats
+    assert stats.device == device
+    return {
+        "kernel_seconds": result.kernel_runtime,
+        "application_seconds": wall,
+        "phases": result.timings.as_dict(),
+        "gate_evaluations": stats.kernel_invocations,
+        "gates_per_second": (
+            stats.kernel_invocations / result.kernel_runtime
+            if result.kernel_runtime > 0
+            else float("inf")
+        ),
+        "total_toggles": result.total_toggles(),
+    }
+
+
+def _kernel_reference_rate():
+    """Vector gate-evals/sec recorded by bench_kernel_vector.py, if any."""
+    if not KERNEL_REFERENCE_PATH.exists():
+        return None
+    try:
+        report = json.loads(KERNEL_REFERENCE_PATH.read_text())
+        return float(report["vector_gates_per_second"])
+    except (ValueError, KeyError):
+        return None
+
+
+def test_device_throughput_and_report():
+    devices = available_array_backends()
+    rows = []
+    totals = {device: {"evals": 0, "seconds": 0.0} for device in devices}
+    for case in _cases():
+        measurements = {}
+        for device in devices:
+            m = _measure(case, device)
+            measurements[device] = m
+            totals[device]["evals"] += m["gate_evaluations"]
+            totals[device]["seconds"] += m["kernel_seconds"]
+        # Accuracy first: every backend must agree with numpy on total
+        # switching activity before its speed counts for anything.
+        for device in devices:
+            assert (
+                measurements[device]["total_toggles"]
+                == measurements["numpy"]["total_toggles"]
+            ), f"{case.name}: {device} disagrees with numpy"
+        rows.append(
+            {
+                "design": case.name,
+                "testbench": case.testbench,
+                "cycles": case.cycles,
+                "devices": measurements,
+            }
+        )
+
+    rates = {
+        device: totals[device]["evals"] / totals[device]["seconds"]
+        for device in devices
+    }
+    reference = _kernel_reference_rate()
+    numpy_vs_reference = (
+        rates["numpy"] / reference if reference else None
+    )
+    report = {
+        "workload": "table2" if not _smoke() else "table2-smoke",
+        "devices": list(devices),
+        "gates_per_second": rates,
+        "bench_kernel_vector_reference": reference,
+        "numpy_vs_reference": numpy_vs_reference,
+        "cases": rows,
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    summary = ", ".join(f"{d} {rates[d]:,.0f}/s" for d in devices)
+    print(f"\nBENCH_device: gate-evals {summary} -> {RESULT_PATH}")
+
+    if numpy_vs_reference is not None:
+        floor = (
+            SMOKE_NO_REGRESSION_FLOOR if _smoke() else NUMPY_NO_REGRESSION_FLOOR
+        )
+        assert numpy_vs_reference > floor, (
+            f"numpy device path at {numpy_vs_reference:.2f}x of the "
+            f"BENCH_kernel.json vector rate (floor {floor}x): the xp layer "
+            f"regressed the numpy hot path"
+        )
+
+
+if __name__ == "__main__":
+    test_device_throughput_and_report()

@@ -76,19 +76,24 @@ class GatspiBackend(SimBackend):
         *,
         kernel: Optional[str] = None,
         restructure: Optional[str] = None,
+        device: Optional[str] = None,
         **options,
     ) -> GatspiSession:
-        """Compile the design; ``kernel``/``restructure`` pick the executors.
+        """Compile the design; ``kernel``/``restructure``/``device`` pick the
+        executors.
 
         ``kernel="vector"`` (default) runs the level-batched struct-of-arrays
         kernel; ``kernel="scalar"`` runs the per-gate Python reference
         kernel.  ``restructure="vector"`` (default) runs the bulk-array
         restructure/load/readback pipeline; ``restructure="python"`` runs
-        the per-(net, window) reference pipeline.  All combinations are
+        the per-(net, window) reference pipeline.  ``device`` selects the
+        array backend (:mod:`repro.core.xp`) the vector data plane runs on
+        (``"numpy"`` default, ``"torch"``/``"cupy"`` when installed; the
+        oracle executors always run on numpy).  All combinations are
         bit-identical; the options override the config fields so
         equivalence harnesses can flip executors without rebuilding
-        configs (e.g. the specs ``"gatspi:kernel=scalar"`` and
-        ``"gatspi:restructure=python"``).
+        configs (e.g. the specs ``"gatspi:kernel=scalar"``,
+        ``"gatspi:restructure=python"``, and ``"gatspi:device=torch"``).
         """
         _reject_unknown_options(self.name, options)
         overrides = {}
@@ -96,6 +101,8 @@ class GatspiBackend(SimBackend):
             overrides["kernel"] = kernel
         if restructure is not None:
             overrides["restructure"] = restructure
+        if device is not None:
+            overrides["device"] = device
         if overrides:
             config = (config or SimConfig()).with_updates(**overrides)
         engine = GatspiEngine(netlist, annotation=annotation, config=config)

@@ -54,6 +54,8 @@ class BenchmarkRow:
     baseline_backend: str = "event"
     # Per-level batch execution stats of the primary backend (vector kernel).
     kernel_mode: str = ""
+    #: Array backend (repro.core.xp) the primary backend's data plane ran on.
+    device: str = ""
     level_batches: int = 0
     max_batch_tasks: int = 0
     mean_batch_tasks: float = 0.0
@@ -197,6 +199,7 @@ def run_case(
         backend=backend,
         baseline_backend=baseline_backend,
         kernel_mode=gatspi_result.stats.kernel_mode,
+        device=gatspi_result.stats.device,
         level_batches=gatspi_result.stats.level_batches,
         max_batch_tasks=gatspi_result.stats.max_batch_tasks,
         mean_batch_tasks=gatspi_result.stats.mean_batch_tasks(),

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from .xp import available_array_backends, default_device
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -62,6 +64,21 @@ class SimConfig:
         stitching is array ops.  ``"python"`` is the per-``(net, window)``
         :class:`Waveform`-object reference path; both produce bit-identical
         waveforms, mirroring the ``kernel`` oracle pattern.
+    device:
+        Which array backend (:mod:`repro.core.xp`) executes the data plane:
+        ``"numpy"`` (always available, bit-identical reference), ``"torch"``
+        or ``"cupy"`` when installed.  Defaults to the ``REPRO_DEVICE``
+        environment variable, falling back to ``"numpy"``.  The scalar
+        kernel and python restructure *oracle* executors always run on the
+        numpy backend regardless of this field (they are per-object Python
+        reference paths); see :meth:`effective_device`.
+    compile_cache:
+        When true (default), ``compile()`` results — levelized graph,
+        truth/delay lookup arrays, packed design tensors — are memoized
+        process-wide, keyed by (netlist fingerprint, annotation
+        fingerprint, ``full_sdf``, ``device``), so repeated sessions on
+        the same design reuse the compiled tensors instead of re-packing
+        them (:mod:`repro.core.compile_cache`).
     device_memory_gb / waveform_pool_fraction:
         Model of the pre-allocated device memory chunk: of ``device_memory_gb``
         total, ``waveform_pool_fraction`` is reserved for waveform storage
@@ -77,6 +94,8 @@ class SimConfig:
     two_pass: bool = True
     kernel: str = "vector"
     restructure: str = "vector"
+    device: str = field(default_factory=default_device)
+    compile_cache: bool = True
     store_waveforms: bool = True
     device_memory_gb: float = 32.0
     waveform_pool_fraction: float = 0.75
@@ -108,6 +127,26 @@ class SimConfig:
                 f"restructure must be 'vector' or 'python', got "
                 f"{self.restructure!r}"
             )
+        if self.device not in available_array_backends():
+            raise ValueError(
+                f"device must name a registered array backend "
+                f"({', '.join(available_array_backends())}), got "
+                f"{self.device!r}; torch/cupy are only available when the "
+                f"package is installed, and an unset device defaults to the "
+                f"REPRO_DEVICE environment variable"
+            )
+
+    def effective_device(self) -> str:
+        """The array backend the data plane will actually run on.
+
+        The scalar kernel and the python restructure pipeline are
+        per-object Python oracles with no device representation, so
+        selecting either pins the run to the numpy backend; the
+        configured ``device`` applies to the all-vector pipeline.
+        """
+        if self.kernel == "scalar" or self.restructure == "python":
+            return "numpy"
+        return self.device
 
     @property
     def pathpulse_fraction(self) -> float:
@@ -131,4 +170,7 @@ class SimConfig:
 
 
 #: The configuration used throughout the paper's single-GPU experiments.
-PAPER_DEFAULT_CONFIG = SimConfig()
+#: Pinned to the numpy device so importing the package never depends on the
+#: REPRO_DEVICE environment variable being valid — a bad env value surfaces
+#: at first use-time ``SimConfig()`` construction, not at import.
+PAPER_DEFAULT_CONFIG = SimConfig(device="numpy")

@@ -4,7 +4,11 @@ This is the paper's simulation flow (Fig. 5) end to end:
 
 1. *Compile* the netlist: levelize the combinational logic, translate every
    cell's logic function into a truth-table array and every SDF delay into a
-   conditional delay-lookup array (Fig. 4).
+   conditional delay-lookup array (Fig. 4), pack everything into
+   struct-of-arrays design tensors, and materialize them on the configured
+   array backend (:mod:`repro.core.xp`).  Compiles are memoized process-wide
+   (:mod:`repro.core.compile_cache`) so repeated sessions on the same design
+   reuse the packed tensors.
 2. *Restructure* the testbench: slice every source waveform (primary inputs
    and sequential-element outputs) into ``cycle_parallelism`` independent
    windows.
@@ -13,6 +17,14 @@ This is the paper's simulation flow (Fig. 5) end to end:
    count pass sizes the output waveforms so their start addresses can be laid
    out in the pool, the store pass writes them (Algorithm 1).
 5. *Read back* toggle counts and waveforms for SAIF generation.
+
+On a non-numpy device the vector pipeline crosses the host/device boundary
+exactly twice per run: the lowered stimulus event tensors move *in* once
+(:meth:`~repro.core.restructure.SourceEvents.to_device`, step 2) and the
+trimmed readback moves *out* once per segment batch
+(:meth:`~repro.core.restructure.TrimmedReadback.to_host`, step 5).  Window
+descriptors (a handful of scalars per batch) ride along with the kernel
+launches, exactly like CUDA launch parameters.
 
 If the waveform pool cannot hold a full run, the windows are split into
 sequential segments and the engine is invoked once per segment, exactly as
@@ -25,10 +37,9 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..netlist import CompiledGraph, Netlist, compile_netlist, levelize
 from ..sdf.annotate import DelayAnnotation, default_annotation
+from . import compile_cache
 from .config import SimConfig
 from .contract import (
     StimulusError,
@@ -50,6 +61,7 @@ from .restructure import (
 from .results import PhaseTimings, SimulationResult, SimulationStats
 from .vector_kernel import PackedDesign, pack_design, simulate_level, tile_level
 from .waveform import EOW, INITIAL_ONE_MARKER, Waveform
+from .xp import HOST, ArrayBackend, get_array_backend
 
 
 @dataclass
@@ -70,27 +82,31 @@ class _ReadbackAccumulator:
     concatenating a net's per-batch arrays yields its windows in run
     order — the shape :func:`~repro.core.restructure.stitch_windows`
     consumes.  Holding arrays instead of :class:`Waveform` objects is what
-    lets result assembly stay vectorized end to end.
+    lets result assembly stay vectorized end to end.  Batches land here
+    *after* the device→host readback transfer, so accumulation is always
+    host-side.
     """
 
     def __init__(self, nets: Tuple[str, ...]):
         self.nets = nets
         self._batches: List[TrimmedReadback] = []
-        self._net_offsets: List[np.ndarray] = []
+        self._net_offsets: List = []
 
     def append(self, batch: TrimmedReadback) -> None:
-        offsets = np.zeros(len(self.nets) + 1, dtype=np.int64)
-        np.cumsum(batch.counts.sum(axis=1), out=offsets[1:])
+        hnp = HOST
+        offsets = hnp.zeros(len(self.nets) + 1, dtype=hnp.int64)
+        offsets[1:] = hnp.cumsum(batch.counts.sum(axis=1))
         self._batches.append(batch)
         self._net_offsets.append(offsets)
 
-    def net_series(self, index: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def net_series(self, index: int):
         """(establish_values, toggle_counts, times) of one net, all windows."""
-        establish = np.concatenate(
+        hnp = HOST
+        establish = hnp.concatenate(
             [batch.establish_values[index] for batch in self._batches]
         )
-        counts = np.concatenate([batch.counts[index] for batch in self._batches])
-        times = np.concatenate(
+        counts = hnp.concatenate([batch.counts[index] for batch in self._batches])
+        times = hnp.concatenate(
             [
                 batch.times[offsets[index] : offsets[index + 1]]
                 for batch, offsets in zip(self._batches, self._net_offsets)
@@ -119,7 +135,11 @@ class GatspiEngine:
         self._compiled: Optional[CompiledGraph] = None
         self._gate_inputs: Dict[str, GateKernelInputs] = {}
         self._packed: Optional[PackedDesign] = None
+        self._xp: ArrayBackend = get_array_backend(self.config.effective_device())
+        self._readback_net_ids = None
+        self._source_net_ids = None
         self._compile_time = 0.0
+        self._compile_cache_hit = False
         self._estimated_path_delay = 0
 
     # ------------------------------------------------------------------
@@ -135,12 +155,24 @@ class GatspiEngine:
     def packed_design(self) -> PackedDesign:
         """The compile-time struct-of-arrays design tensors (vector kernel).
 
-        Built once per compile and reused by every run — including every
-        device share of :func:`~repro.core.multi_gpu.simulate_multi_gpu`.
+        Built once per compile, materialized on the configured array
+        backend, and reused by every run — including every device share of
+        :func:`~repro.core.multi_gpu.simulate_multi_gpu`.
         """
         if self._packed is None:
             self.compile()
         return self._packed
+
+    @property
+    def xp(self) -> ArrayBackend:
+        """The array backend the data plane runs on (see
+        :meth:`SimConfig.effective_device`)."""
+        return self._xp
+
+    @property
+    def compile_cache_hit(self) -> bool:
+        """Whether the most recent :meth:`compile` reused cached artifacts."""
+        return self._compile_cache_hit
 
     def compile(self) -> CompiledGraph:
         """Levelize the netlist and build all lookup arrays.
@@ -149,13 +181,41 @@ class GatspiEngine:
         :class:`GateKernelInputs` the scalar reference kernel consumes, and
         the packed :class:`PackedDesign` tensors the level-batched vector
         kernel executes (built from the very same truth/delay arrays, so the
-        two kernels cannot diverge on compiled data).
+        two kernels cannot diverge on compiled data).  Results are memoized
+        process-wide by content fingerprint unless
+        ``SimConfig(compile_cache=False)``.
         """
         start = time.perf_counter()
-        # Recompiling must not keep lookup arrays from a previous compile
-        # (stale gates would survive annotation/config changes).
-        self._gate_inputs.clear()
-        self._packed = None
+        self._xp = get_array_backend(self.config.effective_device())
+        artifacts = None
+        key = None
+        if self.config.compile_cache:
+            key = compile_cache.compile_key(
+                self.netlist, self.annotation, self.config
+            )
+            artifacts = compile_cache.lookup(key)
+        self._compile_cache_hit = artifacts is not None
+        if artifacts is None:
+            artifacts = self._build_artifacts()
+            if key is not None:
+                compile_cache.store(key, artifacts)
+        # Cached artifacts are shared between engines and treated as
+        # immutable; the one mapping the engine exposes for mutation-style
+        # access (tests patch per-gate inputs) is copied per compile, which
+        # also guarantees recompiles drop stale entries.
+        self._compiled = artifacts.compiled
+        self._gate_inputs = dict(artifacts.gate_inputs)
+        self._packed = artifacts.packed
+        self._readback_net_ids = artifacts.readback_net_ids
+        self._source_net_ids = artifacts.source_net_ids
+        self._estimated_path_delay = artifacts.estimated_path_delay
+        self._compile_time = time.perf_counter() - start
+        return self._compiled
+
+    def _build_artifacts(self) -> compile_cache.CompiledArtifacts:
+        """One full (uncached) compile: levelize, build lookup arrays, pack,
+        and materialize the packed tensors on the configured backend."""
+        gate_inputs: Dict[str, GateKernelInputs] = {}
         levelization = levelize(self.netlist)
         compiled = compile_netlist(self.netlist, levelization)
         annotation = self.annotation
@@ -166,7 +226,7 @@ class GatspiEngine:
             cell = self.netlist.instances[gate.name].cell
             truth_table = library.truth_table(gate.cell_name).table
             if cell.num_inputs == 0:
-                self._gate_inputs[gate.name] = GateKernelInputs(
+                gate_inputs[gate.name] = GateKernelInputs(
                     truth_table=truth_table,
                     delay_arrays=(),
                     wire_rise=(),
@@ -181,25 +241,46 @@ class GatspiEngine:
                 wire = annotation.wire_delay(gate.name, pin)
                 wire_rise.append(float(wire.rise))
                 wire_fall.append(float(wire.fall))
-            self._gate_inputs[gate.name] = GateKernelInputs(
+            gate_inputs[gate.name] = GateKernelInputs(
                 truth_table=truth_table,
                 delay_arrays=delay_arrays,
                 wire_rise=tuple(wire_rise),
                 wire_fall=tuple(wire_fall),
             )
-        self._packed = pack_design(compiled.gates_by_level, self._gate_inputs)
+        packed = pack_design(
+            compiled.gates_by_level,
+            gate_inputs,
+            extra_nets=tuple(self.netlist.source_nets()),
+        ).to_device(self._xp)
+        # Net-id tensors of the two bulk registration paths — gate outputs
+        # in readback order and stimulus sources in lowering order — cached
+        # alongside the packed tensors so a cache hit skips the O(design)
+        # rebuild and device upload.
+        readback_net_ids = self._xp.asarray(
+            [packed.net_index[gate.output_net] for gate in compiled.gates.values()],
+            dtype=self._xp.int64,
+        )
+        source_net_ids = self._xp.asarray(
+            [packed.net_index[net] for net in self.netlist.source_nets()],
+            dtype=self._xp.int64,
+        )
         # Estimate the critical path delay; it bounds how far an event can
         # still propagate past a cycle-parallel window boundary and therefore
         # sizes the default settle margin (window overlap).
         max_wire = 0.0
         for wire in annotation.interconnect.values():
             max_wire = max(max_wire, wire.rise, wire.fall)
-        self._estimated_path_delay = int(
+        estimated_path_delay = int(
             compiled.depth * (annotation.max_gate_delay() + max_wire)
         )
-        self._compiled = compiled
-        self._compile_time = time.perf_counter() - start
-        return compiled
+        return compile_cache.CompiledArtifacts(
+            compiled=compiled,
+            gate_inputs=gate_inputs,
+            packed=packed,
+            readback_net_ids=readback_net_ids,
+            source_net_ids=source_net_ids,
+            estimated_path_delay=estimated_path_delay,
+        )
 
     @property
     def window_overlap(self) -> int:
@@ -239,6 +320,7 @@ class GatspiEngine:
             cycles=cycles,
             kernel_mode=config.kernel,
             restructure_mode=config.restructure,
+            device=self._xp.name,
         )
 
         if config.restructure == "vector":
@@ -247,6 +329,11 @@ class GatspiEngine:
             start = time.perf_counter()
             events = lower_stimulus(tuple(self.netlist.source_nets()), stimulus)
             timings.restructure += time.perf_counter() - start
+            # Host→device transfer point (the only one of the stimulus
+            # path): the lowered event tensors move to the device once.
+            start = time.perf_counter()
+            events = events.to_device(self._xp)
+            timings.host_to_device += time.perf_counter() - start
             readback = _ReadbackAccumulator(
                 tuple(gate.output_net for gate in compiled.gates.values())
             )
@@ -322,6 +409,20 @@ class GatspiEngine:
             ranges.append(_WindowRange(index=0, start=0, end=max(1, duration)))
         return ranges
 
+    def _make_pool(self, windows: Sequence[_WindowRange]) -> WaveformPool:
+        """A per-batch waveform pool on the engine's array backend.
+
+        Registration rows come from the design-wide net index built at
+        pack time, so every bulk store/gather resolves ``(net, window)``
+        pairs through flat index tables.
+        """
+        return WaveformPool(
+            self.config.waveform_pool_words,
+            xp=self._xp,
+            net_index=self.packed_design.net_index,
+            window_indices=[window.index for window in windows],
+        )
+
     def _segment_windows(
         self,
         windows: Sequence[_WindowRange],
@@ -361,7 +462,7 @@ class GatspiEngine:
     ) -> None:
         config = self.config
         compiled = self.compiled
-        pool = WaveformPool(config.waveform_pool_words)
+        pool = self._make_pool(windows)
         overlap = self.window_overlap
 
         # Restructure source waveforms into windows (cycle parallelism).  Each
@@ -430,22 +531,24 @@ class GatspiEngine:
         per-window :class:`Waveform` objects: slice bounds come from
         ``searchsorted`` over the lowered event tensors, the pool is
         filled by one :meth:`WaveformPool.load_windows` call, and trimmed
-        outputs land in the accumulator as flat arrays.
+        outputs land in the accumulator as flat host arrays after the one
+        device→host transfer of the batch.
         """
         config = self.config
-        pool = WaveformPool(config.waveform_pool_words)
+        xp = self._xp
+        pool = self._make_pool(windows)
         overlap = self.window_overlap
         B = len(windows)
         window_indices = [window.index for window in windows]
-        extended_starts = np.asarray(
-            [max(0, window.start - overlap) for window in windows], dtype=np.int64
+        extended_starts = xp.asarray(
+            [max(0, window.start - overlap) for window in windows], dtype=xp.int64
         )
-        ends = np.asarray([window.end for window in windows], dtype=np.int64)
+        ends = xp.asarray([window.end for window in windows], dtype=xp.int64)
 
         # Restructure: per-(net, window) slice bounds over the flat event
         # tensor — the cycle-parallelism step without any waveform copies.
         start = time.perf_counter()
-        slices = slice_windows(events, extended_starts, ends)
+        slices = slice_windows(events, extended_starts, ends, xp=xp)
         timings.restructure += time.perf_counter() - start
 
         # Load: one batched scatter writes every window into the pool.
@@ -458,6 +561,7 @@ class GatspiEngine:
             slices.starts,
             slices.counts,
             extended_starts,
+            net_ids=self._source_net_ids,
         )
         timings.host_to_device += time.perf_counter() - start
 
@@ -471,32 +575,42 @@ class GatspiEngine:
         # path does — and lift the survivors to absolute time.
         start = time.perf_counter()
         nets = readback.nets
-        addresses, toggle_counts = pool.window_table(nets, window_indices)
-        markers = (pool.data[addresses] == INITIAL_ONE_MARKER).astype(np.int64)
-        task_offsets = np.zeros(toggle_counts.size + 1, dtype=np.int64)
-        np.cumsum(toggle_counts, out=task_offsets[1:])
-        local_times = gather_segments(pool.data, addresses + markers + 1, toggle_counts)
-        margins = np.asarray(
-            [window.start for window in windows], dtype=np.int64
-        ) - extended_starts
+        addresses, toggle_counts = pool.window_table(
+            nets, window_indices, net_ids=self._readback_net_ids
+        )
+        markers = xp.astype(pool.data[addresses] == INITIAL_ONE_MARKER, xp.int64)
+        task_offsets = xp.zeros(xp.size(toggle_counts) + 1, dtype=xp.int64)
+        task_offsets[1:] = xp.cumsum(toggle_counts)
+        local_times = gather_segments(
+            pool.data, addresses + markers + 1, toggle_counts, xp=xp
+        )
+        margins = (
+            xp.asarray([window.start for window in windows], dtype=xp.int64)
+            - extended_starts
+        )
         if overlap > 0:
-            right_edges = np.where(ends < duration, ends - extended_starts, EOW - 1)
+            right_edges = xp.where(
+                ends < duration, ends - extended_starts, EOW - 1
+            )
         else:
-            right_edges = np.full(B, EOW - 1, dtype=np.int64)
+            right_edges = xp.full(B, EOW - 1, dtype=xp.int64)
         apply_trim = (margins > 0) | (right_edges != EOW - 1)
         N = len(nets)
         trimmed = trim_readback(
             local_times,
             task_offsets,
             markers,
-            np.tile(margins, N),
-            np.tile(right_edges, N),
-            np.tile(apply_trim, N),
+            xp.tile(margins, N),
+            xp.tile(right_edges, N),
+            xp.tile(apply_trim, N),
             extended_starts,
             N,
             B,
+            xp=xp,
         )
-        readback.append(trimmed)
+        # Device→host transfer point (the only one of the readback path):
+        # the trimmed batch moves to the host in one step.
+        readback.append(trimmed.to_host(xp))
         stats.pool_words_used = max(stats.pool_words_used, pool.used_words)
         timings.readback += time.perf_counter() - start
 
@@ -587,54 +701,38 @@ class GatspiEngine:
         For each level the count pass sizes every output waveform, the
         addresses come from one prefix-sum allocation, and the store pass
         writes all outputs with vectorized scatters — the software analogue
-        of the paper's per-level GPU grid launches.
+        of the paper's per-level GPU grid launches.  Input pointers and
+        toggle capacities come from the level's compile-time gather index
+        tensors resolved against the pool's registration tables
+        (:meth:`WaveformPool.gather_level_inputs`) — no per-batch Python
+        pointer lookups.
         """
         config = self.config
+        xp = self._xp
         packed = self.packed_design
         W = len(windows)
         window_indices = [window.index for window in windows]
 
         schedule_start = time.perf_counter()
-        null_pointer = pool.store_padding_waveform()
+        pool.store_padding_waveform()
         timings.scheduling += time.perf_counter() - schedule_start
 
         for level in packed.levels:
             G = level.gate_count
-            P = level.max_pins
             T = G * W
 
-            # Gather input pointers and toggle capacities per task.  Each
-            # net's per-window pointer row is built once and broadcast to
-            # every gate that reads it (fanout reuse).
+            # Gather input pointers and toggle capacities per task from the
+            # registration tables via the precomputed net-id tensors; each
+            # net's row is read once per referencing pin (fanout reuse is
+            # the shared table row).
             schedule_start = time.perf_counter()
-            pointers = np.full((T, P), null_pointer, dtype=np.int64)
-            capacities = np.zeros(T, dtype=np.int64)
-            pointer_rows: Dict[str, np.ndarray] = {}
-            capacity_rows: Dict[str, np.ndarray] = {}
-            for g, nets in enumerate(level.input_nets):
-                base = g * W
-                for pin, net in enumerate(nets):
-                    row = pointer_rows.get(net)
-                    if row is None:
-                        row = np.fromiter(
-                            (pool.pointer(net, wi) for wi in window_indices),
-                            dtype=np.int64,
-                            count=W,
-                        )
-                        pointer_rows[net] = row
-                        capacity_rows[net] = np.fromiter(
-                            (pool.toggle_count(net, wi) for wi in window_indices),
-                            dtype=np.int64,
-                            count=W,
-                        )
-                    pointers[base : base + W, pin] = row
-                    capacities[base : base + W] += capacity_rows[net]
+            pointers, capacities = pool.gather_level_inputs(level.input_net_ids)
             timings.scheduling += time.perf_counter() - schedule_start
 
             # Count pass: one batched launch sizes every output waveform.
             # The tiled per-task tensors are shared with the store pass.
             kernel_start = time.perf_counter()
-            tiled = tile_level(level, W)
+            tiled = tile_level(level, W, xp)
             first_pass = simulate_level(
                 pool.data,
                 pointers,
@@ -645,6 +743,7 @@ class GatspiEngine:
                 pathpulse_fraction=config.pathpulse_fraction,
                 net_delay_filtering=config.enable_net_delay_filtering,
                 tiled=tiled,
+                xp=xp,
             )
             stats.kernel_invocations += T
             stats.level_batches += 1
@@ -670,6 +769,7 @@ class GatspiEngine:
                     pathpulse_fraction=config.pathpulse_fraction,
                     net_delay_filtering=config.enable_net_delay_filtering,
                     tiled=tiled,
+                    xp=xp,
                 )
                 stats.kernel_invocations += T
                 stats.level_batches += 1
@@ -686,6 +786,7 @@ class GatspiEngine:
                 result.toggle_buffer,
                 result.toggle_starts,
                 result.toggle_counts,
+                net_ids=level.output_net_ids,
             )
             timings.scheduling += time.perf_counter() - schedule_start
 
@@ -747,12 +848,13 @@ class GatspiEngine:
     ) -> SimulationResult:
         """Vectorized counterpart of :meth:`_assemble_result`.
 
-        Stitching runs over the accumulated per-window arrays
+        Stitching runs over the accumulated per-window host arrays
         (:func:`~repro.core.restructure.stitch_windows`), reproducing the
         reference :meth:`_stitch` seam rules bit-exactly; without stored
         waveforms, per-net counts are sums over the trimmed window counts,
         exactly as the reference path sums per-window toggle counts.
         """
+        hnp = HOST
         start = time.perf_counter()
         result = SimulationResult(duration=duration, timings=timings, stats=stats)
 
@@ -762,8 +864,8 @@ class GatspiEngine:
             if self.config.store_waveforms:
                 result.waveforms[net] = wave
 
-        window_starts = np.asarray(
-            [window.start for window in windows], dtype=np.int64
+        window_starts = hnp.asarray(
+            [window.start for window in windows], dtype=hnp.int64
         )
         total_output_transitions = 0
         for index, net in enumerate(readback.nets):

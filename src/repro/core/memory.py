@@ -3,8 +3,22 @@
 GATSPI pre-allocates one chunk of device memory for *all* waveforms of the
 simulation, plus arrays of input/output waveform start-address pointers, so
 no host/device traffic occurs while the kernels run.  This module models that
-layout: a flat array, an allocator that lays out waveforms back-to-back, and
-pointer bookkeeping keyed by ``(net, window)``.
+layout: a flat array on the configured array backend (:mod:`repro.core.xp`),
+an allocator that lays out waveforms back-to-back, and *array-backed*
+registration: instead of per-``(net, window)`` Python dicts, the pool keeps
+flat ``(net_row, window_column)`` tables of start addresses, sizes, and
+toggle counts.  Bulk stores register whole batches with a couple of scatter
+writes, and per-level input gathering (:meth:`WaveformPool.gather_level_inputs`)
+is two fancy-indexed reads over the same tables — no per-task Python
+bookkeeping anywhere on the hot path.
+
+Net rows come from the design-wide net index built at pack time
+(:attr:`~repro.core.vector_kernel.PackedDesign.net_index`); one extra row —
+the *null row* — is reserved for padded pins and points at the canonical
+null waveform.  Pools constructed without a net index (tests, ad-hoc use)
+register nets and windows lazily, growing the tables on demand; the
+name-keyed accessors (``pointer``/``toggle_count``/``read_waveform``) work
+identically in both modes.
 
 The two-pass kernel scheme exists precisely to make this layout possible: the
 count pass reports each output waveform's storage size, the allocator assigns
@@ -26,12 +40,11 @@ guards that no timestamp has reached ``EOW`` and raises
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .restructure import gather_segments
 from .waveform import EOW, INITIAL_ONE_MARKER, POOL_DTYPE, Waveform
+from .xp import HOST, ArrayBackend, is_host
 
 
 class DeviceMemoryError(RuntimeError):
@@ -66,25 +79,134 @@ class PoolStats:
 
 
 class WaveformPool:
-    """Flat waveform storage with bump allocation and pointer bookkeeping."""
+    """Flat waveform storage with bump allocation and array registration.
 
-    def __init__(self, capacity_words: int, initial_words: int = 1 << 16):
+    ``net_index`` maps net names to table rows (the design-wide net index;
+    one extra *null row* is appended for padded pins) and
+    ``window_indices`` lists the batch's windows in column order.  Without
+    them the pool starts empty and registers names/windows lazily.  All
+    storage — the data array and the three registration tables — lives on
+    ``xp``.
+    """
+
+    def __init__(
+        self,
+        capacity_words: int,
+        initial_words: int = 1 << 16,
+        *,
+        xp: Optional[ArrayBackend] = None,
+        net_index: Optional[Mapping[str, int]] = None,
+        window_indices: Optional[Sequence[int]] = None,
+    ):
         if capacity_words < 4:
             raise ValueError("pool capacity must be at least 4 words")
+        self._xp = xp or HOST
         self.capacity_words = int(capacity_words)
         size = min(self.capacity_words, max(4, int(initial_words)))
-        self._data = np.full(size, EOW, dtype=POOL_DTYPE)
+        self._data = self._xp.full(size, EOW, dtype=self._xp.int64)
         self._next_free = 0
-        self._pointers: Dict[Tuple[str, int], int] = {}
-        self._sizes: Dict[Tuple[str, int], int] = {}
-        self._toggle_counts: Dict[Tuple[str, int], int] = {}
+        if net_index is not None:
+            self._net_rows: Dict[str, int] = dict(net_index)
+            # The null row sits at exactly PackedDesign.null_net_id and is
+            # NEVER moved: compile-time input_net_ids tensors encode that
+            # id statically, so lazily-registered extra nets go *after* it.
+            self._null_row: Optional[int] = len(self._net_rows)
+            self._next_row = self._null_row + 1
+            rows = self._next_row
+        else:
+            self._net_rows = {}
+            self._null_row = None
+            self._next_row = 0
+            rows = 8
+        if window_indices is not None:
+            self._window_cols: Dict[int, int] = {
+                int(w): i for i, w in enumerate(window_indices)
+            }
+            cols = max(1, len(self._window_cols))
+        else:
+            self._window_cols = {}
+            cols = 8
+        self._alloc_tables(max(1, rows), cols)
+
+    # ------------------------------------------------------------------
+    # Registration tables
+    # ------------------------------------------------------------------
+    def _alloc_tables(self, rows: int, cols: int) -> None:
+        xp = self._xp
+        self._ptr_table = xp.full((rows, cols), -1, dtype=xp.int64)
+        self._size_table = xp.zeros((rows, cols), dtype=xp.int64)
+        self._cnt_table = xp.zeros((rows, cols), dtype=xp.int64)
+
+    def _grow_tables(self, rows: int, cols: int) -> None:
+        xp = self._xp
+        old_ptr, old_size, old_cnt = (
+            self._ptr_table,
+            self._size_table,
+            self._cnt_table,
+        )
+        r = max(rows, int(old_ptr.shape[0]))
+        c = max(cols, int(old_ptr.shape[1]))
+        self._alloc_tables(r, c)
+        ro, co = old_ptr.shape
+        self._ptr_table[:ro, :co] = old_ptr
+        self._size_table[:ro, :co] = old_size
+        self._cnt_table[:ro, :co] = old_cnt
+
+    def _net_row(self, net: str) -> int:
+        row = self._net_rows.get(net)
+        if row is None:
+            row = self._next_row
+            self._next_row += 1
+            self._net_rows[net] = row
+            if row >= self._ptr_table.shape[0]:
+                self._grow_tables(row * 2 + 1, 0)
+        return row
+
+    def _window_col(self, window: int) -> int:
+        col = self._window_cols.get(int(window))
+        if col is None:
+            col = len(self._window_cols)
+            self._window_cols[int(window)] = col
+            if col >= self._ptr_table.shape[1]:
+                self._grow_tables(0, col * 2 + 1)
+        return col
+
+    def _row_name(self, row: int) -> str:
+        """Net name of a table row (cold error paths only)."""
+        for name, r in self._net_rows.items():
+            if r == row:
+                return name
+        if row == self._null_row:
+            return "<null row>"
+        return f"<row {row}>"
+
+    def _col_window(self, col: int) -> int:
+        """Window index of a table column (cold error paths only)."""
+        for window, c in self._window_cols.items():
+            if c == col:
+                return window
+        return col
+
+    def _cols_for(self, window_indices: Sequence[int]):
+        return self._xp.asarray(
+            [self._window_col(w) for w in window_indices], dtype=self._xp.int64
+        )
+
+    def _rows_for(self, nets: Sequence[str]):
+        return self._xp.asarray(
+            [self._net_row(net) for net in nets], dtype=self._xp.int64
+        )
 
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
     @property
-    def data(self) -> np.ndarray:
+    def data(self):
         return self._data
+
+    @property
+    def xp(self) -> ArrayBackend:
+        return self._xp
 
     @property
     def used_words(self) -> int:
@@ -94,15 +216,18 @@ class WaveformPool:
         return PoolStats(capacity_words=self.capacity_words, used_words=self._next_free)
 
     def _ensure(self, words: int) -> None:
+        xp = self._xp
         required = self._next_free + words
         if required > self.capacity_words:
             raise DeviceMemoryError(
                 f"waveform pool exhausted: need {required} words, capacity "
                 f"{self.capacity_words}"
             )
-        if required > self._data.size:
-            new_size = min(self.capacity_words, max(required, self._data.size * 2))
-            grown = np.full(new_size, EOW, dtype=POOL_DTYPE)
+        if required > xp.size(self._data):
+            new_size = min(
+                self.capacity_words, max(required, xp.size(self._data) * 2)
+            )
+            grown = xp.full(new_size, EOW, dtype=xp.int64)
             grown[: self._next_free] = self._data[: self._next_free]
             self._data = grown
 
@@ -122,28 +247,28 @@ class WaveformPool:
         self._next_free += words
         return address
 
-    def allocate_batch(self, sizes: np.ndarray) -> np.ndarray:
+    def allocate_batch(self, sizes):
         """Lay out one waveform per entry of ``sizes`` with a prefix sum.
 
         Produces exactly the addresses a loop of :meth:`allocate` calls would
         (each waveform even-aligned, laid out back-to-back), but in O(1)
-        numpy work per level — this is how the store pass of the vector
+        array work per level — this is how the store pass of the vector
         kernel gets every output address of a level at once.
         """
-        sizes = np.ascontiguousarray(sizes, dtype=np.int64)
-        if sizes.size == 0:
-            return np.zeros(0, dtype=np.int64)
-        if int(sizes.min()) < 2:
+        xp = self._xp
+        sizes = xp.ascontiguousarray(sizes, xp.int64)
+        if xp.size(sizes) == 0:
+            return xp.zeros(0, dtype=xp.int64)
+        if int(xp.min(sizes)) < 2:
             raise ValueError("a waveform needs at least 2 words (entry + EOW)")
         # Even-aligned back-to-back layout: from an even base, each slot
         # occupies size + (size & 1) words, so addresses are an exclusive
         # prefix sum of the padded sizes.
         base = self._next_free + (self._next_free & 1)
         padded = sizes + (sizes & 1)
-        addresses = np.empty(sizes.size, dtype=np.int64)
+        addresses = xp.empty(xp.size(sizes), dtype=xp.int64)
         addresses[0] = base
-        np.cumsum(padded[:-1], out=addresses[1:])
-        addresses[1:] += base
+        addresses[1:] = xp.cumsum(padded[:-1]) + base
         end = int(addresses[-1] + sizes[-1])
         self._ensure(end - self._next_free)
         self._next_free = end
@@ -154,10 +279,28 @@ class WaveformPool:
     # ------------------------------------------------------------------
     def _register(self, net: str, window: int, address: int, size: int,
                   toggle_count: int) -> None:
-        key = (net, window)
-        self._pointers[key] = address
-        self._sizes[key] = int(size)
-        self._toggle_counts[key] = int(toggle_count)
+        row = self._net_row(net)
+        col = self._window_col(window)
+        self._ptr_table[row, col] = int(address)
+        self._size_table[row, col] = int(size)
+        self._cnt_table[row, col] = int(toggle_count)
+
+    def _register_block(
+        self, rows, cols, addresses, sizes, counts
+    ) -> None:
+        """Register an ``(N, W)`` block of waveforms with three scatters.
+
+        ``rows`` are net rows, ``cols`` window columns; the flat per-task
+        arrays are net-major (``task = net * W + window``).  This replaces
+        the former per-``(net, window)`` dict loop — the last per-task
+        Python bookkeeping of the store path.
+        """
+        N = self._xp.size(rows)
+        W = self._xp.size(cols)
+        index = (rows[:, None], cols[None, :])
+        self._ptr_table[index] = addresses.reshape(N, W)
+        self._size_table[index] = sizes.reshape(N, W)
+        self._cnt_table[index] = counts.reshape(N, W)
 
     def store_waveform(self, net: str, window: int, waveform: Waveform) -> int:
         """Copy a waveform into the pool; returns its start address."""
@@ -167,20 +310,58 @@ class WaveformPool:
                 f"waveform dtype {raw.dtype} does not match pool dtype {POOL_DTYPE}"
             )
         address = self.allocate(raw.size)
-        self._data[address : address + raw.size] = raw
+        self._data[address : address + raw.size] = self._xp.asarray(raw)
         self._register(net, window, address, raw.size, waveform.toggle_count())
         return address
 
     def store_padding_waveform(self) -> int:
-        """Store the canonical null waveform (``[0, EOW]``), unregistered.
+        """Store the canonical null waveform (``[0, EOW]``).
 
         Padded pins of the level-batched kernel point here: a constant-0
-        signal that never produces events.
+        signal that never produces events.  On pools built with a design
+        net index the waveform is registered on the reserved *null row*
+        (address for every window column, toggle count 0), which is what
+        :meth:`gather_level_inputs` resolves padded pin ids against.
         """
         address = self.allocate(2)
         self._data[address] = 0
         self._data[address + 1] = EOW
+        if self._null_row is not None:
+            self._ptr_table[self._null_row, :] = address
+            self._size_table[self._null_row, :] = 2
+            self._cnt_table[self._null_row, :] = 0
         return address
+
+    def gather_level_inputs(self, input_net_ids) -> Tuple["object", "object"]:
+        """Per-task input pointers and toggle capacities for one level.
+
+        ``input_net_ids`` is the level's ``(G, P)`` gather index tensor
+        (:attr:`~repro.core.vector_kernel.LevelTensors.input_net_ids`);
+        rows equal net ids because the pool was built from the same design
+        net index.  Returns ``(pointers, capacities)`` shaped ``(T, P)``
+        and ``(T,)`` in gate-major task order over the batch's window
+        columns — two fancy-indexed reads, no per-pin Python lookups
+        (fanout reuse falls out of the shared table rows).
+        """
+        xp = self._xp
+        W = len(self._window_cols)
+        G, P = int(input_net_ids.shape[0]), int(input_net_ids.shape[1])
+        ptr = self._ptr_table[:, :W][input_net_ids]  # (G, P, W)
+        cnt = self._cnt_table[:, :W][input_net_ids]
+        pointers = xp.transpose(ptr, (0, 2, 1)).reshape(G * W, P)
+        # Preserve the old per-net pointer() contract: an unregistered pair
+        # must fail loudly, not wrap the -1 sentinel to the end of the pool.
+        if P and G and bool(xp.any(pointers < 0)):
+            missing = xp.to_host(ptr < 0)
+            g, p, w = [int(axis[0]) for axis in missing.nonzero()]
+            row = int(xp.to_host(input_net_ids)[g, p])
+            window = self._col_window(w)
+            raise KeyError(
+                f"gather_level_inputs: no waveform stored for net "
+                f"{self._row_name(row)!r}, window {window} (gate {g}, pin {p})"
+            )
+        capacities = xp.sum(cnt, axis=1).reshape(G * W)
+        return pointers, capacities
 
     def store_kernel_output(
         self,
@@ -214,69 +395,67 @@ class WaveformPool:
         self,
         nets: Sequence[str],
         window_indices: Sequence[int],
-        addresses: np.ndarray,
-        initial_values: np.ndarray,
-        toggle_buffer: np.ndarray,
-        toggle_starts: np.ndarray,
-        toggle_counts: np.ndarray,
+        addresses,
+        initial_values,
+        toggle_buffer,
+        toggle_starts,
+        toggle_counts,
+        net_ids=None,
     ) -> None:
         """Vectorized store pass for one level of the vector kernel.
 
         Tasks are gate-major over ``window_indices`` (``task = gate * W +
         window``), matching :func:`repro.core.vector_kernel.simulate_level`.
-        All waveforms of the level are written with a handful of numpy
-        scatter operations.
+        All waveforms of the level are written with a handful of scatter
+        operations, and registration is a block scatter into the pointer
+        tables (``net_ids`` supplies the rows directly when the caller —
+        the engine — has the level's precomputed id tensor).
         """
+        xp = self._xp
         W = len(window_indices)
         T = len(nets) * W
-        addresses = np.ascontiguousarray(addresses, dtype=np.int64)
-        if addresses.size != T:
-            raise ValueError(f"expected {T} addresses, got {addresses.size}")
+        addresses = xp.ascontiguousarray(addresses, xp.int64)
+        if xp.size(addresses) != T:
+            raise ValueError(f"expected {T} addresses, got {xp.size(addresses)}")
         if T == 0:
             return
         data = self._data
         has_marker = initial_values != 0
         data[addresses[has_marker]] = INITIAL_ONE_MARKER
-        establish = addresses + has_marker
+        establish = addresses + xp.astype(has_marker, xp.int64)
         data[establish] = 0
-        total = int(toggle_counts.sum())
+        total = int(xp.sum(toggle_counts))
         if total:
             # Flat gather/scatter indices for all toggle segments at once:
             # within-segment offsets are a ramp reset at each segment start.
-            ramp = np.arange(total, dtype=np.int64)
-            seg_base = np.cumsum(toggle_counts) - toggle_counts
-            ramp -= np.repeat(seg_base, toggle_counts)
-            src = np.repeat(toggle_starts, toggle_counts) + ramp
-            dst = np.repeat(establish + 1, toggle_counts) + ramp
+            ramp = xp.arange(total, dtype=xp.int64)
+            seg_base = xp.cumsum(toggle_counts) - toggle_counts
+            ramp -= xp.repeat(seg_base, toggle_counts)
+            src = xp.repeat(toggle_starts, toggle_counts) + ramp
+            dst = xp.repeat(establish + 1, toggle_counts) + ramp
             times = toggle_buffer[src]
-            if int(times.max()) >= EOW:
+            if int(xp.max(times)) >= EOW:
                 raise TimestampOverflowError(
                     f"a toggle time in level store reached the EOW sentinel ({EOW})"
                 )
             data[dst] = times
         data[establish + 1 + toggle_counts] = EOW
         sizes = establish + 2 + toggle_counts - addresses
-        for g, net in enumerate(nets):
-            base = g * W
-            for w, window in enumerate(window_indices):
-                t = base + w
-                self._register(
-                    net,
-                    window,
-                    int(addresses[t]),
-                    int(sizes[t]),
-                    int(toggle_counts[t]),
-                )
+        rows = net_ids if net_ids is not None else self._rows_for(nets)
+        self._register_block(
+            rows, self._cols_for(window_indices), addresses, sizes, toggle_counts
+        )
 
     def load_windows(
         self,
         nets: Sequence[str],
         window_indices: Sequence[int],
-        initial_values: np.ndarray,
-        times: np.ndarray,
-        starts: np.ndarray,
-        counts: np.ndarray,
-        rebase_offsets: np.ndarray,
+        initial_values,
+        times,
+        starts,
+        counts,
+        rebase_offsets,
+        net_ids=None,
     ) -> None:
         """Bulk-load one sliced stimulus window per ``(net, window)`` pair.
 
@@ -288,116 +467,127 @@ class WaveformPool:
         from every copied timestamp so each window is stored in
         window-local time.  Layout, registration, and the resulting pool
         image are identical to the per-waveform path; the writes are a
-        handful of numpy scatters.
+        handful of scatters and registration is one block scatter.
         """
+        xp = self._xp
         N, W = len(nets), len(window_indices)
         T = N * W
-        initial_values = np.ascontiguousarray(initial_values, dtype=np.int64).ravel()
-        starts = np.ascontiguousarray(starts, dtype=np.int64).ravel()
-        counts = np.ascontiguousarray(counts, dtype=np.int64).ravel()
-        if initial_values.size != T or starts.size != T or counts.size != T:
+        initial_values = xp.ascontiguousarray(initial_values, xp.int64).ravel()
+        starts = xp.ascontiguousarray(starts, xp.int64).ravel()
+        counts = xp.ascontiguousarray(counts, xp.int64).ravel()
+        if (
+            xp.size(initial_values) != T
+            or xp.size(starts) != T
+            or xp.size(counts) != T
+        ):
             raise ValueError(
-                f"expected {T} window slices, got {initial_values.size}"
+                f"expected {T} window slices, got {xp.size(initial_values)}"
             )
         if T == 0:
             return
         has_marker = initial_values != 0
-        addresses = self.allocate_batch(2 + counts + has_marker)
+        marker = xp.astype(has_marker, xp.int64)
+        addresses = self.allocate_batch(2 + counts + marker)
         data = self._data
         data[addresses[has_marker]] = INITIAL_ONE_MARKER
-        establish = addresses + has_marker
+        establish = addresses + marker
         data[establish] = 0
-        total = int(counts.sum())
+        total = int(xp.sum(counts))
         if total:
-            copied = gather_segments(times, starts, counts)
-            offsets = np.broadcast_to(
-                np.ascontiguousarray(rebase_offsets, dtype=np.int64), (N, W)
+            copied = gather_segments(times, starts, counts, xp=xp)
+            offsets = xp.broadcast_to(
+                xp.ascontiguousarray(rebase_offsets, xp.int64), (N, W)
             ).ravel()
-            copied = copied - np.repeat(offsets, counts)
-            if int(copied.max()) >= EOW:
+            copied = copied - xp.repeat(offsets, counts)
+            if int(xp.max(copied)) >= EOW:
                 raise TimestampOverflowError(
                     f"a stimulus window timestamp reached the EOW sentinel ({EOW})"
                 )
-            ramp = np.arange(total, dtype=np.int64)
-            ramp -= np.repeat(np.cumsum(counts) - counts, counts)
-            data[np.repeat(establish + 1, counts) + ramp] = copied
+            ramp = xp.arange(total, dtype=xp.int64)
+            ramp -= xp.repeat(xp.cumsum(counts) - counts, counts)
+            data[xp.repeat(establish + 1, counts) + ramp] = copied
         data[establish + 1 + counts] = EOW
         sizes = establish + 2 + counts - addresses
-        for n, net in enumerate(nets):
-            base = n * W
-            for w, window in enumerate(window_indices):
-                t = base + w
-                self._register(
-                    net,
-                    window,
-                    int(addresses[t]),
-                    int(sizes[t]),
-                    int(counts[t]),
-                )
+        rows = net_ids if net_ids is not None else self._rows_for(nets)
+        self._register_block(
+            rows, self._cols_for(window_indices), addresses, sizes, counts
+        )
 
     def window_table(
-        self, nets: Sequence[str], window_indices: Sequence[int]
-    ) -> Tuple[np.ndarray, np.ndarray]:
+        self, nets: Sequence[str], window_indices: Sequence[int], net_ids=None
+    ) -> Tuple["object", "object"]:
         """Stored layout of every ``(net, window)`` pair, as flat arrays.
 
         Returns ``(addresses, toggle_counts)`` in net-major task order —
-        the bulk readback path's view of the pool bookkeeping.
+        the bulk readback path's view of the registration tables.
         """
-        T = len(nets) * len(window_indices)
-        addresses = np.empty(T, dtype=np.int64)
-        toggle_counts = np.empty(T, dtype=np.int64)
-        pointers = self._pointers
-        t = 0
-        for net in nets:
-            for window in window_indices:
-                key = (net, window)
-                try:
-                    addresses[t] = pointers[key]
-                except KeyError:
-                    raise KeyError(
-                        f"no waveform stored for net {net!r}, window {window}"
-                    ) from None
-                toggle_counts[t] = self._toggle_counts[key]
-                t += 1
-        return addresses, toggle_counts
+        xp = self._xp
+        rows = net_ids if net_ids is not None else self._rows_for(nets)
+        cols = self._cols_for(window_indices)
+        index = (rows[:, None], cols[None, :])
+        addresses = self._ptr_table[index]
+        if bool(xp.any(addresses < 0)):
+            missing = xp.to_host(addresses < 0)
+            n, w = [int(axis[0]) for axis in missing.nonzero()]
+            raise KeyError(
+                f"no waveform stored for net {nets[n]!r}, "
+                f"window {window_indices[w]}"
+            )
+        return addresses.ravel(), self._cnt_table[index].ravel()
+
+    # ------------------------------------------------------------------
+    # Name-keyed accessors (scalar oracle path and tests)
+    # ------------------------------------------------------------------
+    def _lookup(self, net: str, window: int) -> Tuple[int, int]:
+        row = self._net_rows.get(net)
+        col = self._window_cols.get(int(window))
+        if row is not None and col is not None:
+            address = int(self._ptr_table[row, col])
+            if address >= 0:
+                return row, col
+        raise KeyError(
+            f"no waveform stored for net {net!r}, window {window}"
+        )
 
     def pointer(self, net: str, window: int) -> int:
         """Start address of a stored waveform."""
-        try:
-            return self._pointers[(net, window)]
-        except KeyError:
-            raise KeyError(
-                f"no waveform stored for net {net!r}, window {window}"
-            ) from None
+        row, col = self._lookup(net, window)
+        return int(self._ptr_table[row, col])
 
     def toggle_count(self, net: str, window: int) -> int:
         """Real transitions of a stored waveform (drives count-pass sizing)."""
-        try:
-            return self._toggle_counts[(net, window)]
-        except KeyError:
-            raise KeyError(
-                f"no waveform stored for net {net!r}, window {window}"
-            ) from None
+        row, col = self._lookup(net, window)
+        return int(self._cnt_table[row, col])
 
     def has_waveform(self, net: str, window: int) -> bool:
-        return (net, window) in self._pointers
+        try:
+            self._lookup(net, window)
+        except KeyError:
+            return False
+        return True
 
     def read_waveform(self, net: str, window: int) -> Waveform:
         """Waveform readback as a zero-copy view into the pool.
 
-        The returned :class:`Waveform` wraps a read-only slice of the pool
-        array — no per-element copy.  The pool is append-only for the
-        lifetime of a simulation batch (only :meth:`reset` rewrites stored
-        words), so the view stays valid as long as the caller holds it: even
-        if the pool grows, the view keeps the old buffer alive.
+        On the numpy backend the returned :class:`Waveform` wraps a
+        read-only slice of the pool array — no per-element copy.  The pool
+        is append-only for the lifetime of a simulation batch (only
+        :meth:`reset` rewrites stored words), so the view stays valid as
+        long as the caller holds it: even if the pool grows, the view keeps
+        the old buffer alive.  On other backends the slice is copied to the
+        host (readback crosses the device boundary by definition).
         """
-        address = self.pointer(net, window)
-        # Every store path registers through _register, so a known pointer
-        # always has a recorded size.
-        size = self._sizes[(net, window)]
-        view = self._data[address : address + size].view()
-        view.setflags(write=False)
-        return Waveform(view)
+        row, col = self._lookup(net, window)
+        address = int(self._ptr_table[row, col])
+        size = int(self._size_table[row, col])
+        chunk = self._data[address : address + size]
+        if is_host(self._xp):
+            view = chunk.view()
+            view.setflags(write=False)
+            return Waveform(view)
+        host = self._xp.to_host(chunk).copy()
+        host.setflags(write=False)
+        return Waveform(host)
 
     def reset(self) -> None:
         """Free everything (used between sequential testbench segments).
@@ -407,7 +597,7 @@ class WaveformPool:
         copy them first.
         """
         self._next_free = 0
-        self._pointers.clear()
-        self._sizes.clear()
-        self._toggle_counts.clear()
+        self._ptr_table[:, :] = -1
+        self._size_table[:, :] = 0
+        self._cnt_table[:, :] = 0
         self._data[:] = EOW

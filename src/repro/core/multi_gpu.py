@@ -53,6 +53,11 @@ class DeviceShare:
         return self.result.stats.level_batches
 
     @property
+    def device(self) -> str:
+        """Array backend this share's data plane ran on."""
+        return self.result.stats.device
+
+    @property
     def max_batch_tasks(self) -> int:
         """Largest (gate, window) batch this share launched."""
         return self.result.stats.max_batch_tasks
@@ -68,6 +73,8 @@ class MultiGpuResult:
     launch_overhead: float = 0.0
     #: Which kernel executed Algorithm 1 on every share.
     kernel_mode: str = ""
+    #: Which array backend (repro.core.xp) every share's data plane ran on.
+    device: str = ""
     #: Invariant of this implementation: all shares run through one prepared
     #: session, so the packed design tensors are built once and partitioned
     #: by window — never re-derived per device.
@@ -159,6 +166,7 @@ def simulate_multi_gpu(
         share_stimulus = slice_stimulus(stimulus, start, end)
         share_result = session.run(share_stimulus, duration=end - start)
         result.kernel_mode = share_result.stats.kernel_mode
+        result.device = share_result.stats.device
         result.shares.append(
             DeviceShare(
                 device_index=device_index,

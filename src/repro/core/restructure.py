@@ -9,21 +9,30 @@ dominant non-kernel cost.  This module keeps every one of those phases in
 bulk array form:
 
 * :func:`lower_stimulus` flattens the stimulus once per run into one
-  concatenated event tensor (toggle times, per-net offsets, initial values).
+  concatenated event tensor (toggle times, per-net offsets, initial values)
+  on the host; :meth:`SourceEvents.to_device` then moves it to the
+  configured array backend — the *single* host→device transfer of the
+  stimulus path.
 * :func:`slice_windows` computes every ``(net, window)`` slice bound with
   two ``searchsorted`` calls over the whole tensor — no per-window copies.
   The slices feed :meth:`~repro.core.memory.WaveformPool.load_windows`,
-  which writes all windows of a batch with a handful of numpy scatters.
+  which writes all windows of a batch with a handful of scatters.
 * :func:`trim_readback` trims every stored output window to its
   ``[start, end)`` range (dropping the settle margin and the propagation
-  tail) in one segmented ``searchsorted`` pass.
+  tail) in one segmented ``searchsorted`` pass; its result is moved back to
+  the host in one step (:meth:`TrimmedReadback.to_host`) — the single
+  device→host transfer of the readback path.
 * :func:`stitch_windows` reassembles the full-run waveform of a net from
   its trimmed windows, reproducing the engine's sequential seam rules
-  bit-exactly (a numpy fast path covers the common seam-consistent case).
+  bit-exactly (an array fast path covers the common seam-consistent case).
+  Stitching consumes host arrays, so it always runs on the numpy backend.
 
-Everything here is bit-identical to the per-object reference pipeline,
-which stays reachable via ``SimConfig(restructure="python")`` exactly as
-``kernel="scalar"`` keeps the scalar kernel as the execution oracle.
+Every device-side function takes the array backend as an ``xp`` parameter
+(:mod:`repro.core.xp`), defaulting to the host numpy backend — whose
+operations *are* the numpy functions, so the default path is bit-identical
+to the pre-xp pipeline.  The per-object reference pipeline stays reachable
+via ``SimConfig(restructure="python")`` exactly as ``kernel="scalar"``
+keeps the scalar kernel as the execution oracle.
 
 Segmented ``searchsorted``
 --------------------------
@@ -44,9 +53,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-import numpy as np
-
 from .waveform import EOW, INITIAL_ONE_MARKER, POOL_DTYPE, Waveform, WaveformError
+from .xp import HOST, ArrayBackend, is_host
 
 
 # ----------------------------------------------------------------------
@@ -59,27 +67,46 @@ class SourceEvents:
     ``times`` concatenates every source net's *real* toggle times (the
     establishing entry of each waveform is not a transition); net ``i``
     owns ``times[offsets[i]:offsets[i+1]]``, sorted ascending.  Built once
-    per run and reused by every pool-overflow segment batch.
+    per run and reused by every pool-overflow segment batch.  ``device``
+    names the array backend the tensors live on.
     """
 
     nets: Tuple[str, ...]
-    times: np.ndarray  # flat int64 toggle times, per-net sorted
-    offsets: np.ndarray  # (N+1,) int64 prefix offsets into times
-    initial_values: np.ndarray  # (N,) int64 in {0, 1}
+    times: "object"  # flat int64 toggle times, per-net sorted
+    offsets: "object"  # (N+1,) int64 prefix offsets into times
+    initial_values: "object"  # (N,) int64 in {0, 1}
+    device: str = "numpy"
 
     @property
     def net_count(self) -> int:
         return len(self.nets)
 
+    def to_device(self, xp: ArrayBackend) -> "SourceEvents":
+        """Move the event tensors to ``xp`` (identity for numpy).
+
+        This is the stimulus path's one host→device transfer point: every
+        segment batch afterwards slices the same device tensors.
+        """
+        if is_host(xp):
+            return self
+        return SourceEvents(
+            nets=self.nets,
+            times=xp.asarray(self.times, xp.int64),
+            offsets=xp.asarray(self.offsets, xp.int64),
+            initial_values=xp.asarray(self.initial_values, xp.int64),
+            device=xp.name,
+        )
+
 
 def lower_stimulus(
     nets: Sequence[str], stimulus: Mapping[str, Waveform]
 ) -> SourceEvents:
-    """Flatten ``stimulus`` into one :class:`SourceEvents` tensor."""
+    """Flatten ``stimulus`` into one host-side :class:`SourceEvents` tensor."""
+    hnp = HOST
     nets = tuple(nets)
-    chunks: List[np.ndarray] = []
-    offsets = np.zeros(len(nets) + 1, dtype=np.int64)
-    initial_values = np.zeros(len(nets), dtype=np.int64)
+    chunks: List = []
+    offsets = hnp.zeros(len(nets) + 1, dtype=hnp.int64)
+    initial_values = hnp.zeros(len(nets), dtype=hnp.int64)
     for i, net in enumerate(nets):
         wave = stimulus[net]
         toggles = wave.timestamps[1:]  # skip the establishing entry
@@ -87,7 +114,7 @@ def lower_stimulus(
         offsets[i + 1] = offsets[i] + toggles.size
         initial_values[i] = wave.initial_value
     times = (
-        np.concatenate(chunks) if chunks else np.zeros(0, dtype=POOL_DTYPE)
+        hnp.concatenate(chunks) if chunks else hnp.zeros(0, dtype=POOL_DTYPE)
     )
     return SourceEvents(
         nets=nets, times=times, offsets=offsets, initial_values=initial_values
@@ -104,53 +131,57 @@ class WindowSlices:
     establishes at its (extended) window start.
     """
 
-    starts: np.ndarray
-    counts: np.ndarray
-    initial_values: np.ndarray
+    starts: "object"
+    counts: "object"
+    initial_values: "object"
 
 
 def slice_windows(
     events: SourceEvents,
-    window_starts: np.ndarray,
-    window_ends: np.ndarray,
+    window_starts,
+    window_ends,
+    xp: ArrayBackend = HOST,
 ) -> WindowSlices:
     """Slice every source net into every window, without copying events.
 
     ``window_starts`` are the margin-extended starts; a slice establishes
     ``value_at(start)`` and contains the toggles with ``start < t < end``
     — exactly :meth:`Waveform.window`'s contract, computed for all
-    ``N * W`` pairs with two ``searchsorted`` calls.
+    ``N * W`` pairs with two ``searchsorted`` calls on ``xp``.
     """
     N = events.net_count
-    starts = np.ascontiguousarray(window_starts, dtype=np.int64)
-    ends = np.ascontiguousarray(window_ends, dtype=np.int64)
+    starts = xp.ascontiguousarray(window_starts, xp.int64)
+    ends = xp.ascontiguousarray(window_ends, xp.int64)
     seg_base = events.offsets[:-1][:, None]
-    counts_per_net = np.diff(events.offsets)
-    rows = np.repeat(np.arange(N, dtype=np.int64), counts_per_net)
+    counts_per_net = xp.diff(events.offsets)
     # Window bounds are absolute times and may exceed EOW on runs longer
     # than the sentinel (event *times* never do); the stride must cover
     # the largest query so no query escapes its segment's band.
-    stride = _segment_stride(ends)
+    stride = _segment_stride(ends, xp)
     if N * stride < _SHIFT_OVERFLOW_GUARD:
+        rows = xp.repeat(xp.arange(N, dtype=xp.int64), counts_per_net)
         shifted = events.times + rows * stride
-        shift = np.arange(N, dtype=np.int64)[:, None] * stride
+        shift = xp.arange(N, dtype=xp.int64)[:, None] * stride
         lo = (
-            np.searchsorted(shifted, starts[None, :] + shift, side="right")
+            xp.searchsorted(shifted, starts[None, :] + shift, side="right")
             - seg_base
         )
         hi = (
-            np.searchsorted(shifted, ends[None, :] + shift, side="left")
+            xp.searchsorted(shifted, ends[None, :] + shift, side="left")
             - seg_base
         )
     else:
         # Degenerate horizon (duration ~2**62 time units): shift arithmetic
         # would overflow int64, so fall back to one searchsorted per net.
-        lo = np.empty((N, starts.size), dtype=np.int64)
-        hi = np.empty((N, ends.size), dtype=np.int64)
+        W = xp.size(starts)
+        lo = xp.empty((N, W), dtype=xp.int64)
+        hi = xp.empty((N, W), dtype=xp.int64)
         for i in range(N):
-            net_times = events.times[events.offsets[i] : events.offsets[i + 1]]
-            lo[i] = np.searchsorted(net_times, starts, side="right")
-            hi[i] = np.searchsorted(net_times, ends, side="left")
+            net_times = events.times[
+                int(events.offsets[i]) : int(events.offsets[i + 1])
+            ]
+            lo[i] = xp.searchsorted(net_times, starts, side="right")
+            hi[i] = xp.searchsorted(net_times, ends, side="left")
     initial = events.initial_values[:, None] ^ (lo & 1)
     return WindowSlices(
         starts=seg_base + lo, counts=hi - lo, initial_values=initial
@@ -164,33 +195,32 @@ def slice_windows(
 _SHIFT_OVERFLOW_GUARD = 1 << 62
 
 
-def _segment_stride(thresholds: np.ndarray) -> int:
+def _segment_stride(thresholds, xp: ArrayBackend = HOST) -> int:
     """Per-segment shift stride covering every value (< ``EOW``) and query."""
-    if thresholds.size == 0:
+    if xp.size(thresholds) == 0:
         return EOW
-    return max(EOW, int(thresholds.max()) + 1)
+    return max(EOW, int(xp.max(thresholds)) + 1)
 
 
-def gather_segments(
-    buffer: np.ndarray, starts: np.ndarray, counts: np.ndarray
-) -> np.ndarray:
+def gather_segments(buffer, starts, counts, xp: ArrayBackend = HOST):
     """Concatenate ``buffer[starts[k] : starts[k] + counts[k]]`` for all k."""
-    counts = np.ascontiguousarray(counts, dtype=np.int64)
-    total = int(counts.sum())
+    counts = xp.ascontiguousarray(counts, xp.int64)
+    total = int(xp.sum(counts))
     if total == 0:
-        return np.zeros(0, dtype=buffer.dtype)
-    ramp = np.arange(total, dtype=np.int64)
-    seg_base = np.cumsum(counts) - counts
-    ramp -= np.repeat(seg_base, counts)
-    return buffer[np.repeat(np.ascontiguousarray(starts, dtype=np.int64), counts) + ramp]
+        return buffer[:0]
+    ramp = xp.arange(total, dtype=xp.int64)
+    seg_base = xp.cumsum(counts) - counts
+    ramp -= xp.repeat(seg_base, counts)
+    return buffer[xp.repeat(xp.ascontiguousarray(starts, xp.int64), counts) + ramp]
 
 
 def segmented_counts(
-    values: np.ndarray,
-    seg_offsets: np.ndarray,
-    thresholds: np.ndarray,
+    values,
+    seg_offsets,
+    thresholds,
     side: str,
-) -> np.ndarray:
+    xp: ArrayBackend = HOST,
+):
     """Per-segment ``searchsorted`` over one flat buffer.
 
     ``values`` holds ``T`` independently sorted segments (segment ``k`` is
@@ -200,26 +230,28 @@ def segmented_counts(
     (``side="left"``), using the per-segment shift trick from the module
     docstring.
     """
-    T = thresholds.size
-    counts = np.diff(seg_offsets)
-    stride = _segment_stride(thresholds)
+    T = xp.size(thresholds)
+    counts = xp.diff(seg_offsets)
+    stride = _segment_stride(thresholds, xp)
     if T * stride >= _SHIFT_OVERFLOW_GUARD:
         # Degenerate horizon: shift arithmetic would overflow int64.
-        return np.asarray(
+        return xp.asarray(
             [
-                np.searchsorted(
-                    values[seg_offsets[k] : seg_offsets[k + 1]],
-                    thresholds[k],
-                    side=side,
+                int(
+                    xp.searchsorted(
+                        values[int(seg_offsets[k]) : int(seg_offsets[k + 1])],
+                        int(thresholds[k]),
+                        side=side,
+                    )
                 )
                 for k in range(T)
             ],
-            dtype=np.int64,
+            dtype=xp.int64,
         )
-    rows = np.repeat(np.arange(T, dtype=np.int64), counts)
+    rows = xp.repeat(xp.arange(T, dtype=xp.int64), counts)
     shifted = values + rows * stride
-    queries = thresholds + np.arange(T, dtype=np.int64) * stride
-    return np.searchsorted(shifted, queries, side=side) - seg_offsets[:-1]
+    queries = thresholds + xp.arange(T, dtype=xp.int64) * stride
+    return xp.searchsorted(shifted, queries, side=side) - seg_offsets[:-1]
 
 
 @dataclass(frozen=True)
@@ -232,21 +264,36 @@ class TrimmedReadback:
     each trimmed window establishes at its window start.
     """
 
-    establish_values: np.ndarray  # (N, B)
-    counts: np.ndarray  # (N, B)
-    times: np.ndarray  # flat int64, absolute time
+    establish_values: "object"  # (N, B)
+    counts: "object"  # (N, B)
+    times: "object"  # flat int64, absolute time
+
+    def to_host(self, xp: ArrayBackend) -> "TrimmedReadback":
+        """Move the trimmed batch to host numpy arrays.
+
+        This is the readback path's one device→host transfer point; result
+        accumulation and stitching run on the host afterwards.
+        """
+        if is_host(xp):
+            return self
+        return TrimmedReadback(
+            establish_values=xp.to_host(self.establish_values),
+            counts=xp.to_host(self.counts),
+            times=xp.to_host(self.times),
+        )
 
 
 def trim_readback(
-    local_times: np.ndarray,
-    task_offsets: np.ndarray,
-    initial_values: np.ndarray,
-    margins: np.ndarray,
-    right_edges: np.ndarray,
-    apply_trim: np.ndarray,
-    absolute_offsets: np.ndarray,
+    local_times,
+    task_offsets,
+    initial_values,
+    margins,
+    right_edges,
+    apply_trim,
+    absolute_offsets,
     net_count: int,
     window_count: int,
+    xp: ArrayBackend = HOST,
 ) -> TrimmedReadback:
     """Trim every stored output window to its ``[start, end)`` range.
 
@@ -260,24 +307,24 @@ def trim_readback(
     ``absolute_offsets`` (the extended window starts, one per window)
     lifts kept times to absolute time.
     """
-    toggle_counts = np.diff(task_offsets)
+    toggle_counts = xp.diff(task_offsets)
     if net_count == 0 or window_count == 0:
         return TrimmedReadback(
-            establish_values=np.zeros((net_count, window_count), dtype=np.int64),
-            counts=np.zeros((net_count, window_count), dtype=np.int64),
-            times=np.zeros(0, dtype=np.int64),
+            establish_values=xp.zeros((net_count, window_count), dtype=xp.int64),
+            counts=xp.zeros((net_count, window_count), dtype=xp.int64),
+            times=xp.zeros(0, dtype=xp.int64),
         )
-    lcnt = segmented_counts(local_times, task_offsets, margins, side="right")
-    rcnt = segmented_counts(local_times, task_offsets, right_edges, side="left")
-    lcnt = np.where(apply_trim, lcnt, 0)
-    rcnt = np.where(apply_trim, rcnt, toggle_counts)
+    lcnt = segmented_counts(local_times, task_offsets, margins, side="right", xp=xp)
+    rcnt = segmented_counts(local_times, task_offsets, right_edges, side="left", xp=xp)
+    lcnt = xp.where(apply_trim, lcnt, 0)
+    rcnt = xp.where(apply_trim, rcnt, toggle_counts)
     kept = rcnt - lcnt
     establish = (initial_values ^ (lcnt & 1)).reshape(net_count, window_count)
-    times = gather_segments(local_times, task_offsets[:-1] + lcnt, kept)
-    per_task_offset = np.broadcast_to(
+    times = gather_segments(local_times, task_offsets[:-1] + lcnt, kept, xp=xp)
+    per_task_offset = xp.broadcast_to(
         absolute_offsets, (net_count, window_count)
     ).ravel()
-    times = times + np.repeat(per_task_offset, kept)
+    times = times + xp.repeat(per_task_offset, kept)
     return TrimmedReadback(
         establish_values=establish,
         counts=kept.reshape(net_count, window_count),
@@ -288,9 +335,10 @@ def trim_readback(
 # ----------------------------------------------------------------------
 # Stitching (vectorized inverse of the restructure step)
 # ----------------------------------------------------------------------
-def _waveform_from_times(first_value: int, times: np.ndarray) -> Waveform:
+def _waveform_from_times(first_value: int, times) -> Waveform:
     """Build a waveform whose change times are ``times`` (first establishes)."""
-    data = np.empty(times.size + 1 + (1 if first_value else 0), dtype=POOL_DTYPE)
+    hnp = HOST
+    data = hnp.empty(times.size + 1 + (1 if first_value else 0), dtype=POOL_DTYPE)
     cursor = 0
     if first_value:
         data[0] = INITIAL_ONE_MARKER
@@ -302,10 +350,10 @@ def _waveform_from_times(first_value: int, times: np.ndarray) -> Waveform:
 
 
 def stitch_windows(
-    window_starts: np.ndarray,
-    establish_values: np.ndarray,
-    toggle_counts: np.ndarray,
-    times: np.ndarray,
+    window_starts,
+    establish_values,
+    toggle_counts,
+    times,
 ) -> Waveform:
     """Stitch trimmed per-window outputs back into one full-run waveform.
 
@@ -314,36 +362,39 @@ def stitch_windows(
     advance past the last kept change (a window-boundary artefact).  The
     common case — every window establishes exactly the value its
     predecessor ended on and times strictly advance across seams — is
-    recognised with three numpy comparisons and handled without any
+    recognised with three array comparisons and handled without any
     per-window work; otherwise only each window's seam is resolved
     sequentially (never individual events).
 
     ``window_starts`` are the absolute establishing times (one per
     window), ``times`` the flat absolute toggle times, window-major.
+    Inputs are host arrays (readback has already crossed the device→host
+    transfer point), so stitching always runs on the numpy backend.
     """
+    hnp = HOST
     W = window_starts.size
     if W == 0:
-        return _waveform_from_times(0, np.zeros(1, dtype=np.int64))
+        return _waveform_from_times(0, hnp.zeros(1, dtype=hnp.int64))
     finals = establish_values ^ (toggle_counts & 1)
     seam_consistent = bool(
-        np.array_equal(establish_values[1:], finals[:-1])
+        hnp.array_equal(establish_values[1:], finals[:-1])
         and (
             times.size == 0
             or (
                 times[0] > window_starts[0]
-                and bool(np.all(np.diff(times) > 0))
+                and bool(hnp.all(hnp.diff(times) > 0))
             )
         )
     )
     if seam_consistent:
         # Every non-first establishing entry repeats its predecessor's
         # final value (dropped by the value rule); all toggles advance.
-        all_times = np.empty(times.size + 1, dtype=np.int64)
+        all_times = hnp.empty(times.size + 1, dtype=hnp.int64)
         all_times[0] = window_starts[0]
         all_times[1:] = times
         return _waveform_from_times(int(establish_values[0]), all_times)
 
-    pieces: List[np.ndarray] = []
+    pieces: List = []
     last_time = 0
     last_value = -1  # no change kept yet
     offset = 0
@@ -356,7 +407,7 @@ def stitch_windows(
         if last_value < 0 or (v0 != last_value and t0 > last_time):
             # The establishing entry is kept; the window's own toggles
             # alternate from it with increasing times, so all follow.
-            pieces.append(np.asarray([t0], dtype=np.int64))
+            pieces.append(hnp.asarray([t0], dtype=hnp.int64))
             pieces.append(seg)
         else:
             # The establishing entry is dropped (same value, or a seam
@@ -364,7 +415,7 @@ def stitch_windows(
             # surviving toggle is the first one past the last kept time
             # whose value differs from the last kept value; values
             # alternate, so it is that index or the one after.
-            i = int(np.searchsorted(seg, last_time, side="right"))
+            i = int(hnp.searchsorted(seg, last_time, side="right"))
             if i < count and (v0 ^ ((i + 1) & 1)) == last_value:
                 i += 1
             if i >= count:
@@ -374,7 +425,7 @@ def stitch_windows(
         last_value = v0 ^ (count & 1)
     # Window 0 always keeps its establishing entry, so pieces is non-empty
     # and the stitched waveform establishes window 0's value.
-    return _waveform_from_times(int(establish_values[0]), np.concatenate(pieces))
+    return _waveform_from_times(int(establish_values[0]), hnp.concatenate(pieces))
 
 
 # ----------------------------------------------------------------------
@@ -387,15 +438,17 @@ def slice_stimulus(
 
     Used by the multi-device distributor to carve each device's share of
     the testbench without per-event Python loops; bit-identical to calling
-    :meth:`Waveform.window` per net.
+    :meth:`Waveform.window` per net.  Host-side (it produces
+    :class:`Waveform` objects).
     """
+    hnp = HOST
     if t_end <= t_start:
         raise WaveformError("window end must be after window start")
     sliced: Dict[str, Waveform] = {}
     for net, wave in stimulus.items():
         toggles = wave.timestamps[1:]
-        lo = int(np.searchsorted(toggles, t_start, side="right"))
-        hi = int(np.searchsorted(toggles, t_end, side="left"))
+        lo = int(hnp.searchsorted(toggles, t_start, side="right"))
+        hi = int(hnp.searchsorted(toggles, t_end, side="left"))
         initial = wave.initial_value ^ (lo & 1)
         sliced[net] = Waveform.from_toggle_array(initial, toggles[lo:hi] - t_start)
     return sliced

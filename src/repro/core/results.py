@@ -72,6 +72,8 @@ class SimulationStats:
     kernel_mode: str = ""
     #: Which pipeline ran restructure/load/readback ("vector" or "python").
     restructure_mode: str = ""
+    #: Which array backend the data plane ran on ("numpy", "torch", "cupy").
+    device: str = ""
     #: Level-batched kernel launches (vector kernel; counts every pass).
     level_batches: int = 0
     #: Largest single batch, in (gate, window) tasks.

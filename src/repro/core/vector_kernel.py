@@ -7,9 +7,17 @@ levelized netlist into *packed design tensors* — flat truth-table and
 delay-table arrays plus per-level gate/pin attribute matrices — and
 :func:`simulate_level` then executes Algorithm 1 for **every task of a level
 at once**, exactly the way a CUDA grid would: all tasks advance through the
-same lock-step event loop with numpy boolean masks playing the role of the
-SIMT active mask.  Tasks that exhaust their input waveforms retire from the
+same lock-step event loop with boolean masks playing the role of the SIMT
+active mask.  Tasks that exhaust their input waveforms retire from the
 batch; the loop ends when the batch is empty.
+
+Every array operation routes through the pluggable array backend layer
+(:mod:`repro.core.xp`): ``pack_design`` builds the tensors on the host, and
+:meth:`PackedDesign.to_device` materializes them on the configured backend
+at compile time — for the numpy backend this is the identity, so the
+default path is bit- and cost-identical to a hard-wired numpy
+implementation, while torch/cupy sessions run the same lock-step loop on
+device tensors.
 
 Bit-exactness with the scalar kernel is a hard contract (the scalar path
 stays registered as the reference oracle): every arithmetic step below
@@ -26,19 +34,28 @@ of different arity share one batch: pin axes are padded to the level's widest
 gate, and padded pins point at a canonical null waveform (``[0, EOW]``) so
 they never produce events, carry weight 0, and cannot perturb the column
 index.
+
+Fanout-aware input gathering
+----------------------------
+
+Each level also carries *gather index tensors* built at pack time:
+``input_net_ids`` maps every ``(gate, pin)`` to a design-wide net index
+(padded pins to the reserved null id), and ``output_net_ids`` maps every
+gate to its output net.  The waveform pool registers stored waveforms in
+flat tables keyed by those same indices, so per-level input-pointer
+gathering is two fancy-indexing reads — no per-batch Python lookups.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
-
-import numpy as np
 
 from .delaytable import flatten_delay_array
 from .kernel import GateKernelInputs
 from .truthtable import pack_truth_tables
 from .waveform import EOW, INITIAL_ONE_MARKER
+from .xp import HOST, ArrayBackend, is_host
 
 
 @dataclass(frozen=True)
@@ -48,19 +65,23 @@ class LevelTensors:
     ``weights``/``wire_rise``/``wire_fall``/``delay_offsets`` are padded to
     the widest gate of the level; ``num_pins`` records each gate's real
     arity.  ``tt_offsets`` and ``delay_offsets`` index the design-level flat
-    tensors on :class:`PackedDesign`.
+    tensors on :class:`PackedDesign`.  ``input_net_ids``/``output_net_ids``
+    are the fanout-aware gather index tensors into the design's net index
+    (padded pins carry :attr:`PackedDesign.null_net_id`).
     """
 
     gate_names: Tuple[str, ...]
     output_nets: Tuple[str, ...]
     input_nets: Tuple[Tuple[str, ...], ...]
-    num_pins: np.ndarray  # (G,)    int64
-    weights: np.ndarray  # (G, P)  int64, 0 on padded pins
-    wire_rise: np.ndarray  # (G, P)  float64
-    wire_fall: np.ndarray  # (G, P)  float64
-    tt_offsets: np.ndarray  # (G,)    int64 into PackedDesign.tt_flat
-    delay_offsets: np.ndarray  # (G, P)  int64 into PackedDesign.delay_flat
-    num_columns: np.ndarray  # (G,)    int64, 2**num_pins
+    num_pins: "object"  # (G,)    int64
+    weights: "object"  # (G, P)  int64, 0 on padded pins
+    wire_rise: "object"  # (G, P)  float64
+    wire_fall: "object"  # (G, P)  float64
+    tt_offsets: "object"  # (G,)    int64 into PackedDesign.tt_flat
+    delay_offsets: "object"  # (G, P)  int64 into PackedDesign.delay_flat
+    num_columns: "object"  # (G,)    int64, 2**num_pins
+    input_net_ids: "object"  # (G, P)  int64 net ids, null id on padded pins
+    output_net_ids: "object"  # (G,)    int64 net ids
 
     @property
     def gate_count(self) -> int:
@@ -75,11 +96,21 @@ class LevelTensors:
 class PackedDesign:
     """The whole design lowered to flat tensors, one :class:`LevelTensors`
     per logic level.  Built once at compile time and shared by every
-    simulation run (and every multi-device share) of the session."""
+    simulation run (and every multi-device share) of the session.
 
-    tt_flat: np.ndarray  # int8: concatenated truth tables
-    delay_flat: np.ndarray  # float64: concatenated per-pin delay arrays
+    ``net_index`` assigns every net of the design (stimulus sources first,
+    then gate outputs in level order) a dense integer id; the id one past
+    the last net (:attr:`null_net_id`) is reserved for padded pins and maps
+    to the pool's null waveform.  ``device`` names the array backend the
+    tensors are materialized on (``"numpy"`` straight out of
+    :func:`pack_design`).
+    """
+
+    tt_flat: "object"  # int8: concatenated truth tables
+    delay_flat: "object"  # float64: concatenated per-pin delay arrays
     levels: Tuple[LevelTensors, ...]
+    net_index: Mapping[str, int]
+    device: str = "numpy"
 
     @property
     def gate_count(self) -> int:
@@ -89,29 +120,73 @@ class PackedDesign:
     def depth(self) -> int:
         return len(self.levels)
 
+    @property
+    def null_net_id(self) -> int:
+        """Reserved net id for padded pins (the pool's null-waveform row)."""
+        return len(self.net_index)
+
     def level_task_counts(self, windows: int) -> List[int]:
         """Batch size (tasks) of each level for a given window count."""
         return [level.gate_count * windows for level in self.levels]
+
+    def to_device(self, xp: ArrayBackend) -> "PackedDesign":
+        """Materialize every tensor on ``xp`` (identity for numpy).
+
+        This is the one compile-time host→device upload of a session; all
+        simulation runs (and multi-device shares) reuse the materialized
+        tensors.
+        """
+        if is_host(xp):
+            return self
+        levels = tuple(
+            replace(
+                level,
+                num_pins=xp.asarray(level.num_pins, xp.int64),
+                weights=xp.asarray(level.weights, xp.int64),
+                wire_rise=xp.asarray(level.wire_rise, xp.float64),
+                wire_fall=xp.asarray(level.wire_fall, xp.float64),
+                tt_offsets=xp.asarray(level.tt_offsets, xp.int64),
+                delay_offsets=xp.asarray(level.delay_offsets, xp.int64),
+                num_columns=xp.asarray(level.num_columns, xp.int64),
+                input_net_ids=xp.asarray(level.input_net_ids, xp.int64),
+                output_net_ids=xp.asarray(level.output_net_ids, xp.int64),
+            )
+            for level in self.levels
+        )
+        return PackedDesign(
+            tt_flat=xp.asarray(self.tt_flat, xp.int8),
+            delay_flat=xp.asarray(self.delay_flat, xp.float64),
+            levels=levels,
+            net_index=self.net_index,
+            device=xp.name,
+        )
 
 
 def pack_design(
     gates_by_level: Sequence[Sequence],
     gate_inputs: Mapping[str, GateKernelInputs],
+    extra_nets: Sequence[str] = (),
 ) -> PackedDesign:
     """Lower compiled per-gate kernel inputs into packed design tensors.
 
     ``gates_by_level`` is ``CompiledGraph.gates_by_level``; ``gate_inputs``
     is the per-gate :class:`GateKernelInputs` mapping the scalar path
     consumes, so both kernels are guaranteed to read the *same* truth and
-    delay tables.
+    delay tables.  ``extra_nets`` (the design's stimulus source nets) seed
+    the net index so every net the testbench drives has an id even when no
+    gate reads it.
     """
-    tt_tables: List[np.ndarray] = []
-    delay_blocks: List[np.ndarray] = []
+    hnp = HOST
+    net_index: Dict[str, int] = {}
+    for net in extra_nets:
+        net_index.setdefault(net, len(net_index))
+
+    tt_tables: List = []
     delay_offset_by_id: Dict[int, int] = {}
-    delay_chunks: List[np.ndarray] = []
+    delay_chunks: List = []
     delay_cursor = 0
 
-    def delay_offset(arr: np.ndarray) -> int:
+    def delay_offset(arr) -> int:
         nonlocal delay_cursor
         key = id(arr)
         if key not in delay_offset_by_id:
@@ -120,6 +195,9 @@ def pack_design(
             delay_offset_by_id[key] = delay_cursor
             delay_cursor += chunk.size
         return delay_offset_by_id[key]
+
+    def net_id(net: str) -> int:
+        return net_index.setdefault(net, len(net_index))
 
     levels: List[LevelTensors] = []
     for level_gates in gates_by_level:
@@ -134,23 +212,27 @@ def pack_design(
             pins.append(len(gate.input_nets))
         G = len(names)
         P = max(pins) if pins else 0
-        num_pins = np.asarray(pins, dtype=np.int64)
-        weights = np.zeros((G, P), dtype=np.int64)
-        wire_rise = np.zeros((G, P), dtype=np.float64)
-        wire_fall = np.zeros((G, P), dtype=np.float64)
-        tt_offsets = np.zeros(G, dtype=np.int64)
-        delay_offsets = np.zeros((G, P), dtype=np.int64)
-        num_columns = np.zeros(G, dtype=np.int64)
+        num_pins = hnp.asarray(pins, dtype=hnp.int64)
+        weights = hnp.zeros((G, P), dtype=hnp.int64)
+        wire_rise = hnp.zeros((G, P), dtype=hnp.float64)
+        wire_fall = hnp.zeros((G, P), dtype=hnp.float64)
+        tt_offsets = hnp.zeros(G, dtype=hnp.int64)
+        delay_offsets = hnp.zeros((G, P), dtype=hnp.int64)
+        num_columns = hnp.zeros(G, dtype=hnp.int64)
+        input_net_ids = hnp.zeros((G, P), dtype=hnp.int64)
+        output_net_ids = hnp.zeros(G, dtype=hnp.int64)
         for g, gate in enumerate(level_gates):
             inp = gate_inputs[gate.name]
             n = inp.num_pins
             num_columns[g] = 1 << n
             tt_tables.append(inp.truth_table)
+            output_net_ids[g] = net_id(gate.output_net)
             for i in range(n):
                 weights[g, i] = 1 << (n - 1 - i)
                 wire_rise[g, i] = inp.wire_rise[i]
                 wire_fall[g, i] = inp.wire_fall[i]
                 delay_offsets[g, i] = delay_offset(inp.delay_arrays[i])
+                input_net_ids[g, i] = net_id(gate.input_nets[i])
         levels.append(
             LevelTensors(
                 gate_names=tuple(names),
@@ -163,8 +245,20 @@ def pack_design(
                 tt_offsets=tt_offsets,
                 delay_offsets=delay_offsets,
                 num_columns=num_columns,
+                input_net_ids=input_net_ids,
+                output_net_ids=output_net_ids,
             )
         )
+
+    # Padded pins must point at the reserved null id, assigned only after
+    # every real net has an index (it is len(net_index)).
+    null_id = len(net_index)
+    for level in levels:
+        G = level.gate_count
+        P = level.max_pins
+        if P:
+            pad = hnp.arange(P, dtype=hnp.int64)[None, :] >= level.num_pins[:, None]
+            level.input_net_ids[pad] = null_id
 
     tt_flat, tt_offsets_all = pack_truth_tables(tt_tables)
     cursor = 0
@@ -173,10 +267,15 @@ def pack_design(
         level.tt_offsets[:] = tt_offsets_all[cursor : cursor + G]
         cursor += G
     delay_flat = (
-        np.concatenate(delay_chunks) if delay_chunks else np.zeros(0, dtype=np.float64)
+        hnp.concatenate(delay_chunks)
+        if delay_chunks
+        else hnp.zeros(0, dtype=hnp.float64)
     )
     return PackedDesign(
-        tt_flat=tt_flat, delay_flat=delay_flat, levels=tuple(levels)
+        tt_flat=tt_flat,
+        delay_flat=delay_flat,
+        levels=tuple(levels),
+        net_index=net_index,
     )
 
 
@@ -189,28 +288,30 @@ class TiledLevel:
     double the batch set-up cost for identical results.
     """
 
-    weights: np.ndarray  # (T, P) int64
-    wire_rise: np.ndarray  # (T, P) float64
-    wire_fall: np.ndarray  # (T, P) float64
-    tt_offsets: np.ndarray  # (T,)   int64
-    delay_offsets: np.ndarray  # (T, P) int64
-    num_columns: np.ndarray  # (T,)   int64
-    pin_mask: np.ndarray  # (T, P) bool
+    weights: "object"  # (T, P) int64
+    wire_rise: "object"  # (T, P) float64
+    wire_fall: "object"  # (T, P) float64
+    tt_offsets: "object"  # (T,)   int64
+    delay_offsets: "object"  # (T, P) int64
+    num_columns: "object"  # (T,)   int64
+    pin_mask: "object"  # (T, P) bool
 
 
-def tile_level(level: LevelTensors, windows: int) -> TiledLevel:
+def tile_level(
+    level: LevelTensors, windows: int, xp: ArrayBackend = HOST
+) -> TiledLevel:
     """Tile the per-gate tensors of a level into per-task rows
     (``task = gate * windows + window``)."""
     return TiledLevel(
-        weights=np.repeat(level.weights, windows, axis=0),
-        wire_rise=np.repeat(level.wire_rise, windows, axis=0),
-        wire_fall=np.repeat(level.wire_fall, windows, axis=0),
-        tt_offsets=np.repeat(level.tt_offsets, windows),
-        delay_offsets=np.repeat(level.delay_offsets, windows, axis=0),
-        num_columns=np.repeat(level.num_columns, windows),
+        weights=xp.repeat(level.weights, windows, axis=0),
+        wire_rise=xp.repeat(level.wire_rise, windows, axis=0),
+        wire_fall=xp.repeat(level.wire_fall, windows, axis=0),
+        tt_offsets=xp.repeat(level.tt_offsets, windows),
+        delay_offsets=xp.repeat(level.delay_offsets, windows, axis=0),
+        num_columns=xp.repeat(level.num_columns, windows),
         pin_mask=(
-            np.arange(level.max_pins, dtype=np.int64)[None, :]
-            < np.repeat(level.num_pins, windows)[:, None]
+            xp.arange(level.max_pins, dtype=xp.int64)[None, :]
+            < xp.repeat(level.num_pins, windows)[:, None]
         ),
     )
 
@@ -221,37 +322,39 @@ class LevelKernelResult:
 
     Toggle times live in one flat buffer with per-task start offsets — the
     same struct-of-arrays shape the store pass writes to the waveform pool.
+    All arrays live on the backend that executed the launch.
     """
 
-    initial_values: np.ndarray  # (T,) int64
-    toggle_buffer: np.ndarray  # flat int64
-    toggle_starts: np.ndarray  # (T,) int64
-    toggle_counts: np.ndarray  # (T,) int64
+    initial_values: "object"  # (T,) int64
+    toggle_buffer: "object"  # flat int64
+    toggle_starts: "object"  # (T,) int64
+    toggle_counts: "object"  # (T,) int64
 
     @property
     def task_count(self) -> int:
-        return int(self.initial_values.size)
+        return int(self.initial_values.shape[0])
 
     @property
-    def storage_words(self) -> np.ndarray:
+    def storage_words(self):
         """Pool words per task: establishing entry + toggles + EOW + marker."""
         return 2 + self.toggle_counts + (self.initial_values != 0)
 
-    def toggles_for(self, task: int) -> np.ndarray:
+    def toggles_for(self, task: int):
         start = int(self.toggle_starts[task])
         return self.toggle_buffer[start : start + int(self.toggle_counts[task])]
 
 
 def simulate_level(
-    pool: np.ndarray,
-    input_pointers: np.ndarray,
+    pool,
+    input_pointers,
     design: PackedDesign,
     level: LevelTensors,
     windows: int,
-    toggle_capacity: np.ndarray,
+    toggle_capacity,
     pathpulse_fraction: float = 1.0,
     net_delay_filtering: bool = True,
     tiled: Optional[TiledLevel] = None,
+    xp: ArrayBackend = HOST,
 ) -> LevelKernelResult:
     """Run Algorithm 1 for every ``(gate, window)`` task of one level.
 
@@ -260,22 +363,24 @@ def simulate_level(
     produced toggles (the task's total input-toggle count is always safe:
     every event-loop iteration consumes at least one input transition).
     ``tiled`` optionally supplies the :func:`tile_level` result so the count
-    and store passes share one tiling.
+    and store passes share one tiling.  ``pool`` and both per-task tensors
+    must live on ``xp``; the result stays on ``xp``.
     """
     G = level.gate_count
     T = G * windows
     P = level.max_pins
-    if input_pointers.shape != (T, P):
+    if tuple(input_pointers.shape) != (T, P):
         raise ValueError(
-            f"input pointers must have shape {(T, P)}, got {input_pointers.shape}"
+            f"input pointers must have shape {(T, P)}, got "
+            f"{tuple(input_pointers.shape)}"
         )
 
     tt_flat = design.tt_flat
     delay_flat = design.delay_flat
-    limit = pool.size - 1
+    limit = xp.size(pool) - 1
 
     if tiled is None:
-        tiled = tile_level(level, windows)
+        tiled = tile_level(level, windows, xp)
     weights = tiled.weights
     wire_rise = tiled.wire_rise
     wire_fall = tiled.wire_fall
@@ -285,30 +390,34 @@ def simulate_level(
     pin_mask = tiled.pin_mask
 
     # Lines 3-6: skip initial-one markers, resolve the initial column/output.
-    ptr = np.ascontiguousarray(input_pointers, dtype=np.int64).copy()
+    ptr = xp.copy(xp.ascontiguousarray(input_pointers, xp.int64))
     if P:
-        ptr += pool[np.minimum(ptr, limit)] == INITIAL_ONE_MARKER
-        col = (weights * (ptr & 1)).sum(axis=1)
+        ptr += xp.astype(
+            pool[xp.minimum(ptr, limit)] == INITIAL_ONE_MARKER, xp.int64
+        )
+        col = xp.sum(weights * (ptr & 1), axis=1)
     else:
-        col = np.zeros(T, dtype=np.int64)
-    out = tt_flat[tt_off + col].astype(np.int64)
-    initial_values = out.copy()
+        col = xp.zeros(T, dtype=xp.int64)
+    out = xp.astype(tt_flat[tt_off + col], xp.int64)
+    initial_values = xp.copy(out)
 
-    caps = np.ascontiguousarray(toggle_capacity, dtype=np.int64)
-    if caps.shape != (T,):
-        raise ValueError(f"toggle capacity must have shape {(T,)}, got {caps.shape}")
-    toggle_starts = np.zeros(T, dtype=np.int64)
-    np.cumsum(caps[:-1], out=toggle_starts[1:])
-    toggle_buffer = np.zeros(int(caps.sum()), dtype=np.int64)
-    toggle_counts = np.zeros(T, dtype=np.int64)
-    last_time = np.zeros(T, dtype=np.int64)
+    caps = xp.ascontiguousarray(toggle_capacity, xp.int64)
+    if tuple(caps.shape) != (T,):
+        raise ValueError(
+            f"toggle capacity must have shape {(T,)}, got {tuple(caps.shape)}"
+        )
+    toggle_starts = xp.zeros(T, dtype=xp.int64)
+    toggle_starts[1:] = xp.cumsum(caps[:-1])
+    toggle_buffer = xp.zeros(int(xp.sum(caps)), dtype=xp.int64)
+    toggle_counts = xp.zeros(T, dtype=xp.int64)
+    last_time = xp.zeros(T, dtype=xp.int64)
 
-    idx = np.arange(T, dtype=np.int64)
+    idx = xp.arange(T, dtype=xp.int64)
     if P == 0:
         idx = idx[:0]
 
     # Main lock-step event loop (Algorithm 1 lines 7-25, all tasks at once).
-    while idx.size:
+    while xp.size(idx):
         p = ptr[idx]
         pm = pin_mask[idx]
         wr = wire_rise[idx]
@@ -318,29 +427,29 @@ def simulate_level(
         # narrower than the wire delay of their leading edge.
         if net_delay_filtering:
             while True:
-                first = pool[np.minimum(p + 1, limit)]
-                second = pool[np.minimum(p + 2, limit)]
-                nd = np.where(p & 1, wf, wr)
+                first = pool[xp.minimum(p + 1, limit)]
+                second = pool[xp.minimum(p + 2, limit)]
+                nd = xp.where(p & 1, wf, wr)
                 drop = (
                     pm
                     & (first != EOW)
                     & (second != EOW)
                     & (second - nd - first < 0)
                 )
-                if not drop.any():
+                if not xp.any(drop):
                     break
-                p = p + (drop << 1)
+                p = p + (xp.astype(drop, xp.int64) << 1)
             ptr[idx] = p
 
-        upcoming = pool[np.minimum(p + 1, limit)]
-        nd = np.where(p & 1, wf, wr)
-        arrival = np.where(pm & (upcoming != EOW), upcoming + nd, np.inf)
-        next_time = arrival.min(axis=1)
+        upcoming = pool[xp.minimum(p + 1, limit)]
+        nd = xp.where(p & 1, wf, wr)
+        arrival = xp.where(pm & (upcoming != EOW), upcoming + nd, xp.inf)
+        next_time = xp.min(arrival, axis=1)
 
         alive = next_time < EOW
-        if not alive.all():
+        if not xp.all(alive):
             idx = idx[alive]
-            if not idx.size:
+            if not xp.size(idx):
                 break
             p = p[alive]
             arrival = arrival[alive]
@@ -348,18 +457,18 @@ def simulate_level(
 
         # MSI resolution (lines 14-18): advance every pin arriving now.
         arriving = arrival == next_time[:, None]
-        p = p + arriving
+        p = p + xp.astype(arriving, xp.int64)
         ptr[idx] = p
         w = weights[idx]
         new_pin_value = p & 1
-        col[idx] += np.where(
-            arriving, np.where(new_pin_value == 1, w, -w), 0
-        ).sum(axis=1)
+        col[idx] += xp.sum(
+            xp.where(arriving, xp.where(new_pin_value == 1, w, -w), 0), axis=1
+        )
 
         c = col[idx]
-        new_out = tt_flat[tt_off[idx] + c].astype(np.int64)
+        new_out = xp.astype(tt_flat[tt_off[idx] + c], xp.int64)
         changed = new_out != out[idx]
-        if not changed.any():
+        if not xp.any(changed):
             continue
 
         # Output evaluation and inertial filtering (lines 19-25).
@@ -372,20 +481,20 @@ def simulate_level(
         doff = delay_off[ci]
         base = doff + (output_edge * Cc)[:, None] + cc[:, None]
         exact_idx = base + input_edge * (2 * Cc[:, None])
-        d_exact = np.where(
-            arr_c, delay_flat[np.where(arr_c, exact_idx, 0)], np.inf
+        d_exact = xp.where(
+            arr_c, delay_flat[xp.where(arr_c, exact_idx, 0)], xp.inf
         )
-        best = d_exact.min(axis=1)
+        best = xp.min(d_exact, axis=1)
         opp_idx = base + (1 - input_edge) * (2 * Cc[:, None])
-        d_opp = np.where(arr_c, delay_flat[np.where(arr_c, opp_idx, 0)], np.inf)
-        best_opp = d_opp.min(axis=1)
-        gate_delay = np.where(
-            np.isfinite(best),
+        d_opp = xp.where(arr_c, delay_flat[xp.where(arr_c, opp_idx, 0)], xp.inf)
+        best_opp = xp.min(d_opp, axis=1)
+        gate_delay = xp.where(
+            xp.isfinite(best),
             best,
-            np.where(np.isfinite(best_opp), best_opp, 0.0),
+            xp.where(xp.isfinite(best_opp), best_opp, 0.0),
         )
 
-        output_time = (next_time[changed] + gate_delay).astype(np.int64)
+        output_time = xp.astype(next_time[changed] + gate_delay, xp.int64)
         min_pulse = gate_delay * pathpulse_fraction
         last_c = last_time[ci]
         reject = (toggle_counts[ci] > 0) & (
@@ -396,8 +505,8 @@ def simulate_level(
         rej = ci[reject]
         toggle_counts[rej] -= 1
         prev = toggle_starts[rej] + toggle_counts[rej] - 1
-        last_time[rej] = np.where(
-            toggle_counts[rej] > 0, toggle_buffer[np.maximum(prev, 0)], 0
+        last_time[rej] = xp.where(
+            toggle_counts[rej] > 0, toggle_buffer[xp.maximum(prev, 0)], 0
         )
         # Accept: record the transition.
         acc = ci[~reject]

@@ -1,0 +1,162 @@
+"""Tests for the process-wide compiled-design cache.
+
+Repeated sessions over the same (netlist, annotation, config) triple must
+reuse the packed design tensors; any change to the inputs the compile
+consumes — netlist structure, delay tables, the ``full_sdf`` ablation, the
+device — must miss.  Fingerprints are content-based, so structurally
+identical copies (``deepcopy``) share a compile, and results stay
+bit-identical whether they came from the cache or a fresh build.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.api import get_backend
+from repro.core import SimConfig, cache_info, clear_compile_cache
+from repro.core.engine import GatspiEngine
+from repro.sdf import SyntheticDelayModel, UnitDelayModel, annotation_from_design_delays
+from repro.testing import build_random_netlist, build_random_stimulus
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+def _design(seed=0):
+    netlist = build_random_netlist(num_inputs=5, num_gates=20, seed=seed)
+    delays = SyntheticDelayModel(seed=seed).build(netlist)
+    return netlist, annotation_from_design_delays(netlist, delays)
+
+
+class TestCacheReuse:
+    def test_second_compile_reuses_packed_tensors(self):
+        netlist, annotation = _design()
+        first = GatspiEngine(netlist, annotation=annotation)
+        first.compile()
+        assert not first.compile_cache_hit
+        second = GatspiEngine(netlist, annotation=annotation)
+        second.compile()
+        assert second.compile_cache_hit
+        assert second.packed_design is first.packed_design
+        assert second.compiled is first.compiled
+        info = cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+    def test_deepcopy_shares_a_compile(self):
+        netlist, annotation = _design()
+        GatspiEngine(netlist, annotation=annotation).compile()
+        clone = GatspiEngine(
+            copy.deepcopy(netlist), annotation=copy.deepcopy(annotation)
+        )
+        clone.compile()
+        assert clone.compile_cache_hit
+
+    def test_prepare_sessions_share_a_compile(self):
+        netlist, annotation = _design()
+        backend = get_backend("gatspi")
+        a = backend.prepare(netlist, annotation=annotation)
+        b = backend.prepare(netlist, annotation=annotation)
+        assert b.engine.compile_cache_hit
+        assert a.engine.packed_design is b.engine.packed_design
+
+    def test_cached_results_bit_identical(self):
+        netlist, annotation = _design(seed=3)
+        stimulus = build_random_stimulus(netlist, 8_000, seed=7)
+        backend = get_backend("gatspi")
+        fresh = backend.prepare(netlist, annotation=annotation).run(
+            stimulus, duration=8_000
+        )
+        cached = backend.prepare(netlist, annotation=annotation).run(
+            stimulus, duration=8_000
+        )
+        assert fresh.toggle_counts == cached.toggle_counts
+        for net in fresh.waveforms:
+            assert fresh.waveforms[net] == cached.waveforms[net]
+
+
+class TestCacheInvalidation:
+    def test_different_annotation_misses(self):
+        netlist, annotation = _design()
+        GatspiEngine(netlist, annotation=annotation).compile()
+        other = annotation_from_design_delays(
+            netlist, UnitDelayModel(delay=42).build(netlist)
+        )
+        engine = GatspiEngine(netlist, annotation=other)
+        engine.compile()
+        assert not engine.compile_cache_hit
+
+    def test_different_netlist_misses(self):
+        netlist, annotation = _design(seed=1)
+        GatspiEngine(netlist, annotation=annotation).compile()
+        other_netlist, other_annotation = _design(seed=2)
+        engine = GatspiEngine(other_netlist, annotation=other_annotation)
+        engine.compile()
+        assert not engine.compile_cache_hit
+
+    def test_full_sdf_flag_is_part_of_the_key(self):
+        netlist, annotation = _design()
+        GatspiEngine(netlist, annotation=annotation).compile()
+        engine = GatspiEngine(
+            netlist, annotation=annotation, config=SimConfig(full_sdf=False)
+        )
+        engine.compile()
+        assert not engine.compile_cache_hit
+
+    def test_in_place_annotation_mutation_misses_on_recompile(self):
+        netlist, annotation = _design()
+        engine = GatspiEngine(netlist, annotation=annotation)
+        engine.compile()
+        name = next(iter(annotation.gate_tables))
+        annotation.gate_tables[name] = annotation.gate_tables[name].averaged()
+        engine.compile()
+        assert not engine.compile_cache_hit
+
+    def test_capacity_is_configurable_and_bounds_entries(self):
+        from repro.core import set_compile_cache_capacity
+        from repro.core.compile_cache import COMPILE_CACHE_CAPACITY
+
+        try:
+            set_compile_cache_capacity(1)
+            for seed in (1, 2, 3):
+                netlist, annotation = _design(seed=seed)
+                GatspiEngine(netlist, annotation=annotation).compile()
+            assert cache_info()["size"] == 1
+            set_compile_cache_capacity(0)
+            assert cache_info()["size"] == 0
+            netlist, annotation = _design(seed=4)
+            GatspiEngine(netlist, annotation=annotation).compile()
+            assert cache_info()["size"] == 0
+            with pytest.raises(ValueError):
+                set_compile_cache_capacity(-1)
+        finally:
+            set_compile_cache_capacity(COMPILE_CACHE_CAPACITY)
+
+    def test_disabled_cache_never_stores(self):
+        netlist, annotation = _design()
+        config = SimConfig(compile_cache=False)
+        GatspiEngine(netlist, annotation=annotation, config=config).compile()
+        engine = GatspiEngine(netlist, annotation=annotation, config=config)
+        engine.compile()
+        assert not engine.compile_cache_hit
+        assert cache_info()["size"] == 0
+
+    def test_recompile_still_clears_stale_gate_inputs(self):
+        """The cached mapping is copied per compile, so engine-local
+        mutations (the PR 1 regression scenario) never leak back."""
+        netlist, annotation = _design()
+        engine = GatspiEngine(netlist, annotation=annotation)
+        engine.compile()
+        expected = set(engine._gate_inputs)
+        engine._gate_inputs["stale_gate"] = engine._gate_inputs[
+            next(iter(expected))
+        ]
+        engine.compile()
+        assert engine.compile_cache_hit
+        assert "stale_gate" not in engine._gate_inputs
+        assert set(engine._gate_inputs) == expected

@@ -14,6 +14,13 @@ the event-driven baseline it is the paper's SAIF accuracy criterion
 vectorized restructure/load/readback pipeline must preserve: mixed gate
 arities, events exactly on window boundaries, settle-overlap edge cases,
 pool-overflow segment splits, and empty windows.
+
+The suite is additionally parametrized over every available array backend
+(:mod:`repro.core.xp`): the all-vector pipeline executes on the
+parametrized device while the scalar/python oracle variants pin numpy
+(see ``SimConfig.effective_device``), so each device's data plane is held
+bit-identical to the host oracles.  With only numpy installed the device
+axis has one value; installing torch/cupy widens it automatically.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import pytest
 
 from repro.api import resolve_backend
 from repro.core import SimConfig
+from repro.core.xp import available_array_backends
 from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
 from repro.testing import (
     build_boundary_stimulus,
@@ -40,6 +48,10 @@ GATSPI_SPECS = (
     "gatspi:kernel=scalar,restructure=python",
 )
 
+#: Array backends the vector pipeline is exercised on (numpy always;
+#: torch/cupy auto-included when importable).
+DEVICES = available_array_backends()
+
 
 def _prepare_design(seed: int, num_inputs: int = 6, num_gates: int = 36):
     netlist = build_random_netlist(
@@ -50,12 +62,69 @@ def _prepare_design(seed: int, num_inputs: int = 6, num_gates: int = 36):
     return netlist, annotation
 
 
-def _run(spec: str, netlist, annotation, stimulus, config=None, duration=DURATION):
+def _run(
+    spec: str,
+    netlist,
+    annotation,
+    stimulus,
+    config=None,
+    duration=DURATION,
+    device=None,
+):
     backend, options = resolve_backend(spec)
+    if device is not None and spec.startswith("gatspi"):
+        config = (config or SimConfig()).with_updates(device=device)
     session = backend.prepare(
         netlist, annotation=annotation, config=config, **options
     )
     return session.run(stimulus, duration=duration)
+
+
+def _variant_results(netlist, annotation, stimulus, device, config=None):
+    """(reference, {spec: result}) for one device value.
+
+    On ``numpy`` this is the full oracle comparison: every executor spec
+    against the scalar+python reference.  On other devices only the
+    all-vector pipeline actually varies (the oracle specs pin numpy via
+    ``effective_device``), so re-running them would duplicate the numpy
+    leg's work for byte-identical results; instead the device pipeline is
+    held to the numpy vector pipeline — which the numpy leg has already
+    proven bit-identical to the oracles.
+    """
+    if device == "numpy":
+        results = {
+            spec: _run(spec, netlist, annotation, stimulus, config=config,
+                       device=device)
+            for spec in GATSPI_SPECS
+        }
+        reference = results.pop("gatspi:kernel=scalar,restructure=python")
+        return reference, results
+    reference = _run("gatspi", netlist, annotation, stimulus, config=config,
+                     device="numpy")
+    candidate = _run("gatspi", netlist, annotation, stimulus, config=config,
+                     device=device)
+    return reference, {f"gatspi:device={device}": candidate}
+
+
+def _oracle_pair(
+    netlist, annotation, stimulus, device, config=None, duration=DURATION
+):
+    """(reference, vector-candidate) for pairwise pipeline comparisons.
+
+    numpy compares the vector pipeline against the python restructure
+    oracle; other devices compare against the numpy vector pipeline (see
+    :func:`_variant_results` for why).
+    """
+    candidate = _run(
+        "gatspi", netlist, annotation, stimulus, config=config,
+        duration=duration, device=device,
+    )
+    reference_spec = "gatspi:restructure=python" if device == "numpy" else "gatspi"
+    reference = _run(
+        reference_spec, netlist, annotation, stimulus, config=config,
+        duration=duration, device="numpy",
+    )
+    return reference, candidate
 
 
 def _assert_bit_identical(reference, candidate, context: str):
@@ -72,35 +141,38 @@ def _assert_bit_identical(reference, candidate, context: str):
         )
 
 
+@pytest.mark.parametrize("device", DEVICES)
 @pytest.mark.parametrize("seed", range(6))
-def test_gatspi_variants_bit_identical_random_designs(seed):
+def test_gatspi_variants_bit_identical_random_designs(seed, device):
     """All four gatspi executor combinations agree bit-for-bit.
 
     Random designs draw from the full arity mix (1- to 4-input cells) and
-    random stimuli cover generic event spacing.
+    random stimuli cover generic event spacing.  The vector variants run
+    on ``device``; the oracle variants pin numpy.
     """
     netlist, annotation = _prepare_design(seed)
     stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 50)
-    results = {
-        spec: _run(spec, netlist, annotation, stimulus) for spec in GATSPI_SPECS
-    }
-    reference = results["gatspi:kernel=scalar,restructure=python"]
-    for spec in GATSPI_SPECS[:-1]:
-        _assert_bit_identical(reference, results[spec], f"seed={seed} {spec}")
+    reference, results = _variant_results(netlist, annotation, stimulus, device)
+    candidate = results.get("gatspi", next(iter(results.values())))
+    assert candidate.stats.device == device
+    for spec, result in results.items():
+        _assert_bit_identical(reference, result, f"seed={seed} {spec}")
 
 
+@pytest.mark.parametrize("device", DEVICES)
 @pytest.mark.parametrize("seed", range(4))
-def test_gatspi_matches_event_baseline_toggle_counts(seed):
+def test_gatspi_matches_event_baseline_toggle_counts(seed, device):
     """The SAIF criterion against the independent event-driven oracle."""
     netlist, annotation = _prepare_design(seed, num_gates=28)
     stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 9)
-    gatspi = _run("gatspi", netlist, annotation, stimulus)
+    gatspi = _run("gatspi", netlist, annotation, stimulus, device=device)
     event = _run("event", netlist, annotation, stimulus)
     assert gatspi.matches_toggle_counts(event), gatspi.differing_nets(event)
 
 
+@pytest.mark.parametrize("device", DEVICES)
 @pytest.mark.parametrize("seed", range(4))
-def test_window_boundary_events(seed):
+def test_window_boundary_events(seed, device):
     """Toggles exactly on/±1 around every window boundary.
 
     cycle_parallelism=8 over DURATION gives a 3000-unit window; the
@@ -113,13 +185,11 @@ def test_window_boundary_events(seed):
     stimulus = build_boundary_stimulus(
         netlist, DURATION, window_length, seed=seed
     )
-    results = {
-        spec: _run(spec, netlist, annotation, stimulus, config=config)
-        for spec in GATSPI_SPECS
-    }
-    reference = results["gatspi:kernel=scalar,restructure=python"]
-    for spec in GATSPI_SPECS[:-1]:
-        _assert_bit_identical(reference, results[spec], f"boundary seed={seed} {spec}")
+    reference, results = _variant_results(
+        netlist, annotation, stimulus, device, config=config
+    )
+    for spec, result in results.items():
+        _assert_bit_identical(reference, result, f"boundary seed={seed} {spec}")
     # The event-driven baseline is deliberately not consulted here: with
     # many nets toggling at the same timestamp (the point of this
     # stimulus), the two-pass kernel and the event queue resolve
@@ -128,8 +198,9 @@ def test_window_boundary_events(seed):
     # cycle_parallelism=1) and of the restructure pipeline under test.
 
 
+@pytest.mark.parametrize("device", DEVICES)
 @pytest.mark.parametrize("overlap", [None, 0, 1, 7, 5000])
-def test_settle_overlap_edge_cases(overlap):
+def test_settle_overlap_edge_cases(overlap, device):
     """Window overlap from disabled (0) through tiny to larger-than-window.
 
     ``overlap=0`` keeps every propagation tail (the stitch seam rules do
@@ -140,15 +211,13 @@ def test_settle_overlap_edge_cases(overlap):
     netlist, annotation = _prepare_design(3)
     stimulus = build_random_stimulus(netlist, DURATION, seed=17)
     config = SimConfig(cycle_parallelism=8, window_overlap=overlap)
-    vector = _run("gatspi", netlist, annotation, stimulus, config=config)
-    python = _run(
-        "gatspi:restructure=python", netlist, annotation, stimulus, config=config
-    )
-    _assert_bit_identical(python, vector, f"overlap={overlap}")
+    reference, vector = _oracle_pair(netlist, annotation, stimulus, device, config=config)
+    _assert_bit_identical(reference, vector, f"overlap={overlap}")
 
 
+@pytest.mark.parametrize("device", DEVICES)
 @pytest.mark.parametrize("seed", range(3))
-def test_pool_overflow_segment_splits(seed):
+def test_pool_overflow_segment_splits(seed, device):
     """A pool too small for the full run forces sequential segments.
 
     The segment queue re-batches windows; both pipelines must keep the
@@ -157,28 +226,23 @@ def test_pool_overflow_segment_splits(seed):
     netlist, annotation = _prepare_design(seed, num_gates=24)
     stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 5)
     config = SimConfig(cycle_parallelism=16, device_memory_gb=2e-5)
-    vector = _run("gatspi", netlist, annotation, stimulus, config=config)
-    python = _run(
-        "gatspi:restructure=python", netlist, annotation, stimulus, config=config
-    )
+    reference, vector = _oracle_pair(netlist, annotation, stimulus, device, config=config)
     assert vector.stats.segments > 1, "workload must actually split"
-    assert vector.stats.segments == python.stats.segments
-    _assert_bit_identical(python, vector, f"segments seed={seed}")
+    assert vector.stats.segments == reference.stats.segments
+    _assert_bit_identical(reference, vector, f"segments seed={seed}")
 
 
+@pytest.mark.parametrize("device", DEVICES)
 @pytest.mark.parametrize("seed", range(3))
-def test_empty_windows_and_constant_nets(seed):
+def test_empty_windows_and_constant_nets(seed, device):
     """Most windows carry no events; a third of the nets never toggle."""
     netlist, annotation = _prepare_design(seed, num_gates=30)
     stimulus = build_sparse_stimulus(netlist, DURATION, seed=seed)
-    results = {
-        spec: _run(spec, netlist, annotation, stimulus) for spec in GATSPI_SPECS
-    }
-    reference = results["gatspi:kernel=scalar,restructure=python"]
-    for spec in GATSPI_SPECS[:-1]:
-        _assert_bit_identical(reference, results[spec], f"sparse seed={seed} {spec}")
+    reference, results = _variant_results(netlist, annotation, stimulus, device)
+    for spec, result in results.items():
+        _assert_bit_identical(reference, result, f"sparse seed={seed} {spec}")
     event = _run("event", netlist, annotation, stimulus)
-    assert results["gatspi"].matches_toggle_counts(event)
+    assert reference.matches_toggle_counts(event)
 
 
 @pytest.mark.parametrize("bounds", [(0, 6_000), (5_999, 6_001), (3_000, DURATION)])
@@ -198,7 +262,8 @@ def test_slice_stimulus_matches_reference_windowing(bounds):
             assert sliced[net] == wave.window(start, end, rebase=True), net
 
 
-def test_duration_beyond_eow_sentinel():
+@pytest.mark.parametrize("device", DEVICES)
+def test_duration_beyond_eow_sentinel(device):
     """Runs longer than the EOW sentinel value stay bit-identical.
 
     Absolute window starts/ends then exceed ``EOW`` even though every
@@ -213,24 +278,18 @@ def test_duration_beyond_eow_sentinel():
     stimulus = build_random_stimulus(netlist, 20_000, seed=8)
     duration = 3 * EOW
     config = SimConfig(cycle_parallelism=8)
-    vector = _run(
-        "gatspi", netlist, annotation, stimulus, config=config, duration=duration
+    reference, vector = _oracle_pair(
+        netlist, annotation, stimulus, device, config=config, duration=duration
     )
-    python = _run(
-        "gatspi:restructure=python",
-        netlist, annotation, stimulus, config=config, duration=duration,
-    )
-    _assert_bit_identical(python, vector, "duration beyond EOW")
+    _assert_bit_identical(reference, vector, "duration beyond EOW")
 
 
-def test_differential_without_stored_waveforms():
+@pytest.mark.parametrize("device", DEVICES)
+def test_differential_without_stored_waveforms(device):
     """Toggle-count-only mode sums trimmed per-window counts identically."""
     netlist, annotation = _prepare_design(11)
     stimulus = build_random_stimulus(netlist, DURATION, seed=42)
     config = SimConfig(store_waveforms=False, cycle_parallelism=8)
-    vector = _run("gatspi", netlist, annotation, stimulus, config=config)
-    python = _run(
-        "gatspi:restructure=python", netlist, annotation, stimulus, config=config
-    )
-    assert not vector.waveforms and not python.waveforms
-    assert vector.toggle_counts == python.toggle_counts
+    reference, vector = _oracle_pair(netlist, annotation, stimulus, device, config=config)
+    assert not vector.waveforms and not reference.waveforms
+    assert vector.toggle_counts == reference.toggle_counts

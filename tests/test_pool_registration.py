@@ -1,0 +1,277 @@
+"""Dict-vs-array WaveformPool registration parity tests.
+
+The pool's per-``(net, window)`` Python dict bookkeeping was replaced by
+flat net-row/window-column registration tables.  These tests drive every
+store path — per-waveform stores, pre-assigned kernel stores, the bulk
+level store, and the bulk window load — while maintaining an explicit
+*shadow dict* of what the old bookkeeping would have recorded, and check
+that the array-backed tables answer ``pointer``/``toggle_count``/
+``has_waveform``/``read_waveform``/``window_table`` identically.  Both
+lazy registration (no design net index — the test-construction mode) and
+fixed design-index registration (the engine mode) are covered, on every
+available array backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Waveform, WaveformPool
+from repro.core.xp import available_array_backends, get_array_backend
+
+BACKENDS = available_array_backends()
+
+
+@pytest.fixture(params=BACKENDS)
+def xp(request):
+    return get_array_backend(request.param)
+
+
+def _wave(initial, toggles):
+    return Waveform.from_initial_and_toggles(initial, toggles)
+
+
+class ShadowPool:
+    """The old dict bookkeeping, re-implemented as the reference model."""
+
+    def __init__(self):
+        self.pointers = {}
+        self.sizes = {}
+        self.counts = {}
+
+    def register(self, net, window, address, size, count):
+        key = (net, window)
+        self.pointers[key] = int(address)
+        self.sizes[key] = int(size)
+        self.counts[key] = int(count)
+
+    def assert_matches(self, pool: WaveformPool):
+        for (net, window), address in self.pointers.items():
+            assert pool.has_waveform(net, window)
+            assert pool.pointer(net, window) == address, (net, window)
+            assert pool.toggle_count(net, window) == self.counts[(net, window)]
+            wave = pool.read_waveform(net, window)
+            assert len(wave) == self.sizes[(net, window)]
+
+
+class TestScalarStoreParity:
+    def test_store_waveform_registration(self, xp):
+        pool = WaveformPool(1 << 12, xp=xp)
+        shadow = ShadowPool()
+        waves = {
+            ("a", 0): _wave(0, [5, 9]),
+            ("a", 3): _wave(1, [7]),
+            ("b", 0): _wave(1, []),
+            ("b", 7): _wave(0, [1, 2, 3, 4]),
+        }
+        for (net, window), wave in waves.items():
+            address = pool.store_waveform(net, window, wave)
+            shadow.register(net, window, address, len(wave), wave.toggle_count())
+        shadow.assert_matches(pool)
+        for (net, window), wave in waves.items():
+            assert pool.read_waveform(net, window) == wave
+
+    def test_store_kernel_output_registration(self, xp):
+        pool = WaveformPool(1 << 12, xp=xp)
+        shadow = ShadowPool()
+        address = pool.allocate(6)
+        pool.store_kernel_output("n", 2, address, 1, [15, 30])
+        shadow.register("n", 2, address, 5, 2)  # marker + 0 + 2 toggles + EOW
+        shadow.assert_matches(pool)
+
+    def test_missing_pairs_raise_and_report(self, xp):
+        pool = WaveformPool(1 << 12, xp=xp)
+        pool.store_waveform("n", 1, _wave(0, [5]))
+        assert not pool.has_waveform("n", 0)
+        assert not pool.has_waveform("m", 1)
+        with pytest.raises(KeyError):
+            pool.pointer("n", 0)
+        with pytest.raises(KeyError):
+            pool.toggle_count("m", 1)
+        with pytest.raises(KeyError):
+            pool.window_table(["n"], [0])
+
+    def test_reset_clears_registration(self, xp):
+        pool = WaveformPool(1 << 12, xp=xp)
+        pool.store_waveform("n", 0, _wave(1, [3]))
+        pool.reset()
+        assert pool.used_words == 0
+        assert not pool.has_waveform("n", 0)
+        with pytest.raises(KeyError):
+            pool.pointer("n", 0)
+        # The name/window rows survive a reset; re-storing re-registers.
+        pool.store_waveform("n", 0, _wave(0, [8]))
+        assert pool.toggle_count("n", 0) == 1
+
+
+class TestBulkStoreParity:
+    def test_store_level_outputs_matches_scalar_stores(self, xp):
+        """The block-scatter registration equals per-pair scalar stores."""
+        bulk = WaveformPool(1 << 12, xp=xp)
+        scalar = WaveformPool(1 << 12, xp=xp)
+        shadow = ShadowPool()
+        nets = ["x", "y", "z"]
+        windows = [0, 1]
+        initial_values = xp.asarray([1, 0, 0, 1, 1, 0], dtype=xp.int64)
+        toggle_counts = xp.asarray([2, 0, 1, 1, 0, 3], dtype=xp.int64)
+        toggle_starts = xp.asarray([0, 2, 2, 3, 4, 4], dtype=xp.int64)
+        toggle_buffer = xp.asarray([10, 20, 7, 9, 5, 6, 8], dtype=xp.int64)
+        sizes = 2 + toggle_counts + xp.astype(initial_values != 0, xp.int64)
+        addresses = bulk.allocate_batch(sizes)
+        bulk.store_level_outputs(
+            nets, windows, addresses,
+            initial_values, toggle_buffer, toggle_starts, toggle_counts,
+        )
+        host_addr = xp.to_host(addresses)
+        host_iv = xp.to_host(initial_values)
+        host_counts = xp.to_host(toggle_counts)
+        host_starts = xp.to_host(toggle_starts)
+        host_buffer = xp.to_host(toggle_buffer)
+        for n, net in enumerate(nets):
+            for w, window in enumerate(windows):
+                t = n * len(windows) + w
+                toggles = host_buffer[
+                    host_starts[t] : host_starts[t] + host_counts[t]
+                ].tolist()
+                address = scalar.allocate(int(host_iv[t] != 0) + host_counts[t] + 2)
+                scalar.store_kernel_output(
+                    net, window, address, int(host_iv[t]), toggles
+                )
+                shadow.register(
+                    net, window, int(host_addr[t]),
+                    2 + host_counts[t] + int(host_iv[t] != 0), int(host_counts[t]),
+                )
+        shadow.assert_matches(bulk)
+        for net in nets:
+            for window in windows:
+                assert bulk.read_waveform(net, window) == scalar.read_waveform(
+                    net, window
+                ), (net, window)
+
+    def test_load_windows_matches_store_waveform(self, xp):
+        """Bulk window loading registers exactly like per-pair stores."""
+        from repro.core.restructure import lower_stimulus, slice_windows
+
+        stimulus = {
+            "a": _wave(0, [100, 250, 900, 1500]),
+            "b": _wave(1, [50, 1200]),
+            "c": _wave(0, []),
+        }
+        nets = tuple(stimulus)
+        events = lower_stimulus(nets, stimulus).to_device(xp)
+        starts = xp.asarray([0, 500, 1000], dtype=xp.int64)
+        ends = xp.asarray([500, 1000, 2000], dtype=xp.int64)
+        slices = slice_windows(events, starts, ends, xp=xp)
+
+        bulk = WaveformPool(1 << 12, xp=xp)
+        bulk.load_windows(
+            nets, [0, 1, 2],
+            slices.initial_values, events.times, slices.starts, slices.counts,
+            starts,
+        )
+        reference = WaveformPool(1 << 12, xp=xp)
+        host_starts = xp.to_host(starts)
+        host_ends = xp.to_host(ends)
+        for net, wave in stimulus.items():
+            for w in range(3):
+                reference.store_waveform(
+                    net, w,
+                    wave.window(int(host_starts[w]), int(host_ends[w]), rebase=True),
+                )
+        for net in nets:
+            for w in range(3):
+                assert bulk.read_waveform(net, w) == reference.read_waveform(net, w)
+                assert bulk.pointer(net, w) == reference.pointer(net, w)
+                assert bulk.toggle_count(net, w) == reference.toggle_count(net, w)
+
+    def test_window_table_net_major_order(self, xp):
+        pool = WaveformPool(1 << 12, xp=xp)
+        shadow = {}
+        for net in ("p", "q"):
+            for window in (0, 1):
+                wave = _wave(0, [5 + 10 * window])
+                shadow[(net, window)] = (
+                    pool.store_waveform(net, window, wave),
+                    wave.toggle_count(),
+                )
+        addresses, counts = pool.window_table(["p", "q"], [0, 1])
+        addresses = xp.to_host(addresses).tolist()
+        counts = xp.to_host(counts).tolist()
+        expected = [shadow[(n, w)] for n in ("p", "q") for w in (0, 1)]
+        assert addresses == [e[0] for e in expected]
+        assert counts == [e[1] for e in expected]
+
+
+class TestFixedIndexMode:
+    """Pools constructed the engine way: design net index + window list."""
+
+    def _pool(self, xp, nets, windows):
+        net_index = {net: i for i, net in enumerate(nets)}
+        return WaveformPool(
+            1 << 12, xp=xp, net_index=net_index, window_indices=windows
+        )
+
+    def test_fixed_rows_match_lazy_behaviour(self, xp):
+        fixed = self._pool(xp, ["a", "b"], [4, 9])
+        lazy = WaveformPool(1 << 12, xp=xp)
+        for pool in (fixed, lazy):
+            pool.store_waveform("a", 4, _wave(0, [3]))
+            pool.store_waveform("b", 9, _wave(1, [5, 6]))
+        for net, window in (("a", 4), ("b", 9)):
+            assert fixed.pointer(net, window) == lazy.pointer(net, window)
+            assert fixed.toggle_count(net, window) == lazy.toggle_count(net, window)
+            assert fixed.read_waveform(net, window) == lazy.read_waveform(net, window)
+
+    def test_null_row_registration_and_gather(self, xp):
+        pool = self._pool(xp, ["a", "b"], [0, 1])
+        pool.store_waveform("a", 0, _wave(0, [3, 9]))
+        pool.store_waveform("a", 1, _wave(0, [4]))
+        pool.store_waveform("b", 0, _wave(1, [5]))
+        pool.store_waveform("b", 1, _wave(1, []))
+        null_address = pool.store_padding_waveform()
+        # One 2-pin gate reading (a, b) and one 1-pin gate reading (b) with
+        # a padded second pin -> the null row.
+        input_net_ids = xp.asarray([[0, 1], [1, 2]], dtype=xp.int64)
+        pointers, capacities = pool.gather_level_inputs(input_net_ids)
+        pointers = xp.to_host(pointers)
+        capacities = xp.to_host(capacities).tolist()
+        # Task order is gate-major: (gate0, w0), (gate0, w1), (gate1, w0), ...
+        assert pointers[0].tolist() == [pool.pointer("a", 0), pool.pointer("b", 0)]
+        assert pointers[1].tolist() == [pool.pointer("a", 1), pool.pointer("b", 1)]
+        assert pointers[2].tolist() == [pool.pointer("b", 0), null_address]
+        assert pointers[3].tolist() == [pool.pointer("b", 1), null_address]
+        assert capacities == [3, 1, 1, 0]
+
+    def test_gather_rejects_unregistered_inputs(self, xp):
+        """An unstored (net, window) input must raise, not silently wrap
+        the -1 pointer sentinel to the end of the pool."""
+        pool = self._pool(xp, ["a", "b"], [0])
+        pool.store_padding_waveform()
+        pool.store_waveform("a", 0, _wave(0, [3]))  # "b" never stored
+        ids = xp.asarray([[0, 1]], dtype=xp.int64)
+        with pytest.raises(KeyError):
+            pool.gather_level_inputs(ids)
+
+    def test_lazy_net_after_fixed_index_keeps_null_row_stable(self, xp):
+        """Unknown names register past the null row, never moving it.
+
+        Compile-time ``input_net_ids`` tensors encode the null id
+        statically (``PackedDesign.null_net_id``), so a lazily-registered
+        extra net must not shift the null row — padded pins would
+        otherwise silently gather the new net's waveform (regression).
+        """
+        pool = self._pool(xp, ["a"], [0])
+        null_address = pool.store_padding_waveform()
+        pool.store_waveform("a", 0, _wave(0, [2]))
+        pool.store_waveform("late", 0, _wave(1, [4]))
+        assert pool.toggle_count("late", 0) == 1
+        assert pool.read_waveform("late", 0) == _wave(1, [4])
+        # The design's static null id (1 = len(net_index)) still resolves
+        # to the null waveform with zero capacity after the lazy store.
+        ids = xp.asarray([[0, 1]], dtype=xp.int64)
+        pointers, capacities = pool.gather_level_inputs(ids)
+        assert xp.to_host(pointers)[0].tolist() == [
+            pool.pointer("a", 0), null_address
+        ]
+        assert xp.to_host(capacities).tolist() == [1]

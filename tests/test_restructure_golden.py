@@ -27,10 +27,15 @@ from repro.core.restructure import (
     slice_windows,
     stitch_windows,
 )
+from repro.core.xp import available_array_backends, get_array_backend
 from repro.sdf import UnitDelayModel, annotation_from_design_delays
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "restructure_golden.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: Array backends the device-threaded paths are held to the same golden
+#: bytes on (numpy always; torch/cupy auto-included when importable).
+DEVICES = available_array_backends()
 
 
 def _case_ids(cases):
@@ -52,23 +57,25 @@ def test_reference_window_slicing_matches_golden(case):
         )
 
 
+@pytest.mark.parametrize("device", DEVICES)
 @pytest.mark.parametrize(
     "case", GOLDEN["slice_cases"], ids=_case_ids(GOLDEN["slice_cases"])
 )
-def test_vectorized_slice_and_load_matches_golden(case):
+def test_vectorized_slice_and_load_matches_golden(case, device):
     """The lowered-event slicer + bulk pool load store the same bytes.
 
     The slices go through ``lower_stimulus`` → ``slice_windows`` →
     ``WaveformPool.load_windows`` and are read back from the pool, so the
-    fixture pins the full vectorized restructure/load path including the
-    stored ``EOW`` terminators and markers.
+    fixture pins the full vectorized restructure/load path — including the
+    stored ``EOW`` terminators and markers — on every array backend.
     """
+    xp = get_array_backend(device)
     wave = Waveform.from_array(case["source"])
-    events = lower_stimulus(("s",), {"s": wave})
-    starts = np.asarray([w[0] for w in case["windows"]], dtype=np.int64)
-    ends = np.asarray([w[1] for w in case["windows"]], dtype=np.int64)
-    slices = slice_windows(events, starts, ends)
-    pool = WaveformPool(1 << 16)
+    events = lower_stimulus(("s",), {"s": wave}).to_device(xp)
+    starts = xp.asarray([w[0] for w in case["windows"]], dtype=xp.int64)
+    ends = xp.asarray([w[1] for w in case["windows"]], dtype=xp.int64)
+    slices = slice_windows(events, starts, ends, xp=xp)
+    pool = WaveformPool(1 << 16, xp=xp)
     window_indices = list(range(len(case["windows"])))
     pool.load_windows(
         ("s",),
@@ -151,17 +158,20 @@ def _golden_netlist():
     return builder.build()
 
 
+@pytest.mark.parametrize("device", DEVICES)
 @pytest.mark.parametrize(
     "case", GOLDEN["engine_cases"], ids=_case_ids(GOLDEN["engine_cases"])
 )
 @pytest.mark.parametrize("restructure", ["python", "vector"])
-def test_engine_waveforms_match_golden(case, restructure):
+def test_engine_waveforms_match_golden(case, restructure, device):
     """Full simulations reproduce the frozen waveforms in both pipelines.
 
     Covers the settle-margin trim (``default_overlap``), propagation
     tails with the margin disabled (``zero_overlap_keeps_tails``), and a
     deliberately undersized margin (``tiny_overlap``) whose seam
-    artifacts the stitch rules must resolve exactly as frozen.
+    artifacts the stitch rules must resolve exactly as frozen.  The
+    vector pipeline runs on every available array backend (the python
+    reference pipeline pins numpy by construction).
     """
     netlist = _golden_netlist()
     annotation = annotation_from_design_delays(
@@ -170,7 +180,7 @@ def test_engine_waveforms_match_golden(case, restructure):
     stimulus = {
         net: Waveform.from_array(arr) for net, arr in case["stimulus"].items()
     }
-    config = SimConfig(restructure=restructure, **case["config"])
+    config = SimConfig(restructure=restructure, device=device, **case["config"])
     engine = GatspiEngine(netlist, annotation=annotation, config=config)
     result = engine.simulate(stimulus, duration=case["duration"])
     assert dict(sorted(result.toggle_counts.items())) == (
