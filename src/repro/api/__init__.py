@@ -37,8 +37,10 @@ from .registry import (
 )
 from .session import Session
 
-# Importing the adapters registers the four built-in backends.
+# Importing the adapters registers the four built-in backends; importing
+# the sharded module registers the window-axis sharded fifth.
 from . import adapters  # noqa: E402,F401
+from . import sharded  # noqa: E402,F401
 from .adapters import (
     EventBackend,
     EventSession,
@@ -49,6 +51,7 @@ from .adapters import (
     ZeroDelayBackend,
     ZeroDelaySession,
 )
+from .sharded import GatspiShardedBackend, RunSpec, ShardedGatspiSession
 
 __all__ = [
     "BackendCapabilities",
@@ -67,6 +70,9 @@ __all__ = [
     "EventSession",
     "GatspiBackend",
     "GatspiSession",
+    "GatspiShardedBackend",
+    "RunSpec",
+    "ShardedGatspiSession",
     "ThreadedCpuBackend",
     "ThreadedCpuSession",
     "ZeroDelayBackend",

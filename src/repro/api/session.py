@@ -10,11 +10,22 @@ individual simulators used to duplicate — and after dispatching it guarantees
 a consistently populated :class:`~repro.core.results.SimulationStats`
 (``cycles``, ``gate_count`` and ``input_events`` are filled in even for
 backends that do not track them natively).
+
+Sessions are **thread-safe**: ``run`` may be called from many threads at
+once (the serving layer does exactly that when concurrent requests share a
+compiled design).  Calls serialize on a per-session lock around the
+backend dispatch and the stats/counter mutation — a session executes one
+run at a time, because the concrete engines keep per-run state (memory
+pools, timing accumulators, ``last_report``-style fields) that is not
+re-entrant.  Callers wanting parallel runs over one design should prepare
+several sessions (the compile cache makes the extra ``prepare()`` calls
+share one compile) or use the ``gatspi-sharded`` backend.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Mapping, Optional
 
 from ..core.config import SimConfig
@@ -37,6 +48,10 @@ class Session(abc.ABC):
         self._netlist = netlist
         self._config = config or SimConfig()
         self._runs_completed = 0
+        # Serializes the backend dispatch and the counter/stats mutation of
+        # concurrent ``run`` calls; reentrant so a backend-specific ``_run``
+        # may itself call ``run`` on the same session if it ever needs to.
+        self._run_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -77,12 +92,18 @@ class Session(abc.ABC):
         One of ``cycles`` / ``duration`` must be provided; the other is
         derived from the session's clock period.  ``stimulus`` must cover
         every source net of the prepared netlist.
+
+        Thread-safe: concurrent calls serialize on the session lock (see
+        the module docstring).  Validation and horizon normalization are
+        pure and run outside the lock, so a malformed request never blocks
+        other callers.
         """
         cycles, duration = normalize_horizon(cycles, duration, self.clock_period)
         validate_stimulus(self._netlist, stimulus)
-        result = self._run(stimulus, cycles, duration)
-        self._finalize_stats(result, cycles)
-        self._runs_completed += 1
+        with self._run_lock:
+            result = self._run(stimulus, cycles, duration)
+            self._finalize_stats(result, cycles)
+            self._runs_completed += 1
         return result
 
     @abc.abstractmethod

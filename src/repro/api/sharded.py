@@ -1,0 +1,509 @@
+"""The ``gatspi-sharded`` backend: window-axis sharding behind the registry.
+
+The paper's multi-GPU strategy (Section 5) partitions the cycle-parallel
+window axis across devices.  This backend is that strategy as a first-class
+:class:`~repro.api.backend.SimBackend`: one ``run()`` carves the horizon
+into contiguous shares (via the same :mod:`~repro.core.sharding` planner
+``simulate_multi_gpu`` uses), executes each share on a worker-thread pool —
+one prepared ``gatspi`` session per worker, all sharing one compile through
+the process-wide compile cache — and merges the per-share results (toggle
+counts, stats, stitched waveforms) into a result **bit-identical** to a
+single-session ``gatspi`` run.
+
+Because it implements the standard backend protocol, every flow drives it
+by name: ``bench/runner.py`` benchmarks it, the differential suite holds
+it to the single-session pipeline, and :mod:`repro.serve` serves it, e.g.
+with the spec ``"gatspi-sharded:shards=4"``.
+
+Two design decisions matter for throughput:
+
+* **Adaptive shard width.**  Partitioning pays real per-share costs (extra
+  level batches, settle margins, per-net merge work) that only *parallel*
+  execution can win back.  ``shards`` is therefore a cap: unless a worker
+  count is pinned explicitly, the session partitions only as wide as the
+  machine can actually execute in parallel (``os.cpu_count()``), down to a
+  zero-overhead single-session passthrough on one core — the no-regression
+  guarantee the serving benchmark enforces.  Passing ``workers=N``
+  explicitly forces an ``N``-wide pool with the full requested partition
+  count (the differential suite uses this to exercise real sharding on any
+  machine).
+* **Batched runs** (:meth:`ShardedGatspiSession.run_many`).  Requests for
+  one compiled design can be *fused along the time axis* — laid out back
+  to back with settle pads, executed as one engine run, and sliced apart
+  bit-exactly (:func:`~repro.core.sharding.plan_fusion` /
+  :func:`~repro.core.sharding.fuse_stimuli` /
+  :func:`~repro.core.sharding.split_fused_waveform`).  One fused run pays
+  the engine's per-level-batch and per-net fixed costs once per *batch*
+  instead of once per *request*, which is what makes micro-batched serving
+  (:mod:`repro.serve`) faster than serializing single-session runs even on
+  one core.
+
+Sharded runs keep the *total* cycle parallelism at the configured value:
+each share runs with ``ceil(cycle_parallelism / shards)`` windows,
+mirroring the paper's ``32 * n`` windows across ``n`` GPUs.  Each share's
+stimulus is extended backwards by the engine's settle margin so events
+still propagating across a shard boundary are reproduced exactly; the
+margin region is trimmed from the share outputs before stitching, exactly
+as the engine trims its own windows.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..core.config import SimConfig
+from ..core.contract import (
+    StimulusError,
+    fanin_weighted_toggles,
+    normalize_horizon,
+    validate_stimulus,
+)
+from ..core.restructure import slice_stimulus
+from ..core.results import PhaseTimings, SimulationResult, SimulationStats
+from ..core.sharding import (
+    Shard,
+    fuse_stimuli,
+    merge_shard_waveforms,
+    plan_fusion,
+    plan_shards,
+    split_fused_waveform,
+    trim_shard_waveform,
+)
+from ..core.waveform import Waveform
+from ..netlist import Netlist
+from ..sdf.annotate import DelayAnnotation
+from .backend import BackendCapabilities, SimBackend
+from .registry import register_backend
+from .session import Session
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One request of a batched :meth:`ShardedGatspiSession.run_many`."""
+
+    stimulus: Mapping[str, Waveform]
+    cycles: Optional[int] = None
+    duration: Optional[int] = None
+
+
+class ShardedGatspiSession(Session):
+    """One compiled design, simulated in window-axis shards on a pool.
+
+    Holds one inner ``gatspi`` session per worker; all of them share one
+    compile via the content-fingerprint compile cache, so preparing this
+    session costs a single compilation regardless of the worker count.
+    Inner sessions are thread-safe (each serializes its own runs), and a
+    share is pinned to exactly one inner session, so concurrent shares
+    never contend on engine state.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        annotation: Optional[DelayAnnotation],
+        config: SimConfig,
+        shards: int,
+        workers: Optional[int],
+    ):
+        super().__init__("gatspi-sharded", netlist, config)
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._requested_shards = shards
+        if config.window_overlap is not None:
+            # A user-pinned settle margin may be smaller than the critical
+            # path, in which case partitioning is not exactness-preserving
+            # (the same reason run_many refuses to fuse): fall back to a
+            # single full-range shard so the bit-identity contract against
+            # single-session gatspi holds for every config.
+            self._shards = 1
+            self._workers = 1
+        elif workers is None:
+            # Adaptive width: never partition wider than the machine can
+            # execute in parallel — per-share costs without parallel payoff
+            # would regress straight-line throughput.
+            self._workers = max(1, min(shards, os.cpu_count() or 1))
+            self._shards = self._workers
+        else:
+            self._workers = min(workers, shards)
+            self._shards = shards
+        # Keep the *total* window count at the configured parallelism:
+        # each share gets its slice of the cycle-parallel axis.
+        inner_parallelism = max(1, -(-config.cycle_parallelism // self._shards))
+        # Shares always keep waveforms internally: exact merging trims and
+        # stitches share outputs, which needs the per-share waveforms even
+        # when the caller only wants toggle counts.  Consequence: with
+        # ``store_waveforms=False`` the merged counts are the stitched-exact
+        # (waveform-mode) counts — seam toggles counted once — not the
+        # engine's counts-only shortcut of summing per-window trimmed counts.
+        self._inner_config = config.with_updates(
+            cycle_parallelism=inner_parallelism, store_waveforms=True
+        )
+        from .registry import get_backend  # local: avoids import cycles
+
+        backend = get_backend("gatspi")
+        self._inner_sessions = [
+            backend.prepare(netlist, annotation=annotation, config=self._inner_config)
+            for _ in range(self._workers)
+        ]
+        engine = self._inner_sessions[0].engine
+        self._overlap = engine.window_overlap
+        self._gate_output_nets = tuple(
+            gate.output_net for gate in engine.compiled.gates.values()
+        )
+        # Session-lifetime worker pool, created lazily by the first
+        # multi-shard run (serving hot path: no per-run thread spawn/join)
+        # and shut down when the session is garbage collected.
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Effective partition width of every run (adaptive, see module)."""
+        return self._shards
+
+    @property
+    def requested_shards(self) -> int:
+        """The ``shards`` cap the session was prepared with."""
+        return self._requested_shards
+
+    @property
+    def worker_count(self) -> int:
+        """Worker threads (and inner sessions) shares execute on."""
+        return self._workers
+
+    @property
+    def compile_cache_hit(self) -> bool:
+        """Whether the *first* inner prepare reused a cached compile."""
+        return self._inner_sessions[0].engine.compile_cache_hit
+
+    # ------------------------------------------------------------------
+    # Single-request execution
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        stimulus: Mapping[str, Waveform],
+        cycles: int,
+        duration: int,
+    ) -> SimulationResult:
+        result = self._execute(stimulus, duration)
+        if not self._config.store_waveforms:
+            result.waveforms.clear()
+        return result
+
+    def _execute(
+        self, stimulus: Mapping[str, Waveform], duration: int
+    ) -> SimulationResult:
+        """Sharded execution; the result always carries waveforms."""
+        plan = plan_shards(duration, self._shards, overlap=self._overlap)
+        if len(plan) == 1:
+            # Zero-overhead passthrough: a single full-range shard is
+            # exactly a single-session run (the inner config keeps
+            # waveforms, which `_run` drops again if asked to).
+            return self._inner_sessions[0].run(stimulus, duration=duration)
+        share_results = self._run_shards(stimulus, plan)
+        return self._merge(stimulus, plan, share_results, duration)
+
+    def _run_shards(
+        self, stimulus: Mapping[str, Waveform], plan: Sequence[Shard]
+    ) -> List[SimulationResult]:
+        """Execute every shard, fanned out across the inner sessions.
+
+        Shard ``k`` runs on inner session ``k % workers``; with more
+        shards than workers the extra shards queue up behind their
+        session's lock, bounding concurrency at the worker count.
+        """
+
+        def run_shard(shard: Shard) -> SimulationResult:
+            session = self._inner_sessions[shard.index % self._workers]
+            share_stimulus = slice_stimulus(stimulus, shard.ext_start, shard.end)
+            return session.run(share_stimulus, duration=shard.run_duration)
+
+        if self._workers == 1:
+            return [run_shard(shard) for shard in plan]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="gatspi-shard"
+            )
+            weakref.finalize(
+                self, ThreadPoolExecutor.shutdown, self._pool, wait=False
+            )
+        return list(self._pool.map(run_shard, plan))
+
+    def _merge(
+        self,
+        stimulus: Mapping[str, Waveform],
+        plan: Sequence[Shard],
+        share_results: Sequence[SimulationResult],
+        duration: int,
+    ) -> SimulationResult:
+        """Merge per-shard results exactly like a single-session run.
+
+        Source nets take their counts (and waveforms) from the original
+        stimulus; gate outputs are trimmed to their shard's owned range
+        and stitched through the engine's seam rules.  Phase timings are
+        summed across shards — the serial-equivalent cost, mirroring
+        ``MultiGpuResult.serial_kernel_runtime`` (wall-clock parallelism
+        is measured by callers, e.g. the serving benchmark).
+        """
+        merge_start = time.perf_counter()
+        timings = PhaseTimings()
+        for share in share_results:
+            timings.restructure += share.timings.restructure
+            timings.host_to_device += share.timings.host_to_device
+            timings.scheduling += share.timings.scheduling
+            timings.kernel += share.timings.kernel
+            timings.readback += share.timings.readback
+            timings.dump += share.timings.dump
+
+        first = share_results[0].stats
+        stats = SimulationStats(
+            gate_count=first.gate_count,
+            levels=first.levels,
+            widest_level=first.widest_level,
+            windows=sum(share.stats.windows for share in share_results),
+            segments=sum(share.stats.segments for share in share_results),
+            kernel_invocations=sum(
+                share.stats.kernel_invocations for share in share_results
+            ),
+            pool_words_used=max(
+                share.stats.pool_words_used for share in share_results
+            ),
+            kernel_mode=first.kernel_mode,
+            restructure_mode=first.restructure_mode,
+            device=first.device,
+            level_batches=sum(share.stats.level_batches for share in share_results),
+            max_batch_tasks=max(
+                share.stats.max_batch_tasks for share in share_results
+            ),
+            shards=len(plan),
+        )
+        result = SimulationResult(duration=duration, timings=timings, stats=stats)
+
+        for net in self._netlist.source_nets():
+            wave = stimulus[net]
+            result.toggle_counts[net] = wave.toggles_in(0, duration - 1)
+            result.waveforms[net] = wave
+
+        total_output_transitions = 0
+        for net in self._gate_output_nets:
+            trimmed = [
+                trim_shard_waveform(
+                    share.waveforms[net], shard, duration, self._overlap
+                )
+                for shard, share in zip(plan, share_results)
+            ]
+            stitched = merge_shard_waveforms(plan, trimmed)
+            result.waveforms[net] = stitched
+            count = stitched.toggle_count()
+            result.toggle_counts[net] = count
+            total_output_transitions += count
+        stats.output_transitions = total_output_transitions
+        stats.input_events = fanin_weighted_toggles(
+            self._netlist, result.toggle_counts
+        )
+        timings.readback += time.perf_counter() - merge_start
+        return result
+
+    # ------------------------------------------------------------------
+    # Batched execution (time-axis request fusion)
+    # ------------------------------------------------------------------
+    def run_many(self, requests: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Run a batch of requests, fused into one engine run when safe.
+
+        Results are returned in request order and are bit-identical to
+        calling :meth:`run` once per request.  Fusion applies when the
+        settle margin is the engine's own critical-path estimate (the
+        default); with a user-pinned ``window_overlap`` — whose exactness
+        the engine cannot vouch for across arbitrary partitions — or a
+        fused horizon that would violate the ``EOW`` sentinel headroom,
+        the batch transparently falls back to sequential runs.
+
+        Fused phase timings and workload stats are attributed evenly
+        across the batch (the engine executed them jointly); counter and
+        result semantics otherwise match :meth:`run` exactly.
+        """
+        if not requests:
+            return []
+        normalized: List[Tuple[int, int, Mapping[str, Waveform]]] = []
+        for request in requests:
+            cycles, duration = normalize_horizon(
+                request.cycles, request.duration, self.clock_period
+            )
+            validate_stimulus(self._netlist, request.stimulus)
+            normalized.append((cycles, duration, request.stimulus))
+
+        fusable = (
+            len(requests) > 1
+            and self._overlap > 0
+            and self._config.window_overlap is None
+        )
+        if fusable:
+            with self._run_lock:
+                results = self._run_fused(normalized)
+            if results is not None:
+                return results
+        return [
+            self.run(stimulus, cycles=cycles, duration=duration)
+            for cycles, duration, stimulus in normalized
+        ]
+
+    def _run_fused(
+        self, normalized: Sequence[Tuple[int, int, Mapping[str, Waveform]]]
+    ) -> Optional[List[SimulationResult]]:
+        """One fused engine run for the whole batch (or ``None`` to punt)."""
+        layout = plan_fusion([d for _, d, _ in normalized], self._overlap)
+        nets = tuple(self._netlist.source_nets())
+        fused_stimulus = fuse_stimuli(
+            nets, [stimulus for _, _, stimulus in normalized], layout
+        )
+        try:
+            fused = self._execute(fused_stimulus, layout.fused_duration)
+        except StimulusError:
+            # The fused horizon ran out of EOW sentinel headroom; the
+            # caller serializes instead.
+            return None
+        batch = layout.batch_size
+        results: List[SimulationResult] = []
+        for index, (cycles, duration, stimulus) in enumerate(normalized):
+            results.append(
+                self._split_fused_result(
+                    fused, layout, index, cycles, duration, stimulus, batch
+                )
+            )
+        # Counted only once the whole batch split successfully, so a
+        # mid-split failure (whose caller will retry serially) cannot
+        # leave partial increments behind.
+        self._runs_completed += len(results)
+        return results
+
+    def _split_fused_result(
+        self,
+        fused: SimulationResult,
+        layout,
+        index: int,
+        cycles: int,
+        duration: int,
+        stimulus: Mapping[str, Waveform],
+        batch: int,
+    ) -> SimulationResult:
+        """Slice one request's standalone-equivalent result out of a fused run."""
+        share = 1.0 / batch
+        timings = PhaseTimings(
+            restructure=fused.timings.restructure * share,
+            host_to_device=fused.timings.host_to_device * share,
+            scheduling=fused.timings.scheduling * share,
+            kernel=fused.timings.kernel * share,
+            readback=fused.timings.readback * share,
+            dump=fused.timings.dump * share,
+        )
+        stats = SimulationStats(
+            gate_count=fused.stats.gate_count,
+            levels=fused.stats.levels,
+            widest_level=fused.stats.widest_level,
+            windows=fused.stats.windows // batch,
+            segments=max(1, fused.stats.segments // batch),
+            cycles=cycles,
+            kernel_invocations=fused.stats.kernel_invocations // batch,
+            pool_words_used=fused.stats.pool_words_used,
+            kernel_mode=fused.stats.kernel_mode,
+            restructure_mode=fused.stats.restructure_mode,
+            device=fused.stats.device,
+            level_batches=fused.stats.level_batches // batch,
+            max_batch_tasks=fused.stats.max_batch_tasks,
+            shards=fused.stats.shards,
+            fused_requests=batch,
+        )
+        result = SimulationResult(duration=duration, timings=timings, stats=stats)
+        store_waveforms = self._config.store_waveforms
+        for net in self._netlist.source_nets():
+            wave = stimulus[net]
+            result.toggle_counts[net] = wave.toggles_in(0, duration - 1)
+            if store_waveforms:
+                result.waveforms[net] = wave
+        total_output_transitions = 0
+        for net in self._gate_output_nets:
+            sliced = split_fused_waveform(fused.waveforms[net], layout, index)
+            if store_waveforms:
+                result.waveforms[net] = sliced
+            count = sliced.toggle_count()
+            result.toggle_counts[net] = count
+            total_output_transitions += count
+        stats.output_transitions = total_output_transitions
+        stats.input_events = fanin_weighted_toggles(
+            self._netlist, result.toggle_counts
+        )
+        return result
+
+
+@register_backend("gatspi-sharded")
+class GatspiShardedBackend(SimBackend):
+    """Window-axis sharded gatspi execution behind the standard protocol."""
+
+    name = "gatspi-sharded"
+    capabilities = BackendCapabilities(
+        delay_aware=True,
+        glitch_accurate=True,
+        waveforms=True,
+        phase_timings=True,
+        description=(
+            "gatspi with the window axis sharded across a worker pool and "
+            "batched-run fusion; bit-identical to single-session gatspi"
+        ),
+    )
+
+    def prepare(
+        self,
+        netlist: Netlist,
+        annotation: Optional[DelayAnnotation] = None,
+        config: Optional[SimConfig] = None,
+        *,
+        shards: int = 4,
+        workers: Optional[int] = None,
+        kernel: Optional[str] = None,
+        restructure: Optional[str] = None,
+        device: Optional[str] = None,
+        **options,
+    ) -> ShardedGatspiSession:
+        """Compile once, ready to simulate in window-axis shares.
+
+        ``shards`` caps the partition count of every subsequent ``run``
+        (spec syntax ``"gatspi-sharded:shards=4"``).  By default the
+        session partitions only as wide as ``os.cpu_count()`` allows
+        (down to a single-session passthrough on one core); pass
+        ``workers=N`` to pin an ``N``-wide pool and force the full
+        requested partition count.  A config with a user-pinned
+        ``window_overlap`` always degrades to the single-shard
+        passthrough — partitioning under a margin the engine cannot
+        vouch for would break the bit-identity contract.  ``kernel`` /
+        ``restructure`` / ``device`` select the inner executors exactly
+        as for ``gatspi``.
+        """
+        from .adapters import _reject_unknown_options
+
+        _reject_unknown_options(self.name, options)
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        overrides = {}
+        if kernel is not None:
+            overrides["kernel"] = kernel
+        if restructure is not None:
+            overrides["restructure"] = restructure
+        if device is not None:
+            overrides["device"] = device
+        config = config or SimConfig()
+        if overrides:
+            config = config.with_updates(**overrides)
+        return ShardedGatspiSession(
+            netlist, annotation, config, shards=shards, workers=workers
+        )

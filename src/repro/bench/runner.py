@@ -59,6 +59,8 @@ class BenchmarkRow:
     level_batches: int = 0
     max_batch_tasks: int = 0
     mean_batch_tasks: float = 0.0
+    #: Window-axis shards of the primary backend (1 unless gatspi-sharded).
+    shards: int = 1
     # Per-phase application timings of the primary backend (Table 5 shape).
     restructure_mode: str = ""
     restructure_s: float = 0.0
@@ -203,6 +205,7 @@ def run_case(
         level_batches=gatspi_result.stats.level_batches,
         max_batch_tasks=gatspi_result.stats.max_batch_tasks,
         mean_batch_tasks=gatspi_result.stats.mean_batch_tasks(),
+        shards=gatspi_result.stats.shards,
         restructure_mode=gatspi_result.stats.restructure_mode,
         restructure_s=gatspi_result.timings.restructure,
         host_to_device_s=gatspi_result.timings.host_to_device,

@@ -29,6 +29,18 @@ fingerprint at the next ``compile()`` call, which naturally misses the
 cache; the cached artifacts themselves are treated as immutable by every
 consumer (the engine copies the one mapping it mutates).
 
+The cache is shared process-wide and may be hit from many threads at once
+(concurrent ``prepare()`` calls are exactly the serving shape
+:mod:`repro.serve` runs), so every operation that touches the store — the
+LRU ``move_to_end`` refresh, insertion, eviction, capacity changes, clears,
+and the counters — runs under one module lock.  Fingerprinting stays
+outside the lock: it is pure and by far the most expensive part of a
+lookup, so concurrent compiles only serialize on the dict operations
+themselves.  Two threads missing on the same key concurrently may both
+build artifacts; the second ``store`` simply replaces the first with an
+equivalent value (compilation is deterministic), which is safe because
+consumers never mutate cached artifacts.
+
 The cache is enabled per-run via ``SimConfig(compile_cache=True)`` (the
 default) and can be inspected/cleared for tests via :func:`cache_info` /
 :func:`clear_compile_cache`.
@@ -38,6 +50,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -52,6 +65,10 @@ COMPILE_CACHE_CAPACITY = 16
 
 _capacity = COMPILE_CACHE_CAPACITY
 
+#: Guards every access to ``_CACHE``, ``_capacity``, and the hit/miss
+#: counters.  Reentrant so a locked operation may call another helper.
+_LOCK = threading.RLock()
+
 
 def set_compile_cache_capacity(capacity: int) -> None:
     """Set the maximum number of cached designs (0 disables caching).
@@ -61,9 +78,10 @@ def set_compile_cache_capacity(capacity: int) -> None:
     global _capacity
     if capacity < 0:
         raise ValueError("compile cache capacity must be non-negative")
-    _capacity = int(capacity)
-    while len(_CACHE) > _capacity:
-        _CACHE.popitem(last=False)
+    with _LOCK:
+        _capacity = int(capacity)
+        while len(_CACHE) > _capacity:
+            _CACHE.popitem(last=False)
 
 
 @dataclass(frozen=True)
@@ -171,38 +189,42 @@ def compile_key(netlist, annotation, config) -> str:
 def lookup(key: str) -> Optional[CompiledArtifacts]:
     """Fetch cached artifacts (refreshing LRU recency) or ``None``."""
     global _HITS, _MISSES
-    artifacts = _CACHE.get(key)
-    if artifacts is None:
-        _MISSES += 1
-        return None
-    _CACHE.move_to_end(key)
-    _HITS += 1
-    return artifacts
+    with _LOCK:
+        artifacts = _CACHE.get(key)
+        if artifacts is None:
+            _MISSES += 1
+            return None
+        _CACHE.move_to_end(key)
+        _HITS += 1
+        return artifacts
 
 
 def store(key: str, artifacts: CompiledArtifacts) -> None:
     """Insert artifacts, evicting the least recently used beyond capacity."""
-    if _capacity == 0:
-        return
-    _CACHE[key] = artifacts
-    _CACHE.move_to_end(key)
-    while len(_CACHE) > _capacity:
-        _CACHE.popitem(last=False)
+    with _LOCK:
+        if _capacity == 0:
+            return
+        _CACHE[key] = artifacts
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > _capacity:
+            _CACHE.popitem(last=False)
 
 
 def clear_compile_cache() -> None:
     """Drop every cached design and reset the hit/miss counters."""
     global _HITS, _MISSES
-    _CACHE.clear()
-    _HITS = 0
-    _MISSES = 0
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0
 
 
 def cache_info() -> Dict[str, int]:
     """Current cache occupancy and hit/miss counters."""
-    return {
-        "size": len(_CACHE),
-        "capacity": _capacity,
-        "hits": _HITS,
-        "misses": _MISSES,
-    }
+    with _LOCK:
+        return {
+            "size": len(_CACHE),
+            "capacity": _capacity,
+            "hits": _HITS,
+            "misses": _MISSES,
+        }

@@ -31,6 +31,7 @@ from ..sdf.annotate import DelayAnnotation
 from .config import SimConfig
 from .restructure import slice_stimulus
 from .results import SimulationResult
+from .sharding import accumulate_toggle_counts, plan_shards
 from .waveform import Waveform
 
 
@@ -148,7 +149,6 @@ def simulate_multi_gpu(
         raise ValueError("num_devices must be at least 1")
     config = config or SimConfig()
     duration = cycles * config.clock_period
-    slice_length = max(config.clock_period, -(-duration // num_devices))
 
     backend_impl, options = resolve_backend(backend)
     if backend_options:
@@ -157,26 +157,28 @@ def simulate_multi_gpu(
         netlist, annotation=annotation, config=config, **options
     )
     result = MultiGpuResult(num_devices=num_devices, launch_overhead=launch_overhead)
-    start = 0
-    device_index = 0
-    while start < duration and device_index < num_devices:
-        end = min(start + slice_length, duration)
+    if duration < 1:
+        # Nothing to distribute (cycles=0 sweeps): an empty result, as the
+        # pre-planner loop produced.
+        return result
+    # The shard planner shared with the gatspi-sharded backend; shares are
+    # floored at one clock period and carry no settle margin here — the
+    # distributor models independent devices and sums per-share activity
+    # (events propagating across a slice seam may land on either side).
+    for shard in plan_shards(duration, num_devices, min_length=config.clock_period):
         # Carve this device's share of the testbench with the vectorized
         # slicer (bit-identical to per-net Waveform.window calls).
-        share_stimulus = slice_stimulus(stimulus, start, end)
-        share_result = session.run(share_stimulus, duration=end - start)
+        share_stimulus = slice_stimulus(stimulus, shard.start, shard.end)
+        share_result = session.run(share_stimulus, duration=shard.length)
         result.kernel_mode = share_result.stats.kernel_mode
         result.device = share_result.stats.device
         result.shares.append(
             DeviceShare(
-                device_index=device_index,
-                window_start=start,
-                window_end=end,
+                device_index=shard.index,
+                window_start=shard.start,
+                window_end=shard.end,
                 result=share_result,
             )
         )
-        for net, count in share_result.toggle_counts.items():
-            result.toggle_counts[net] = result.toggle_counts.get(net, 0) + count
-        start = end
-        device_index += 1
+        accumulate_toggle_counts(result.toggle_counts, share_result.toggle_counts)
     return result

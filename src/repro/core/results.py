@@ -78,6 +78,13 @@ class SimulationStats:
     level_batches: int = 0
     #: Largest single batch, in (gate, window) tasks.
     max_batch_tasks: int = 0
+    #: Window-axis shards the run was partitioned into (1 = unsharded; the
+    #: ``gatspi-sharded`` backend sets the actual shard count).
+    shards: int = 1
+    #: Requests fused into the engine run that produced this result (1 =
+    #: standalone; batched serving fuses same-design requests, and fused
+    #: workload stats/timings are attributed evenly across the batch).
+    fused_requests: int = 1
 
     def mean_batch_tasks(self) -> float:
         """Average tasks per level-batched kernel launch."""

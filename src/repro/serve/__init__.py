@@ -1,0 +1,37 @@
+"""``repro.serve``: the concurrent simulation serving front end.
+
+A :class:`SimulationService` accepts many concurrent re-simulation
+requests through a bounded queue, micro-batches requests that share a
+compiled-design fingerprint onto one prepared session, and executes them
+on a worker pool — any registered backend spec, including the sharded
+``"gatspi-sharded:shards=4"``::
+
+    from repro.serve import ServeRequest, SimulationService
+
+    with SimulationService(max_workers=4) as service:
+        future = service.submit(ServeRequest(
+            netlist=netlist, stimulus=stimulus,
+            backend="gatspi-sharded:shards=4",
+            annotation=annotation, cycles=100,
+        ))
+        response = future.result()       # -> ServeResponse
+        print(response.result.total_toggles(), response.run_seconds)
+"""
+
+from .service import (
+    ServeRequest,
+    ServeResponse,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    SimulationService,
+)
+
+__all__ = [
+    "ServeRequest",
+    "ServeResponse",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "SimulationService",
+]

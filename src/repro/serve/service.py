@@ -1,0 +1,549 @@
+"""The sharded/batched simulation serving front end.
+
+The ROADMAP's scale item asks for "an async/batched serving front end for
+many concurrent sessions": this module is that subsystem, built directly
+on the concurrency guarantees the rest of the stack now provides — the
+locked process-wide compile cache (concurrent ``prepare()`` is safe and
+shares one compile per design fingerprint) and the thread-safe ``Session``
+layer (concurrent ``run()`` on one session serializes instead of racing).
+
+Request lifecycle::
+
+    client -> submit() -> bounded queue -> dispatcher thread
+                                              |  drains + groups by
+                                              |  compiled-design fingerprint
+                                              v
+                                   worker pool: one task per group,
+                                   each group runs on ONE prepared Session
+                                              |
+                                              v
+                              Future resolves to ServeResponse
+
+* **Bounded admission.**  ``submit`` enqueues into a bounded queue and
+  returns a :class:`concurrent.futures.Future` immediately (``asyncio``
+  callers can ``asyncio.wrap_future`` it).  The dispatcher only pulls a
+  request out of the queue when an in-flight permit is free (at most
+  ``2 * max_workers`` requests dispatched-but-incomplete), so saturated
+  workers back the queue up instead of growing an unbounded executor
+  backlog.  When the queue is full the next ``submit`` blocks — or, with
+  ``block=False`` / a timeout, fails fast with
+  :class:`ServiceOverloadedError` — so a burst of clients degrades into
+  back-pressure, not unbounded memory growth.
+* **Micro-batching.**  The dispatcher drains whatever is queued and
+  groups it by *session key*: the content fingerprints of the request's
+  netlist and annotation (the same fingerprints the compile cache is
+  keyed by) plus the backend spec and config.  Each group is executed as
+  one worker task against one prepared session, so a burst of requests
+  for the same design costs one ``prepare()`` and runs back to back on a
+  warm session, while requests for different designs spread across the
+  pool.  When the session supports batched runs
+  (:meth:`~repro.api.sharded.ShardedGatspiSession.run_many` — the
+  ``gatspi-sharded`` backend), the whole group executes as **one fused
+  engine run** and is sliced apart bit-exactly, paying the engine's
+  per-run fixed costs once per batch instead of once per request; a
+  fused failure falls back to per-request runs so isolation is kept.
+* **Session reuse.**  Prepared sessions live in a bounded LRU keyed by
+  session key.  Batches for one key are serialized (per-key active
+  bookkeeping), so a new design is prepared exactly once — outside the
+  cache lock, so one slow compile never stalls other designs; evicted
+  sessions fall back to the compile cache, which still makes the next
+  ``prepare()`` cheap.
+* **Failure isolation.**  A failing request (bad stimulus, unknown
+  backend, engine error) resolves only its own future with the exception;
+  the queue, the dispatcher, and the other requests keep flowing.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..api import resolve_backend
+from ..core.compile_cache import fingerprint_annotation, fingerprint_netlist
+from ..core.config import SimConfig
+from ..core.results import SimulationResult
+from ..core.waveform import Waveform
+from ..netlist import Netlist
+from ..sdf.annotate import DelayAnnotation
+
+
+class ServiceError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when submitting to a closed service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the bounded request queue cannot admit a request."""
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One re-simulation request.
+
+    ``backend`` is a registry spec (``"gatspi"``,
+    ``"gatspi-sharded:shards=4"``, ``"event"``, ...); one of ``cycles`` /
+    ``duration`` must be given, exactly as for :meth:`Session.run`.
+    ``tag`` is opaque client bookkeeping echoed back on the response.
+    """
+
+    netlist: Netlist
+    stimulus: Mapping[str, Waveform]
+    backend: str = "gatspi"
+    annotation: Optional[DelayAnnotation] = None
+    config: Optional[SimConfig] = None
+    cycles: Optional[int] = None
+    duration: Optional[int] = None
+    tag: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """A completed request: the simulation result plus serving telemetry."""
+
+    result: SimulationResult
+    backend: str
+    session_key: str
+    #: Seconds spent queued before a worker picked the request up.
+    queue_seconds: float
+    #: Seconds the session run itself took on the worker.
+    run_seconds: float
+    #: Requests in the micro-batch this one was dispatched with.
+    batch_size: int
+    #: Whether the prepared session came from the service's session cache.
+    session_reused: bool
+    #: Whether the request executed inside a fused (batched) engine run.
+    fused: bool = False
+    tag: Optional[str] = None
+
+
+@dataclass
+class _QueueItem:
+    request: ServeRequest
+    future: "Future[ServeResponse]"
+    key: str
+    enqueued_at: float
+    batch_size: int = 1
+
+
+_SHUTDOWN = object()
+
+
+def session_key(request: ServeRequest) -> str:
+    """Content-based identity of the prepared session a request needs.
+
+    Built from the same netlist/annotation fingerprints the compile cache
+    uses, so two structurally identical designs submitted as different
+    objects batch onto one session; the backend spec and config are part
+    of the key because they select the engine and its executors.
+    """
+    netlist_fp = fingerprint_netlist(request.netlist)
+    annotation_fp = (
+        fingerprint_annotation(request.annotation, request.netlist)
+        if request.annotation is not None
+        else "default"
+    )
+    # ``config=None`` means the backend's default config, so it must key
+    # identically to an explicitly passed ``SimConfig()`` — otherwise
+    # semantically identical requests would never batch together.
+    config_fp = repr(request.config if request.config is not None else SimConfig())
+    return "|".join((request.backend, netlist_fp, annotation_fp, config_fp))
+
+
+class SimulationService:
+    """Concurrent simulation serving over the backend registry.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker threads executing micro-batches (distinct designs run in
+        parallel up to this bound).
+    queue_size:
+        Admission bound: at most this many requests may be queued and not
+        yet dispatched; further ``submit`` calls block or fail fast.
+    session_cache_size:
+        Prepared sessions kept warm (LRU).  Eviction only drops the
+        session object — compiled artifacts stay in the compile cache.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        queue_size: int = 64,
+        session_cache_size: int = 8,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be at least 1")
+        if session_cache_size < 1:
+            raise ValueError("session_cache_size must be at least 1")
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        # Caps requests that are dispatched but not yet finished, so the
+        # bounded queue — not the executor's unbounded internal queue — is
+        # where overload accumulates.  One permit per in-flight request,
+        # released on completion/failure/cancellation.
+        self._inflight = threading.Semaphore(2 * max_workers)
+        # Per-key accumulation: while a batch for a session key executes,
+        # later arrivals for that key collect in ``_pending_groups`` and
+        # dispatch as ONE batch when the key frees up — this is what lets
+        # steady concurrent traffic fuse instead of convoying one by one
+        # on the session lock.
+        self._group_lock = threading.Lock()
+        self._pending_groups: Dict[str, List[_QueueItem]] = {}
+        self._active_keys: set = set()
+        # key -> prepared Session.  At most one batch per key executes at
+        # a time (_run_group's active-key bookkeeping), so a key is never
+        # prepared twice concurrently.
+        self._sessions: "OrderedDict[str, Any]" = OrderedDict()
+        self._session_cache_size = session_cache_size
+        self._session_lock = threading.RLock()
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "rejected": 0,
+            "batches": 0,
+            "max_batch_size": 0,
+            "fused_fallbacks": 0,
+            "session_hits": 0,
+            "session_misses": 0,
+            "max_queue_depth": 0,
+        }
+        self._closed = False
+        self._closed_lock = threading.Lock()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: ServeRequest,
+        *,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> "Future[ServeResponse]":
+        """Enqueue a request; returns a future resolving to a response.
+
+        Blocks while the bounded queue is full (back-pressure) unless
+        ``block=False`` or ``timeout`` is given, in which case a full
+        queue raises :class:`ServiceOverloadedError`.  The returned
+        future may be ``cancel()``-ed while the request is still queued.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if request.cycles is None and request.duration is None:
+            raise ValueError("one of cycles/duration must be provided")
+        item = _QueueItem(
+            request=request,
+            future=Future(),
+            key=session_key(request),
+            enqueued_at=time.perf_counter(),
+        )
+        try:
+            self._queue.put(item, block=block, timeout=timeout)
+        except queue.Full:
+            self._bump("rejected")
+            raise ServiceOverloadedError(
+                f"request queue is full ({self._queue.maxsize} pending)"
+            ) from None
+        if self._closed and item.future.cancel():
+            # close() raced past between the closed-check and the put; the
+            # dispatcher may already be gone, so reclaim the item (a failed
+            # cancel means some consumer owns it and will resolve it).
+            self._bump("rejected")
+            raise ServiceClosedError("service is closed")
+        self._bump("submitted")
+        with self._stats_lock:
+            self._stats["max_queue_depth"] = max(
+                self._stats["max_queue_depth"], self._queue.qsize()
+            )
+        return item.future
+
+    def run(self, request: ServeRequest, timeout: Optional[float] = None) -> ServeResponse:
+        """Synchronous convenience: ``submit`` and wait for the response."""
+        return self.submit(request).result(timeout=timeout)
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the service counters (plus current queue depth)."""
+        with self._stats_lock:
+            snapshot = dict(self._stats)
+        snapshot["queue_depth"] = self._queue.qsize()
+        with self._session_lock:
+            snapshot["cached_sessions"] = len(self._sessions)
+        return snapshot
+
+    def close(self) -> None:
+        """Drain the queue, finish in-flight work, and stop the service.
+
+        Already-queued requests are still executed; new ``submit`` calls
+        fail with :class:`ServiceClosedError`.  Idempotent.
+        """
+        with self._closed_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._dispatcher.join()
+        # A submit that raced past the closed-check may have enqueued
+        # behind the shutdown sentinel; the dispatcher is gone, so fail
+        # those futures here instead of leaving them to hang forever.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_exception(
+                    ServiceClosedError("service is closed")
+                )
+            self._bump("rejected")
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        """Pull queued requests, micro-batch by session key, dispatch.
+
+        Each pulled request holds one in-flight permit (acquired before
+        the queue ``get``, released when the request finishes), so with
+        saturated workers the loop stalls here and overload surfaces as
+        a full queue at ``submit`` time.
+        """
+        shutting_down = False
+        while not shutting_down:
+            self._inflight.acquire()
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._inflight.release()
+                break
+            batch: List[_QueueItem] = [item]
+            # Opportunistically widen the micro-batch with whatever is
+            # both queued and admissible right now.
+            while self._inflight.acquire(blocking=False):
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    self._inflight.release()
+                    break
+                if extra is _SHUTDOWN:
+                    self._inflight.release()
+                    shutting_down = True
+                    break
+                batch.append(extra)
+            ready: "OrderedDict[str, List[_QueueItem]]" = OrderedDict()
+            with self._group_lock:
+                for queued in batch:
+                    self._pending_groups.setdefault(queued.key, []).append(
+                        queued
+                    )
+                for key in list(self._pending_groups):
+                    if key not in self._active_keys:
+                        self._active_keys.add(key)
+                        ready[key] = self._pending_groups.pop(key)
+            for key, items in ready.items():
+                self._executor.submit(self._run_group, key, items)
+
+    def _run_group(self, key: str, items: List[_QueueItem]) -> None:
+        """Execute one batch for ``key``, then chain any accumulated work.
+
+        The key stays marked active until its pending list is empty, so
+        requests arriving during execution coalesce into the *next* batch
+        instead of queueing individually behind the session lock.
+        """
+        for queued in items:
+            queued.batch_size = len(items)
+        with self._stats_lock:
+            self._stats["batches"] += 1
+            self._stats["max_batch_size"] = max(
+                self._stats["max_batch_size"], len(items)
+            )
+        try:
+            self._execute_batch(key, items)
+        finally:
+            with self._group_lock:
+                more = self._pending_groups.pop(key, None)
+                if more is None:
+                    self._active_keys.discard(key)
+            if more is not None:
+                try:
+                    self._executor.submit(self._run_group, key, more)
+                except RuntimeError:
+                    # Executor already shutting down (close() drains):
+                    # run the chained batch inline on this worker.
+                    self._run_group(key, more)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _session_for(self, key: str, request: ServeRequest) -> Tuple[Any, bool]:
+        """The one prepared session for ``key`` (preparing it on a miss).
+
+        Batches for one key are serialized by ``_run_group``'s active-key
+        bookkeeping, so at most one thread ever prepares a given key; the
+        ``prepare()`` itself runs outside the session lock, so a slow
+        compile of one design never stalls lookups for the others.  A
+        failed prepare caches nothing — the next request for the key
+        retries.  Returns ``(session, reused)``.
+        """
+        with self._session_lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                self._bump("session_hits")
+                return session, True
+            self._bump("session_misses")
+        backend, options = resolve_backend(request.backend)
+        session = backend.prepare(
+            request.netlist,
+            annotation=request.annotation,
+            config=request.config,
+            **options,
+        )
+        with self._session_lock:
+            self._sessions[key] = session
+            self._sessions.move_to_end(key)
+            while len(self._sessions) > self._session_cache_size:
+                self._sessions.popitem(last=False)
+        return session, False
+
+    def _execute_batch(self, key: str, items: List[_QueueItem]) -> None:
+        """Run one micro-batch on its shared prepared session.
+
+        Every item releases its in-flight permit exactly once, whatever
+        its outcome (completed, failed, cancelled, prepare error).
+        """
+        try:
+            session, reused = self._session_for(key, items[0].request)
+        except BaseException as exc:
+            for queued in items:
+                if queued.future.set_running_or_notify_cancel():
+                    queued.future.set_exception(exc)
+                self._bump("failed")
+                self._inflight.release()
+            return
+        live: List[_QueueItem] = []
+        for queued in items:
+            if queued.future.set_running_or_notify_cancel():
+                live.append(queued)
+            else:  # cancelled while queued
+                self._inflight.release()
+        if not live:
+            return
+        run_many = getattr(session, "run_many", None)
+        if run_many is not None and len(live) > 1:
+            if self._execute_fused(key, run_many, live, reused):
+                return
+        for queued in live:
+            try:
+                picked_up = time.perf_counter()
+                request = queued.request
+                try:
+                    result = session.run(
+                        request.stimulus,
+                        cycles=request.cycles,
+                        duration=request.duration,
+                    )
+                except BaseException as exc:
+                    queued.future.set_exception(exc)
+                    self._bump("failed")
+                    continue
+                done = time.perf_counter()
+                queued.future.set_result(
+                    ServeResponse(
+                        result=result,
+                        backend=request.backend,
+                        session_key=key,
+                        queue_seconds=picked_up - queued.enqueued_at,
+                        run_seconds=done - picked_up,
+                        batch_size=queued.batch_size,
+                        session_reused=reused,
+                        tag=request.tag,
+                    )
+                )
+                self._bump("completed")
+                # Later requests of the batch ran on a session the batch
+                # itself warmed up.
+                reused = True
+            finally:
+                self._inflight.release()
+
+    def _execute_fused(
+        self, key: str, run_many, live: List[_QueueItem], reused: bool
+    ) -> bool:
+        """Execute a micro-batch as one fused session run.
+
+        Returns ``False`` — with no future resolved and no permit
+        released — when the batched run raises, so the caller can fall
+        back to per-request execution and keep failures isolated to the
+        request that caused them.
+        """
+        from ..api.sharded import RunSpec
+
+        picked_up = time.perf_counter()
+        try:
+            results = run_many(
+                [
+                    RunSpec(
+                        stimulus=queued.request.stimulus,
+                        cycles=queued.request.cycles,
+                        duration=queued.request.duration,
+                    )
+                    for queued in live
+                ]
+            )
+        except Exception:
+            # Isolation: re-run the batch serially so only the request
+            # that actually fails resolves with its exception.  Counted so
+            # a systematically failing fused path is observable in stats
+            # instead of degrading silently.
+            self._bump("fused_fallbacks")
+            return False
+        wall = time.perf_counter() - picked_up
+        for queued, result in zip(live, results):
+            queued.future.set_result(
+                ServeResponse(
+                    result=result,
+                    backend=queued.request.backend,
+                    session_key=key,
+                    queue_seconds=picked_up - queued.enqueued_at,
+                    # The batch executed jointly; attribute the wall time
+                    # evenly, matching the fused stats attribution.
+                    run_seconds=wall / len(live),
+                    batch_size=queued.batch_size,
+                    session_reused=reused,
+                    fused=result.stats.fused_requests > 1,
+                    tag=queued.request.tag,
+                )
+            )
+            self._bump("completed")
+            self._inflight.release()
+        return True
+
+    def _bump(self, counter: str) -> None:
+        with self._stats_lock:
+            self._stats[counter] += 1

@@ -81,8 +81,18 @@ def save_vcd(waveforms: Mapping[str, Waveform], path: str, **kwargs) -> None:
 
 
 _VAR = re.compile(r"\$var\s+\w+\s+(\d+)\s+(\S+)\s+(.+?)\s*(?:\[\d+(?::\d+)?\])?\s+\$end")
+_SCOPE = re.compile(r"\$scope\s+\w+\s+(\S+)\s+\$end")
 _TIME = re.compile(r"^#(\d+)")
 _SCALAR = re.compile(r"^([01xzXZ])(\S+)$")
+# Vector-format dump of a value change: ``b<binary> <code>``.  Many real
+# tools (Icarus, Verilator, VCS) emit this form even for 1-bit variables,
+# where the VCD grammar also allows the compact scalar form.
+_VECTOR = re.compile(r"^[bB]([01xzXZ]+)\s+(\S+)$")
+
+
+def _vector_bit(bits: str) -> int:
+    """The LSB of a binary vector-format value, with x/z mapped to 0."""
+    return 1 if bits[-1] == "1" else 0
 
 
 def parse_vcd(text: str) -> Dict[str, Waveform]:
@@ -90,8 +100,22 @@ def parse_vcd(text: str) -> Dict[str, Waveform]:
 
     ``x``/``z`` values are mapped to 0 (GATSPI is a 2-value simulator, and
     re-simulation for power rarely encounters unknowns, as the paper notes).
+
+    Value changes are accepted in both forms the VCD grammar allows for
+    1-bit variables: the compact scalar form (``1<code>``) and the
+    vector form (``b1 <code>``) that many real tools emit.  Variables are
+    keyed by their declared name when that name is unique; two ``$var``
+    declarations sharing a name in *different* scopes are disambiguated by
+    their dotted scope path (``top.u0.clk`` / ``top.u1.clk``) instead of
+    being silently merged into one interleaved change list.  A repeated
+    ``$var`` for an identifier code already seen is the VCD aliasing idiom
+    (one signal visible in several scopes) and maps to the first declared
+    name.
     """
-    code_to_name: Dict[str, str] = {}
+    # code -> (scope-qualified path, bare name); first declaration wins so
+    # aliases (same code re-declared in another scope) stay one signal.
+    declarations: Dict[str, Tuple[str, str]] = {}
+    scope_stack: List[str] = []
     in_definitions = True
     current_time = 0
     changes: Dict[str, List[Tuple[int, int]]] = {}
@@ -109,7 +133,19 @@ def parse_vcd(text: str) -> Dict[str, Waveform]:
                         f"only scalar (1-bit) signals are supported, {name!r} "
                         f"has width {width}"
                     )
-                code_to_name[code] = name.strip()
+                if code not in declarations:
+                    name = name.strip()
+                    declarations[code] = (
+                        ".".join(scope_stack + [name]), name
+                    )
+                continue
+            scope = _SCOPE.search(line)
+            if scope:
+                scope_stack.append(scope.group(1))
+                continue
+            if "$upscope" in line:
+                if scope_stack:
+                    scope_stack.pop()
                 continue
             if "$enddefinitions" in line:
                 in_definitions = False
@@ -118,24 +154,48 @@ def parse_vcd(text: str) -> Dict[str, Waveform]:
         if time_match:
             current_time = int(time_match.group(1))
             continue
+        vector = _VECTOR.match(line)
+        if vector:
+            bits, code = vector.group(1), vector.group(2)
+            if code in declarations:
+                changes.setdefault(code, []).append(
+                    (current_time, _vector_bit(bits))
+                )
+            continue
         if line.startswith("$"):
             continue
         scalar = _SCALAR.match(line)
         if scalar:
             value_char, code = scalar.group(1), scalar.group(2)
-            if code not in code_to_name:
+            if code not in declarations:
                 continue
             value = 1 if value_char == "1" else 0
-            name = code_to_name[code]
-            changes.setdefault(name, []).append((current_time, value))
+            changes.setdefault(code, []).append((current_time, value))
+
+    # Resolve output names: bare names when unique, dotted scope paths for
+    # names declared in several scopes.
+    bare_counts: Dict[str, int] = {}
+    for path, bare in declarations.values():
+        bare_counts[bare] = bare_counts.get(bare, 0) + 1
+    code_to_name: Dict[str, str] = {}
+    resolved_names = set()
+    for code, (path, bare) in declarations.items():
+        resolved = bare if bare_counts[bare] == 1 else path
+        if resolved in resolved_names:
+            raise VcdError(
+                f"duplicate VCD variable {resolved!r}: two $var declarations "
+                f"share both name and scope"
+            )
+        resolved_names.add(resolved)
+        code_to_name[code] = resolved
 
     waveforms: Dict[str, Waveform] = {}
-    for name, change_list in changes.items():
+    for code, change_list in changes.items():
         if not change_list:
             continue
         if change_list[0][0] != 0:
             change_list.insert(0, (0, 0))
-        waveforms[name] = Waveform.from_changes(change_list)
+        waveforms[code_to_name[code]] = Waveform.from_changes(change_list)
     for code, name in code_to_name.items():
         if name not in waveforms:
             waveforms[name] = Waveform.constant(0)

@@ -19,7 +19,9 @@ from repro.testing import build_random_netlist, build_random_stimulus
 
 DURATION = 4000
 CONFIG = SimConfig(clock_period=500, cycle_parallelism=4)
-BUILTIN_BACKENDS = ("event", "gatspi", "threaded-cpu", "zero-delay")
+BUILTIN_BACKENDS = (
+    "event", "gatspi", "gatspi-sharded", "threaded-cpu", "zero-delay"
+)
 
 
 @pytest.fixture(scope="module")
@@ -135,6 +137,26 @@ class TestSessionContract:
         assert get_backend("event").capabilities.glitch_accurate
         assert not get_backend("zero-delay").capabilities.delay_aware
 
+    def test_sharded_backend_adapts_to_available_parallelism(self, design):
+        """``shards`` is a cap: the default width follows ``os.cpu_count``.
+
+        Pinning ``workers`` forces the requested partition count, which
+        is how the differential suite exercises real sharding anywhere.
+        """
+        import os
+
+        netlist, annotation, _ = design
+        backend = get_backend("gatspi-sharded")
+        adaptive = backend.prepare(netlist, annotation=annotation, config=CONFIG)
+        assert adaptive.requested_shards == 4
+        assert adaptive.shard_count == min(4, os.cpu_count() or 1)
+        assert adaptive.worker_count == adaptive.shard_count
+        pinned = backend.prepare(
+            netlist, annotation=annotation, config=CONFIG, shards=4, workers=2
+        )
+        assert pinned.shard_count == 4
+        assert pinned.worker_count == 2
+
     def test_threaded_cpu_session_keeps_report(self, design):
         netlist, annotation, stimulus = design
         session = get_backend("threaded-cpu").prepare(
@@ -144,6 +166,82 @@ class TestSessionContract:
         session.run(stimulus, cycles=4)
         assert session.last_report is not None
         assert session.last_report.num_workers == 4
+
+
+@pytest.mark.concurrency
+class TestSessionConcurrency:
+    """Regressions for the unsynchronized ``Session.run`` critical section.
+
+    Before the per-session lock, concurrent ``run()`` calls raced on the
+    ``_runs_completed`` counter *and* on backend-internal per-run state —
+    the event-driven engine mutates its gate states in place during a
+    run, so two interleaved runs corrupt each other's waveforms outright.
+    """
+
+    @pytest.fixture(autouse=True)
+    def tight_switch_interval(self):
+        import sys
+
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        yield
+        sys.setswitchinterval(old)
+
+    @pytest.mark.parametrize("backend_name", ["event", "gatspi"])
+    def test_concurrent_runs_stay_consistent(self, backend_name, design):
+        from concurrent.futures import ThreadPoolExecutor
+
+        netlist, annotation, stimulus = design
+        backend = get_backend(backend_name)
+        reference = backend.prepare(
+            netlist, annotation=annotation, config=CONFIG
+        ).run(stimulus, duration=DURATION)
+
+        session = backend.prepare(netlist, annotation=annotation, config=CONFIG)
+        attempts = 12
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(
+                pool.map(
+                    lambda _: session.run(stimulus, duration=DURATION),
+                    range(attempts),
+                )
+            )
+        # No lost counter increments.
+        assert session.runs_completed == attempts
+        # Every concurrent run produced the serial result, with uniformly
+        # finalized stats.
+        for result in results:
+            assert result.toggle_counts == reference.toggle_counts
+            assert result.stats.cycles == reference.stats.cycles
+            assert result.stats.gate_count == netlist.gate_count
+            assert result.stats.input_events == reference.stats.input_events
+
+    def test_concurrent_runs_with_distinct_stimuli(self, design):
+        """Interleaved runs with different stimuli keep their own answers."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        netlist, annotation, _ = design
+        backend = get_backend("gatspi")
+        stimuli = [
+            build_random_stimulus(netlist, DURATION, seed=1000 + i)
+            for i in range(6)
+        ]
+        expected = [
+            backend.prepare(netlist, annotation=annotation, config=CONFIG).run(
+                stim, duration=DURATION
+            ).toggle_counts
+            for stim in stimuli
+        ]
+        session = backend.prepare(netlist, annotation=annotation, config=CONFIG)
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(
+                pool.map(
+                    lambda stim: session.run(stim, duration=DURATION), stimuli
+                )
+            )
+        for result, counts in zip(results, expected):
+            assert result.toggle_counts == counts
+        assert session.runs_completed == len(stimuli)
 
 
 class TestCrossBackendEquivalence:

@@ -11,6 +11,8 @@ bit-identical whether they came from the cache or a fresh build.
 from __future__ import annotations
 
 import copy
+import sys
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -146,6 +148,20 @@ class TestCacheInvalidation:
         assert not engine.compile_cache_hit
         assert cache_info()["size"] == 0
 
+    def test_store_respects_capacity_after_concurrent_shrink(self):
+        from repro.core import set_compile_cache_capacity
+        from repro.core.compile_cache import COMPILE_CACHE_CAPACITY
+
+        try:
+            set_compile_cache_capacity(2)
+            for seed in (1, 2):
+                netlist, annotation = _design(seed=seed)
+                GatspiEngine(netlist, annotation=annotation).compile()
+            set_compile_cache_capacity(1)
+            assert cache_info()["size"] == 1
+        finally:
+            set_compile_cache_capacity(COMPILE_CACHE_CAPACITY)
+
     def test_recompile_still_clears_stale_gate_inputs(self):
         """The cached mapping is copied per compile, so engine-local
         mutations (the PR 1 regression scenario) never leak back."""
@@ -160,3 +176,213 @@ class TestCacheInvalidation:
         assert engine.compile_cache_hit
         assert "stale_gate" not in engine._gate_inputs
         assert set(engine._gate_inputs) == expected
+
+
+@pytest.mark.concurrency
+class TestCacheConcurrency:
+    """Regressions for the unlocked module-global cache.
+
+    Before the cache operations were serialized under ``_LOCK``,
+    concurrent ``prepare()`` calls raced on the ``OrderedDict``
+    (``move_to_end`` / insertion / the eviction loop): the LRU could
+    corrupt, ``popitem`` could double-evict into a ``KeyError``, and the
+    hit/miss counters could lose updates.  These tests hammer exactly
+    those paths from a ``ThreadPoolExecutor``; they are probabilistic by
+    nature, so they maximize interleavings with a tiny switch interval
+    and a capacity small enough that every store evicts.
+    """
+
+    @pytest.fixture(autouse=True)
+    def tight_switch_interval(self):
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        yield
+        sys.setswitchinterval(old)
+
+    def test_concurrent_prepare_hammer(self):
+        """Many threads preparing overlapping designs under eviction."""
+        from repro.api import get_backend
+        from repro.core import set_compile_cache_capacity
+        from repro.core.compile_cache import COMPILE_CACHE_CAPACITY
+
+        designs = [_design(seed=seed) for seed in range(6)]
+        backend = get_backend("gatspi")
+        attempts = 48
+
+        def prepare_one(index: int):
+            netlist, annotation = designs[index % len(designs)]
+            session = backend.prepare(netlist, annotation=annotation)
+            return session.engine.packed_design is not None
+
+        try:
+            # Capacity below the design count: every miss evicts, so the
+            # store/evict path races against lookups and other stores.
+            set_compile_cache_capacity(3)
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                assert all(pool.map(prepare_one, range(attempts)))
+            info = cache_info()
+            assert info["size"] <= 3
+            # Every prepare consulted the cache exactly once; a lost
+            # counter update means the mutation raced.
+            assert info["hits"] + info["misses"] == attempts
+        finally:
+            set_compile_cache_capacity(COMPILE_CACHE_CAPACITY)
+
+    def test_cache_primitive_ops_race_free(self):
+        """Direct lookup/store hammer on the cache primitives.
+
+        Two keys against capacity 1 makes every store an eviction, so the
+        unlocked code's ``get``/``move_to_end`` window raises ``KeyError``
+        when the looked-up entry is evicted mid-refresh, and the unlocked
+        ``_HITS``/``_MISSES`` increments lose a measurable fraction of
+        their updates (~5% at this contention on CPython 3.11).  With the
+        lock both failure modes vanish: no exceptions, and the counters
+        exactly conserve the number of lookups.
+        """
+        import sys as _sys
+
+        from repro.core import compile_cache as cc
+        from repro.core import set_compile_cache_capacity
+        from repro.core.compile_cache import COMPILE_CACHE_CAPACITY
+
+        sentinel = cc.CompiledArtifacts(
+            compiled=None,
+            gate_inputs={},
+            packed=None,
+            readback_net_ids=None,
+            source_net_ids=None,
+            estimated_path_delay=0,
+        )
+        keys = ("design-a", "design-b")
+        lookups_per_worker = 40_000
+        workers = 6
+        old_interval = _sys.getswitchinterval()
+
+        def worker(worker_index: int) -> int:
+            for step in range(lookups_per_worker):
+                key = keys[(worker_index + step) % 2]
+                if cc.lookup(key) is None:
+                    cc.store(key, sentinel)
+            return lookups_per_worker
+
+        try:
+            _sys.setswitchinterval(1e-6)
+            set_compile_cache_capacity(1)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # ``result()`` re-raises the unlocked code's KeyError.
+                total_lookups = sum(
+                    pool.map(worker, range(workers))
+                )
+            info = cache_info()
+            assert info["size"] <= 1
+            assert info["hits"] + info["misses"] == total_lookups, (
+                f"hit/miss counters lost "
+                f"{total_lookups - info['hits'] - info['misses']} updates "
+                f"under concurrency"
+            )
+        finally:
+            _sys.setswitchinterval(old_interval)
+            set_compile_cache_capacity(COMPILE_CACHE_CAPACITY)
+            cc.clear_compile_cache()
+
+    def test_lru_refresh_is_atomic_with_eviction(self, monkeypatch):
+        """Deterministic injection of the exact pre-fix interleaving.
+
+        A lookup's LRU refresh is a dict read followed by
+        ``move_to_end``; a concurrent store at capacity evicts the
+        least-recently-used entry.  Unlocked, the eviction can land
+        between the two halves of the refresh and ``move_to_end`` raises
+        ``KeyError`` — the LRU-corruption crash.  The instrumented cache
+        holds the window open on an event so the interleaving is forced
+        every run: with the cache lock the store must wait for the whole
+        refresh, so the lookup completes and returns the entry.
+        """
+        import threading
+        from collections import OrderedDict
+
+        from repro.core import compile_cache as cc
+        from repro.core import set_compile_cache_capacity
+        from repro.core.compile_cache import COMPILE_CACHE_CAPACITY
+
+        in_window = threading.Event()
+        proceed = threading.Event()
+
+        class InstrumentedCache(OrderedDict):
+            def get(self, key, default=None):
+                value = super().get(key, default)
+                if key == "a" and value is not None and not in_window.is_set():
+                    in_window.set()
+                    proceed.wait(timeout=0.5)
+                return value
+
+        monkeypatch.setattr(cc, "_CACHE", InstrumentedCache())
+        sentinel = cc.CompiledArtifacts(
+            compiled=None,
+            gate_inputs={},
+            packed=None,
+            readback_net_ids=None,
+            source_net_ids=None,
+            estimated_path_delay=0,
+        )
+        outcome = {}
+
+        def refresher():
+            try:
+                outcome["value"] = cc.lookup("a")
+            except KeyError as exc:  # the pre-fix crash
+                outcome["error"] = exc
+
+        try:
+            set_compile_cache_capacity(1)
+            cc.store("a", sentinel)
+            thread = threading.Thread(target=refresher)
+            thread.start()
+            assert in_window.wait(timeout=1.0), "lookup never reached the cache"
+            # At capacity 1 this store evicts "a".  Unlocked it runs inside
+            # the open refresh window; locked it blocks until the refresh
+            # is done.
+            cc.store("b", sentinel)
+            proceed.set()
+            thread.join(timeout=2.0)
+            assert not thread.is_alive()
+            assert "error" not in outcome, (
+                f"LRU refresh raced the eviction: {outcome['error']!r}"
+            )
+            assert outcome["value"] is sentinel
+        finally:
+            proceed.set()
+            set_compile_cache_capacity(COMPILE_CACHE_CAPACITY)
+
+    def test_concurrent_capacity_churn_and_prepare(self):
+        """Shrinking/growing capacity while other threads prepare.
+
+        The eviction loop in ``set_compile_cache_capacity`` iterates
+        ``popitem(last=False)``; racing it against concurrent stores used
+        to double-evict (``KeyError``) or leave the cache over capacity.
+        """
+        from repro.api import get_backend
+        from repro.core import set_compile_cache_capacity
+        from repro.core.compile_cache import COMPILE_CACHE_CAPACITY
+
+        designs = [_design(seed=seed) for seed in range(5)]
+        backend = get_backend("gatspi")
+
+        def prepare_loop(index: int):
+            for _ in range(4):
+                netlist, annotation = designs[index % len(designs)]
+                backend.prepare(netlist, annotation=annotation)
+
+        def churn_loop(_):
+            for capacity in (1, 4, 2, 5, 1, 3):
+                set_compile_cache_capacity(capacity)
+
+        try:
+            with ThreadPoolExecutor(max_workers=10) as pool:
+                workers = [pool.submit(prepare_loop, i) for i in range(8)]
+                churners = [pool.submit(churn_loop, i) for i in range(2)]
+                for future in workers + churners:
+                    future.result()
+            # The last capacity set by a churner is 3.
+            assert cache_info()["size"] <= 3
+        finally:
+            set_compile_cache_capacity(COMPILE_CACHE_CAPACITY)

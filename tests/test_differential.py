@@ -293,3 +293,238 @@ def test_differential_without_stored_waveforms(device):
     reference, vector = _oracle_pair(netlist, annotation, stimulus, device, config=config)
     assert not vector.waveforms and not reference.waveforms
     assert vector.toggle_counts == reference.toggle_counts
+
+
+# ----------------------------------------------------------------------
+# The window-axis sharded backend vs the single-session pipeline
+# ----------------------------------------------------------------------
+#: Shard counts the sharded backend is held bit-identical at.
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _sharded_pair(netlist, annotation, stimulus, shards, config=None,
+                  duration=DURATION):
+    # ``workers`` is pinned so the requested partition count is exercised
+    # for real on any machine (the adaptive default narrows to the
+    # available cores, down to a single-session passthrough).
+    reference = _run(
+        "gatspi", netlist, annotation, stimulus, config=config,
+        duration=duration,
+    )
+    candidate = _run(
+        f"gatspi-sharded:shards={shards},workers={shards}",
+        netlist, annotation, stimulus, config=config, duration=duration,
+    )
+    return reference, candidate
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("seed", range(3))
+def test_sharded_backend_bit_identical_random_designs(seed, shards):
+    """``gatspi-sharded`` merges shares back to the single-session result.
+
+    Shares are margin-extended, trimmed, and stitched through the
+    engine's own seam rules, so toggle counts *and* waveforms must be
+    bit-identical at every shard count on the random-stimulus zoo.
+    """
+    netlist, annotation = _prepare_design(seed)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 70)
+    reference, candidate = _sharded_pair(netlist, annotation, stimulus, shards)
+    assert candidate.stats.shards == shards
+    _assert_bit_identical(
+        reference, candidate, f"sharded seed={seed} shards={shards}"
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_backend_boundary_events(shards):
+    """Events on/±1 around shard *and* window boundaries stay exact."""
+    netlist, annotation = _prepare_design(4, num_gates=30)
+    config = SimConfig(cycle_parallelism=8)
+    window_length = -(-DURATION // config.cycle_parallelism)
+    stimulus = build_boundary_stimulus(netlist, DURATION, window_length, seed=3)
+    reference, candidate = _sharded_pair(
+        netlist, annotation, stimulus, shards, config=config
+    )
+    _assert_bit_identical(reference, candidate, f"sharded boundary shards={shards}")
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_backend_sparse_and_constant_nets(shards):
+    """Empty shards and constant nets merge exactly."""
+    netlist, annotation = _prepare_design(6, num_gates=30)
+    stimulus = build_sparse_stimulus(netlist, DURATION, seed=6)
+    reference, candidate = _sharded_pair(netlist, annotation, stimulus, shards)
+    _assert_bit_identical(reference, candidate, f"sharded sparse shards={shards}")
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_sharded_backend_segment_splits(shards):
+    """Pool overflow inside a share splits segments without divergence."""
+    netlist, annotation = _prepare_design(1, num_gates=24)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=6)
+    config = SimConfig(cycle_parallelism=16, device_memory_gb=2e-5)
+    reference, candidate = _sharded_pair(
+        netlist, annotation, stimulus, shards, config=config
+    )
+    assert candidate.stats.segments >= shards
+    _assert_bit_identical(reference, candidate, f"sharded segments shards={shards}")
+
+
+def test_sharded_backend_without_stored_waveforms():
+    """Counts-only mode merges through exact share stitching.
+
+    The sharded backend always stitches internally (exact merging needs
+    the share waveforms), so its counts-only results equal the
+    *waveform-mode* counts — seam toggles counted exactly once — rather
+    than the engine's counts-only shortcut of summing per-window trimmed
+    counts (which the engine documents as seam-approximate).
+    """
+    netlist, annotation = _prepare_design(11)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=42)
+    config = SimConfig(store_waveforms=False, cycle_parallelism=8)
+    exact = _run(
+        "gatspi", netlist, annotation, stimulus,
+        config=config.with_updates(store_waveforms=True),
+    )
+    candidate = _run(
+        "gatspi-sharded:shards=4,workers=4", netlist, annotation, stimulus,
+        config=config,
+    )
+    assert not candidate.waveforms
+    assert candidate.toggle_counts == exact.toggle_counts
+
+
+# ----------------------------------------------------------------------
+# Batched-run fusion (run_many) vs standalone runs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec", [
+    "gatspi-sharded:shards=1",            # single-session passthrough
+    "gatspi-sharded:shards=2,workers=2",  # fused run, then 2-way sharded
+])
+def test_run_many_fusion_bit_identical_to_standalone(spec):
+    """A fused batch slices apart into the standalone per-request results.
+
+    Requests of different durations and initial values are laid out on
+    one time axis with settle pads; every toggle count and waveform —
+    including each request's propagation tail — must equal the
+    single-request runs bit for bit.
+    """
+    from repro.api import RunSpec
+
+    netlist, annotation = _prepare_design(7)
+    batch = [
+        (build_random_stimulus(netlist, DURATION, seed=31), DURATION),
+        (build_sparse_stimulus(netlist, 16_000, seed=32), 16_000),
+        (build_random_stimulus(netlist, 20_000, seed=33), 20_000),
+    ]
+    backend, options = resolve_backend(spec)
+    session = backend.prepare(netlist, annotation=annotation, **options)
+    fused = session.run_many(
+        [RunSpec(stimulus=s, duration=d) for s, d in batch]
+    )
+    assert [r.stats.fused_requests for r in fused] == [3, 3, 3]
+    single = resolve_backend("gatspi")[0].prepare(netlist, annotation=annotation)
+    for index, (stimulus, duration) in enumerate(batch):
+        reference = single.run(stimulus, duration=duration)
+        _assert_bit_identical(
+            reference, fused[index], f"{spec} fused request {index}"
+        )
+    assert session.runs_completed == len(batch)
+
+
+def test_run_many_fusion_clips_stimuli_longer_than_their_horizon():
+    """A reused long stimulus fuses exactly under shorter horizons.
+
+    Standalone runs simply never load toggles at or past the duration;
+    the fused layout must clip the same way — unclipped, a request's
+    tail toggles would spill into the settle pad (silently breaking
+    bit-identity) or past the next request's offset entirely (raising
+    from the waveform constructor).  Regression for both.
+    """
+    from repro.api import RunSpec
+
+    netlist, annotation = _prepare_design(9, num_gates=24)
+    long_stimulus = build_random_stimulus(netlist, DURATION, seed=44)
+    short = 2_000  # far below the last stimulus toggle
+    backend, options = resolve_backend("gatspi-sharded:shards=1")
+    session = backend.prepare(netlist, annotation=annotation, **options)
+    fused = session.run_many(
+        [RunSpec(stimulus=long_stimulus, duration=short) for _ in range(3)]
+    )
+    assert [r.stats.fused_requests for r in fused] == [3, 3, 3]
+    reference = _run(
+        "gatspi", netlist, annotation, long_stimulus, duration=short
+    )
+    for index, result in enumerate(fused):
+        _assert_bit_identical(reference, result, f"clipped fusion {index}")
+
+
+@pytest.mark.parametrize("overlap", [0, 7])
+def test_sharded_backend_degrades_to_passthrough_with_pinned_overlap(overlap):
+    """A user-pinned settle margin disables partitioning entirely.
+
+    A margin below the critical path makes window results
+    partition-dependent, so sharding under it would silently diverge
+    from single-session gatspi with the identical config (regression) —
+    the session must fall back to the single-shard passthrough and stay
+    bit-identical.
+    """
+    netlist, annotation = _prepare_design(8, num_gates=24)
+    stimulus = build_random_stimulus(netlist, 12_000, seed=9)
+    config = SimConfig(window_overlap=overlap, cycle_parallelism=8)
+    backend, options = resolve_backend("gatspi-sharded:shards=4,workers=4")
+    session = backend.prepare(netlist, annotation=annotation, config=config, **options)
+    assert session.shard_count == 1
+    candidate = session.run(stimulus, duration=12_000)
+    assert candidate.stats.shards == 1
+    reference = _run(
+        "gatspi", netlist, annotation, stimulus, config=config, duration=12_000
+    )
+    _assert_bit_identical(reference, candidate, f"pinned overlap={overlap}")
+
+
+def test_run_many_falls_back_to_serial_with_pinned_overlap():
+    """A user-pinned settle margin disables fusion but not batching."""
+    from repro.api import RunSpec
+
+    netlist, annotation = _prepare_design(7)
+    stimulus = build_random_stimulus(netlist, 12_000, seed=5)
+    config = SimConfig(window_overlap=64, cycle_parallelism=4)
+    backend, options = resolve_backend("gatspi-sharded:shards=1")
+    session = backend.prepare(netlist, annotation=annotation, config=config, **options)
+    results = session.run_many(
+        [RunSpec(stimulus=stimulus, duration=12_000) for _ in range(2)]
+    )
+    assert [r.stats.fused_requests for r in results] == [1, 1]
+    reference = _run(
+        "gatspi", netlist, annotation, stimulus, config=config, duration=12_000
+    )
+    for result in results:
+        _assert_bit_identical(reference, result, "serial fallback")
+
+
+def test_sharded_backend_scalar_oracle_executors():
+    """Sharding composes with the oracle executor options."""
+    netlist, annotation = _prepare_design(2, num_gates=20)
+    stimulus = build_random_stimulus(netlist, 8_000, seed=12)
+    reference = _run(
+        "gatspi", netlist, annotation, stimulus, duration=8_000
+    )
+    candidate = _run(
+        "gatspi-sharded:shards=2,workers=2,kernel=scalar,restructure=python",
+        netlist, annotation, stimulus, duration=8_000,
+    )
+    assert candidate.stats.kernel_mode == "scalar"
+    _assert_bit_identical(reference, candidate, "sharded scalar oracle")
+
+
+def test_sharded_backend_saif_criterion_against_event():
+    """The paper's accuracy criterion holds through the sharded path."""
+    netlist, annotation = _prepare_design(3, num_gates=28)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=21)
+    sharded = _run(
+        "gatspi-sharded:shards=4,workers=4", netlist, annotation, stimulus
+    )
+    event = _run("event", netlist, annotation, stimulus)
+    assert sharded.matches_toggle_counts(event), sharded.differing_nets(event)

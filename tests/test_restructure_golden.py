@@ -191,3 +191,43 @@ def test_engine_waveforms_match_golden(case, restructure, device):
         assert result.waveforms[net].to_list() == expected, (
             f"{case['name']}: net {net!r} ({restructure})"
         )
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_backend_matches_engine_golden(shards):
+    """``gatspi-sharded`` reproduces the frozen end-to-end waveforms.
+
+    Covers the ``default_overlap`` fixture only: its settle margin is
+    derived from the critical path, which is the invariant that makes
+    the merged result partition-independent.  The other engine fixtures
+    deliberately use insufficient margins (``window_overlap`` 0 / 5), so
+    their frozen bytes encode *single-partition* seam artifacts and are
+    not shard-invariant by construction.
+    """
+    from repro.api import resolve_backend
+
+    case = next(
+        c for c in GOLDEN["engine_cases"] if c["name"] == "default_overlap"
+    )
+    netlist = _golden_netlist()
+    annotation = annotation_from_design_delays(
+        netlist, UnitDelayModel(delay=10).build(netlist)
+    )
+    stimulus = {
+        net: Waveform.from_array(arr) for net, arr in case["stimulus"].items()
+    }
+    backend, options = resolve_backend(
+        f"gatspi-sharded:shards={shards},workers={shards}"
+    )
+    session = backend.prepare(
+        netlist, annotation=annotation, config=SimConfig(**case["config"]),
+        **options,
+    )
+    result = session.run(stimulus, duration=case["duration"])
+    assert dict(sorted(result.toggle_counts.items())) == (
+        case["expected_toggle_counts"]
+    )
+    for net, expected in case["expected_waveforms"].items():
+        assert result.waveforms[net].to_list() == expected, (
+            f"shards={shards}: net {net!r}"
+        )

@@ -1,0 +1,396 @@
+"""Tests for the concurrent serving front end (`repro.serve`).
+
+Covers the subsystem's contract surface — admission, micro-batching,
+session reuse, failure isolation, lifecycle — plus concurrency-marked
+stress holding concurrent mixed-design traffic to the serial reference
+results, through both the plain ``gatspi`` backend and the window-axis
+sharded ``gatspi-sharded`` backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import (
+    BackendCapabilities,
+    SimBackend,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core import SimConfig, clear_compile_cache
+from repro.sdf import SyntheticDelayModel, annotation_from_design_delays
+from repro.serve import (
+    ServeRequest,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SimulationService,
+)
+from repro.serve.service import session_key
+from repro.testing import build_random_netlist, build_random_stimulus
+
+DURATION = 6_000
+CONFIG = SimConfig(clock_period=500, cycle_parallelism=4)
+
+
+@pytest.fixture(autouse=True)
+def fresh_compile_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+def _design(seed: int, num_gates: int = 24):
+    netlist = build_random_netlist(num_inputs=5, num_gates=num_gates, seed=seed)
+    annotation = annotation_from_design_delays(
+        netlist, SyntheticDelayModel(seed=seed).build(netlist)
+    )
+    stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 100)
+    return netlist, annotation, stimulus
+
+
+def _request(seed: int, backend: str = "gatspi", tag=None) -> ServeRequest:
+    netlist, annotation, stimulus = _design(seed)
+    return ServeRequest(
+        netlist=netlist,
+        stimulus=stimulus,
+        backend=backend,
+        annotation=annotation,
+        config=CONFIG,
+        duration=DURATION,
+        tag=tag,
+    )
+
+
+class TestRequestRoundTrip:
+    def test_submit_resolves_to_response(self):
+        request = _request(1)
+        expected = (
+            get_backend("gatspi")
+            .prepare(request.netlist, annotation=request.annotation, config=CONFIG)
+            .run(request.stimulus, duration=DURATION)
+        )
+        with SimulationService(max_workers=2) as service:
+            response = service.submit(request).result(timeout=60)
+        assert response.result.toggle_counts == expected.toggle_counts
+        assert response.backend == "gatspi"
+        assert response.queue_seconds >= 0
+        assert response.run_seconds > 0
+        assert response.batch_size >= 1
+        assert not response.session_reused  # first request prepared it
+
+    def test_run_is_synchronous_submit(self):
+        request = _request(2, tag="sync")
+        with SimulationService(max_workers=1) as service:
+            response = service.run(request)
+        assert response.tag == "sync"
+        assert response.result.total_toggles() > 0
+
+    def test_missing_horizon_rejected_at_submit(self):
+        netlist, annotation, stimulus = _design(3)
+        with SimulationService(max_workers=1) as service:
+            with pytest.raises(ValueError):
+                service.submit(
+                    ServeRequest(
+                        netlist=netlist, stimulus=stimulus, annotation=annotation
+                    )
+                )
+
+    def test_sharded_backend_through_service_matches_single(self):
+        request = _request(4, backend="gatspi-sharded:shards=2,workers=2")
+        expected = (
+            get_backend("gatspi")
+            .prepare(request.netlist, annotation=request.annotation, config=CONFIG)
+            .run(request.stimulus, duration=DURATION)
+        )
+        with SimulationService(max_workers=2) as service:
+            response = service.run(request)
+        assert response.result.stats.shards == 2
+        assert response.result.toggle_counts == expected.toggle_counts
+        for net in expected.waveforms:
+            assert response.result.waveforms[net] == expected.waveforms[net]
+
+
+class TestMicroBatching:
+    def test_same_design_burst_shares_one_session(self):
+        request = _request(5)
+        with SimulationService(max_workers=2) as service:
+            futures = [service.submit(request) for _ in range(10)]
+            responses = [f.result(timeout=120) for f in futures]
+        stats = service.stats()
+        # One prepare served the whole burst...
+        assert stats["session_misses"] == 1
+        assert stats["session_hits"] + stats["session_misses"] <= stats["batches"] * 2
+        # ...and every response carries the same session identity.
+        assert len({r.session_key for r in responses}) == 1
+        assert any(r.batch_size > 1 for r in responses) or stats["batches"] > 1
+        totals = {r.result.total_toggles() for r in responses}
+        assert len(totals) == 1
+
+    def test_structurally_identical_designs_share_a_fingerprint(self):
+        """Two equal-content netlist objects batch onto one session."""
+        a = _request(6)
+        netlist, annotation, stimulus = _design(6)
+        b = ServeRequest(
+            netlist=netlist, stimulus=stimulus, annotation=annotation,
+            config=CONFIG, duration=DURATION,
+        )
+        assert a.netlist is not b.netlist
+        assert session_key(a) == session_key(b)
+        with SimulationService(max_workers=2) as service:
+            ra = service.submit(a).result(timeout=60)
+            rb = service.submit(b).result(timeout=60)
+        assert ra.session_key == rb.session_key
+        assert service.stats()["session_misses"] == 1
+
+    def test_same_design_burst_fuses_on_the_sharded_backend(self):
+        """Micro-batches on gatspi-sharded execute as fused engine runs.
+
+        A blocked worker guarantees the burst is still queued when the
+        dispatcher groups it, so the batch reaches ``run_many`` together;
+        every response must match the standalone run bit for bit.
+        """
+        request = _request(9, backend="gatspi-sharded")
+        expected = (
+            get_backend("gatspi")
+            .prepare(request.netlist, annotation=request.annotation, config=CONFIG)
+            .run(request.stimulus, duration=DURATION)
+        )
+        with SimulationService(max_workers=1, queue_size=32) as service:
+            # Occupy the single worker so the burst accumulates.
+            head = service.submit(request)
+            burst = [service.submit(request) for _ in range(5)]
+            responses = [head.result(timeout=120)] + [
+                f.result(timeout=120) for f in burst
+            ]
+        assert any(r.fused for r in responses), "burst never fused"
+        fused = [r for r in responses if r.fused]
+        assert all(r.result.stats.fused_requests > 1 for r in fused)
+        for response in responses:
+            assert response.result.toggle_counts == expected.toggle_counts
+            for net in expected.waveforms:
+                assert response.result.waveforms[net] == expected.waveforms[net]
+
+    def test_different_designs_use_distinct_sessions(self):
+        with SimulationService(max_workers=2) as service:
+            first = service.submit(_request(7))
+            second = service.submit(_request(8))
+            responses = [first.result(timeout=60), second.result(timeout=60)]
+        assert responses[0].session_key != responses[1].session_key
+        assert service.stats()["session_misses"] == 2
+
+    def test_session_cache_eviction_falls_back_to_compile_cache(self):
+        requests = [_request(seed) for seed in (10, 11, 12)]
+        with SimulationService(max_workers=1, session_cache_size=1) as service:
+            for request in requests:
+                service.run(request)
+            # Every design was a service-session miss (cache size 1)...
+            assert service.stats()["session_misses"] == 3
+            # ...but re-serving the first only needs a cheap re-prepare.
+            before = time.perf_counter()
+            service.run(requests[0])
+            assert time.perf_counter() - before < 30
+        assert service.stats()["cached_sessions"] <= 1
+
+
+class _Gate:
+    """A registered backend whose runs block on an event (test rig)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+
+
+@pytest.fixture
+def blocking_backend():
+    gate = _Gate()
+
+    class BlockingSession:
+        backend_name = "blocking-test"
+
+        def run(self, stimulus, cycles=None, duration=None):
+            gate.entered.set()
+            if not gate.release.wait(timeout=30):
+                raise TimeoutError("test gate never released")
+            from repro.core.results import SimulationResult
+
+            return SimulationResult(duration=duration or 0)
+
+    class BlockingBackend(SimBackend):
+        name = "blocking-test"
+        capabilities = BackendCapabilities(description="test rig")
+
+        def prepare(self, netlist, annotation=None, config=None, **options):
+            return BlockingSession()
+
+    register_backend("blocking-test", BlockingBackend)
+    try:
+        yield gate
+    finally:
+        gate.release.set()
+        unregister_backend("blocking-test")
+
+
+class TestAdmissionControl:
+    def test_overload_fails_fast_when_queue_is_full(self, blocking_backend):
+        netlist, annotation, stimulus = _design(13)
+
+        def blocked_request():
+            return ServeRequest(
+                netlist=netlist, stimulus=stimulus, backend="blocking-test",
+                annotation=annotation, duration=DURATION,
+            )
+
+        service = SimulationService(max_workers=1, queue_size=2)
+        try:
+            # Saturate the worker and the in-flight permits (2 * workers),
+            # then fill the bounded queue behind them.
+            inflight = [service.submit(blocked_request()) for _ in range(2)]
+            assert blocking_backend.entered.wait(timeout=10)
+            deadline = time.time() + 10
+            queued = []
+            overloaded = False
+            while time.time() < deadline and not overloaded:
+                try:
+                    queued.append(
+                        service.submit(blocked_request(), block=False)
+                    )
+                except ServiceOverloadedError:
+                    overloaded = True
+            assert overloaded, "bounded queue never pushed back"
+            assert service.stats()["rejected"] >= 1
+            # Releasing the gate drains everything that was admitted.
+            blocking_backend.release.set()
+            for future in inflight + queued:
+                assert future.result(timeout=30) is not None
+        finally:
+            blocking_backend.release.set()
+            service.close()
+
+    def test_queued_request_can_be_cancelled(self, blocking_backend):
+        netlist, annotation, stimulus = _design(14)
+        request = ServeRequest(
+            netlist=netlist, stimulus=stimulus, backend="blocking-test",
+            annotation=annotation, duration=DURATION,
+        )
+        service = SimulationService(max_workers=1, queue_size=8)
+        try:
+            first = service.submit(request)
+            assert blocking_backend.entered.wait(timeout=10)
+            victim = service.submit(request)
+            assert victim.cancel()
+            blocking_backend.release.set()
+            assert first.result(timeout=30) is not None
+            assert victim.cancelled()
+        finally:
+            blocking_backend.release.set()
+            service.close()
+
+
+class TestFailureIsolationAndLifecycle:
+    def test_bad_request_fails_only_its_own_future(self):
+        good = _request(15)
+        netlist, annotation, _ = _design(15)
+        bad = ServeRequest(
+            netlist=netlist, stimulus={}, annotation=annotation,
+            config=CONFIG, duration=DURATION,
+        )
+        with SimulationService(max_workers=2) as service:
+            bad_future = service.submit(bad)
+            good_future = service.submit(good)
+            with pytest.raises(Exception):
+                bad_future.result(timeout=60)
+            assert good_future.result(timeout=60).result.total_toggles() > 0
+        stats = service.stats()
+        assert stats["failed"] == 1
+        assert stats["completed"] == 1
+
+    def test_unknown_backend_fails_the_future_not_the_service(self):
+        request = _request(16, backend="no-such-backend")
+        with SimulationService(max_workers=1) as service:
+            future = service.submit(request)
+            with pytest.raises(LookupError):
+                future.result(timeout=60)
+            # Prepare failures are not cached: the service stays usable.
+            ok = service.run(_request(16))
+            assert ok.result.total_toggles() > 0
+
+    def test_close_drains_queued_requests(self):
+        request = _request(17)
+        service = SimulationService(max_workers=1)
+        futures = [service.submit(request) for _ in range(4)]
+        service.close()
+        for future in futures:
+            assert future.result(timeout=60).result.total_toggles() > 0
+        with pytest.raises(ServiceClosedError):
+            service.submit(request)
+
+    def test_close_is_idempotent(self):
+        service = SimulationService(max_workers=1)
+        service.close()
+        service.close()
+
+
+@pytest.mark.concurrency
+class TestServiceConcurrency:
+    """Mixed-design concurrent traffic stays consistent with serial runs."""
+
+    def test_concurrent_clients_mixed_designs_and_backends(self):
+        seeds = (20, 21, 22)
+        designs = {seed: _design(seed) for seed in seeds}
+        expected = {}
+        for seed, (netlist, annotation, stimulus) in designs.items():
+            expected[seed] = (
+                get_backend("gatspi")
+                .prepare(netlist, annotation=annotation, config=CONFIG)
+                .run(stimulus, duration=DURATION)
+                .toggle_counts
+            )
+
+        def client(index: int):
+            seed = seeds[index % len(seeds)]
+            netlist, annotation, stimulus = designs[seed]
+            backend = "gatspi" if index % 2 == 0 else "gatspi-sharded:shards=2"
+            response = service.run(
+                ServeRequest(
+                    netlist=netlist, stimulus=stimulus, backend=backend,
+                    annotation=annotation, config=CONFIG, duration=DURATION,
+                    tag=str(seed),
+                )
+            )
+            return seed, response
+
+        with SimulationService(max_workers=4, queue_size=64) as service:
+            with ThreadPoolExecutor(max_workers=8) as clients:
+                outcomes = list(clients.map(client, range(24)))
+
+        for seed, response in outcomes:
+            assert response.result.toggle_counts == expected[seed], (
+                f"design seed={seed} diverged under concurrent serving"
+            )
+        stats = service.stats()
+        assert stats["submitted"] == 24
+        assert stats["completed"] == 24
+        assert stats["failed"] == 0
+        # gatspi and gatspi-sharded need one prepared session per design.
+        assert stats["session_misses"] == len(seeds) * 2
+
+    def test_counters_conserve_under_concurrent_submit(self):
+        request = _request(23)
+        with SimulationService(max_workers=4, queue_size=64) as service:
+            with ThreadPoolExecutor(max_workers=8) as clients:
+                futures = list(
+                    clients.map(
+                        lambda _: service.submit(request).result(timeout=120),
+                        range(16),
+                    )
+                )
+        assert len(futures) == 16
+        stats = service.stats()
+        assert stats["submitted"] == stats["completed"] + stats["failed"]
+        assert stats["failed"] == 0
+        assert stats["session_misses"] == 1

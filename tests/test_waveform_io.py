@@ -56,6 +56,101 @@ class TestVcd:
         with pytest.raises(Exception):
             parse_vcd(text)
 
+    def test_vector_format_dumps_for_scalar_vars(self):
+        """``b<val> <code>`` changes on 1-bit vars must not be dropped.
+
+        Many real tools (Icarus, Verilator, VCS) emit the vector dump form
+        even for scalar variables; the parser used to ignore those lines,
+        silently leaving the signal a constant 0 (regression).
+        """
+        text = (
+            "$date today $end\n"
+            "$timescale 1ps $end\n"
+            "$scope module top $end\n"
+            "$var wire 1 ! clk $end\n"
+            "$var wire 1 \" rst $end\n"
+            "$upscope $end\n"
+            "$enddefinitions $end\n"
+            "$dumpvars\n"
+            "b0 !\n"
+            "b1 \"\n"
+            "$end\n"
+            "#5\n"
+            "b1 !\n"
+            "#10\n"
+            "bx \"\n"
+            "#15\n"
+            "b0 !\n"
+        )
+        parsed = parse_vcd(text)
+        assert parsed["clk"].to_change_list() == [(0, 0), (5, 1), (15, 0)]
+        assert parsed["clk"].toggle_count() == 2, "b-format changes were dropped"
+        # x maps to 0, mixed with the initial b1.
+        assert parsed["rst"].value_at(0) == 1
+        assert parsed["rst"].value_at(11) == 0
+
+    def test_mixed_scalar_and_vector_dump_forms(self):
+        """Both dump forms for the same var interleave into one waveform."""
+        text = (
+            "$var wire 1 ! sig $end\n$enddefinitions $end\n"
+            "$dumpvars\n0!\n$end\n"
+            "#10\nb1 !\n"
+            "#20\n0!\n"
+            "#30\nb1 !\n"
+        )
+        parsed = parse_vcd(text)
+        assert parsed["sig"].to_change_list() == [(0, 0), (10, 1), (20, 0), (30, 1)]
+
+    def test_duplicate_names_in_different_scopes_stay_separate(self):
+        """Two ``$var`` declarations named ``clk`` in different scopes.
+
+        These are distinct signals; merging their changes into one
+        interleaved (potentially non-monotonic) list was a regression —
+        here the merged list would be [(2,1),(3,1),(12,0),(13,0)], which
+        drops the second signal entirely and double-counts edges.
+        """
+        text = (
+            "$timescale 1ps $end\n"
+            "$scope module top $end\n"
+            "$scope module u0 $end\n"
+            "$var wire 1 ! clk $end\n"
+            "$upscope $end\n"
+            "$scope module u1 $end\n"
+            "$var wire 1 \" clk $end\n"
+            "$upscope $end\n"
+            "$var wire 1 # sel $end\n"
+            "$upscope $end\n"
+            "$enddefinitions $end\n"
+            "$dumpvars\n0!\n0\"\n0#\n$end\n"
+            "#2\n1!\n"
+            "#3\n1\"\n"
+            "#12\n0!\n"
+            "#13\n0\"\n"
+        )
+        parsed = parse_vcd(text)
+        assert "top.u0.clk" in parsed and "top.u1.clk" in parsed
+        assert "clk" not in parsed
+        # Unique names keep their bare form.
+        assert "sel" in parsed
+        assert parsed["top.u0.clk"].to_change_list() == [(0, 0), (2, 1), (12, 0)]
+        assert parsed["top.u1.clk"].to_change_list() == [(0, 0), (3, 1), (13, 0)]
+
+    def test_aliased_code_re_declared_in_another_scope(self):
+        """The same identifier code declared twice is one signal (an alias)."""
+        text = (
+            "$scope module top $end\n"
+            "$var wire 1 ! net_a $end\n"
+            "$scope module child $end\n"
+            "$var wire 1 ! net_a $end\n"
+            "$upscope $end\n"
+            "$upscope $end\n"
+            "$enddefinitions $end\n"
+            "#0\n1!\n#7\n0!\n"
+        )
+        parsed = parse_vcd(text)
+        assert set(parsed) == {"net_a"}
+        assert parsed["net_a"].to_change_list() == [(0, 1), (7, 0)]
+
 
 class TestSaif:
     def build_result(self):
