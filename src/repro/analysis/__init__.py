@@ -1,0 +1,53 @@
+"""``repro.analysis``: design-rule analysis over netlists and SDF.
+
+The elaboration-time checks a commercial flow front-loads, run over our
+levelized netlist + delay-annotation structures and reported as structured,
+JSON-serializable findings::
+
+    from repro.analysis import analyze_design
+
+    report = analyze_design(netlist, annotation, sdf=parsed_sdf, horizon=100_000)
+    if report.has_errors:
+        print(report.format_findings())
+
+Reports are cached process-wide by content fingerprint (the compile cache's
+fingerprints), wired into every backend's ``prepare()`` via
+``SimConfig(analysis="strict"|"warn"|"off")``, enforced at the serving front
+door by :class:`repro.serve.SimulationService`, and exposed as a CLI::
+
+    python -m repro.analysis design.v [design.sdf] [--json report.json]
+"""
+
+from .engine import (
+    AnalysisContext,
+    AnalysisWarning,
+    DesignAnalysisError,
+    analysis_cache_info,
+    analysis_key,
+    analyze_design,
+    analyze_for_prepare,
+    clear_analysis_cache,
+    set_analysis_cache_capacity,
+)
+from .report import AnalysisReport, Finding, Severity
+from .rules import RULES, RuleSpec, available_rules, get_rule, rule
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "AnalysisWarning",
+    "DesignAnalysisError",
+    "Finding",
+    "RULES",
+    "RuleSpec",
+    "Severity",
+    "analysis_cache_info",
+    "analysis_key",
+    "analyze_design",
+    "analyze_for_prepare",
+    "available_rules",
+    "clear_analysis_cache",
+    "get_rule",
+    "rule",
+    "set_analysis_cache_capacity",
+]

@@ -1,0 +1,152 @@
+"""Command-line design-rule analysis.
+
+Usage::
+
+    python -m repro.analysis <netlist.v> [design.sdf] [options]
+    python -m repro.analysis --demo [options]
+
+Reads a gate-level Verilog netlist (and optionally an SDF delay file),
+evaluates every registered design rule, prints the findings, and exits 0
+when the design is simulatable (no error-severity findings), 1 otherwise.
+``--strict`` also fails on warnings; ``--json`` writes the structured
+report; ``--demo`` analyzes a built-in benchmark design (used by the CI
+smoke step, which has no netlist files checked in).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..netlist import Netlist, read_verilog
+from ..sdf.annotate import annotation_from_sdf
+from ..sdf.parser import read_sdf
+from .engine import analyze_design
+from .rules import RULES, available_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Design-rule analysis over a gate-level netlist (+ SDF).",
+    )
+    parser.add_argument("netlist", nargs="?", help="gate-level Verilog netlist file")
+    parser.add_argument("sdf", nargs="?", help="optional SDF delay file")
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="analyze a built-in benchmark design instead of reading files",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the structured report as JSON"
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        metavar="TIME",
+        help="stimulus horizon in time units (arms the EOW-overflow rule)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    return parser
+
+
+def _demo_netlist() -> Netlist:
+    from ..bench.designs import carry_select_adder
+
+    return carry_select_adder(bits=16)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, spec in RULES.items():
+            print(f"{spec.severity.value:7s}  {rule_id:22s}  {spec.title}")
+        return 0
+
+    if args.demo:
+        netlist = _demo_netlist()
+        sdf = None
+    else:
+        if not args.netlist:
+            parser.error("a netlist file (or --demo) is required")
+        try:
+            netlist = read_verilog(args.netlist)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read netlist {args.netlist!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        sdf = None
+        if args.sdf:
+            try:
+                sdf = read_sdf(args.sdf)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read SDF {args.sdf!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+
+    annotation = None
+    if sdf is not None:
+        # Lenient annotation: unknown instances/pins are the analysis
+        # rules' job to report, not a reason to abort the analysis.
+        annotation = annotation_from_sdf(netlist, sdf, strict=False)
+
+    rules = None
+    if args.rules:
+        rules = [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+        unknown = [rule_id for rule_id in rules if rule_id not in RULES]
+        if unknown:
+            print(
+                f"error: unknown rule id(s) {', '.join(unknown)}; "
+                f"available: {', '.join(available_rules())}",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = analyze_design(
+        netlist, annotation=annotation, sdf=sdf, horizon=args.horizon, rules=rules
+    )
+
+    if not args.quiet and report.findings:
+        print(report.format_findings())
+    print(report.summary())
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        if not args.quiet:
+            print(f"report written to {args.json}")
+
+    if report.has_errors:
+        return 1
+    if args.strict and report.warnings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. ``| head``) closed early; exit quietly the
+        # way POSIX line tools do instead of tracebacking.
+        sys.exit(0)

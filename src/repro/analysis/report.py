@@ -1,0 +1,182 @@
+"""Structured results of design-rule analysis.
+
+A :class:`Finding` is one violation of one rule, naming the nets and/or
+instances involved; an :class:`AnalysisReport` collects every finding of
+one analysis run together with the rule set that produced it.  Reports are
+plain data — JSON-serializable via :meth:`AnalysisReport.to_dict` /
+:meth:`AnalysisReport.to_json` — so they can be cached alongside compiled
+designs, attached to serving rejections, and emitted by the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class Severity(str, Enum):
+    """Severity of a finding; orders ``error > warning > info``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    def __lt__(self, other: object) -> bool:  # pragma: no cover - ordering aid
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``nets`` / ``instances`` name the design objects involved (possibly
+    empty for design-wide findings); ``data`` carries rule-specific
+    structured detail (fanout values, missing pins, delay values, ...).
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    nets: Tuple[str, ...] = ()
+    instances: Tuple[str, ...] = ()
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "nets": list(self.nets),
+            "instances": list(self.instances),
+            "data": dict(self.data),
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one design-rule analysis run.
+
+    ``rules_run`` records which rules executed (so an empty findings list
+    is distinguishable from a rule that never ran); ``fingerprint`` is the
+    content fingerprint the report is cached under (empty when uncached);
+    ``analysis_seconds`` is the wall time the rule evaluation took.
+    """
+
+    design: str
+    findings: List[Finding] = field(default_factory=list)
+    rules_run: Tuple[str, ...] = ()
+    fingerprint: str = ""
+    analysis_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    @property
+    def is_clean(self) -> bool:
+        """No findings of any severity."""
+        return not self.findings
+
+    def findings_for(self, rule_id: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule_id == rule_id]
+
+    def rule_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted({f.rule_id for f in self.findings}))
+
+    def severity_counts(self) -> Dict[str, int]:
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for finding in self.findings:
+            counts[finding.severity.value] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "design": self.design,
+            "fingerprint": self.fingerprint,
+            "rules_run": list(self.rules_run),
+            "severity_counts": self.severity_counts(),
+            "analysis_seconds": self.analysis_seconds,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AnalysisReport":
+        findings = [
+            Finding(
+                rule_id=entry["rule_id"],
+                severity=Severity(entry["severity"]),
+                message=entry["message"],
+                nets=tuple(entry.get("nets", ())),
+                instances=tuple(entry.get("instances", ())),
+                data=dict(entry.get("data", {})),
+            )
+            for entry in payload.get("findings", ())
+        ]
+        return cls(
+            design=str(payload.get("design", "")),
+            findings=findings,
+            rules_run=tuple(payload.get("rules_run", ())),
+            fingerprint=str(payload.get("fingerprint", "")),
+            analysis_seconds=float(payload.get("analysis_seconds", 0.0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line human summary (the CLI's closing line)."""
+        counts = self.severity_counts()
+        return (
+            f"{self.design}: {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info "
+            f"({len(self.rules_run)} rules)"
+        )
+
+    def format_findings(self, max_names: int = 6) -> str:
+        """Multi-line human rendering, most severe first."""
+        lines: List[str] = []
+        ordered = sorted(
+            self.findings, key=lambda f: (-f.severity.rank, f.rule_id)
+        )
+        for finding in ordered:
+            subjects: Sequence[str] = finding.nets or finding.instances
+            suffix = ""
+            if subjects:
+                shown = ", ".join(list(subjects)[:max_names])
+                if len(subjects) > max_names:
+                    shown += f", ... (+{len(subjects) - max_names})"
+                suffix = f" [{shown}]"
+            lines.append(
+                f"{finding.severity.value.upper():7s} {finding.rule_id}: "
+                f"{finding.message}{suffix}"
+            )
+        return "\n".join(lines)

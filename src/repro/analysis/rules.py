@@ -1,0 +1,381 @@
+"""The design-rule registry and the built-in rules.
+
+Every rule is a function from an :class:`~repro.analysis.engine.AnalysisContext`
+to an iterable of :class:`~repro.analysis.report.Finding`, registered under a
+stable rule id with a default severity.  Rules are *vectorized where the
+design is large*: the context exposes flat structural tensors (fanout
+counts, per-gate input id matrices, level order) built once with the HOST
+array backend, so a rule pass over a million-net design is a handful of
+array ops, not a Python loop per net.
+
+Built-in rules
+--------------
+
+=====================  ========  ====================================================
+Rule id                Severity  Checks
+=====================  ========  ====================================================
+``undriven-input``     error     nets read by gate inputs with no driver
+``multi-driven-net``   error     nets claimed as output by more than one driver
+``unconnected-output`` error     declared primary outputs with no driver
+``combinational-loop`` error     cycles through combinational gates (incl. self-loops)
+``dangling-net``       warning   driven nets with no loads that are not outputs
+``sdf-unknown-instance`` warning SDF ``CELL`` entries naming unknown instances
+``sdf-coverage``       warning   cells with missing or partial ``IOPATH`` coverage
+``negative-delay``     error     negative delay arcs (SDF or annotation tables)
+``zero-delay``         warning   explicit zero-valued SDF ``IOPATH`` delays
+``eow-overflow-risk``  error     delays + stimulus horizon reaching the EOW sentinel
+``fanout-outlier``     info      nets with statistically extreme fanout
+``constant-cone``      info      gates whose inputs are all tie-cell constants
+``unreachable-cone``   info      gates whose output reaches no endpoint
+=====================  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Tuple, TYPE_CHECKING
+
+from ..core.waveform import EOW
+from ..core.xp import HOST
+from ..netlist import PORT
+from .report import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import AnalysisContext
+
+RuleFunc = Callable[["AnalysisContext"], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One registered design rule."""
+
+    rule_id: str
+    severity: Severity
+    title: str
+    func: RuleFunc
+
+    def finding(
+        self,
+        message: str,
+        nets: Tuple[str, ...] = (),
+        instances: Tuple[str, ...] = (),
+        data: Dict[str, Any] | None = None,
+        severity: Severity | None = None,
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=severity if severity is not None else self.severity,
+            message=message,
+            nets=nets,
+            instances=instances,
+            data=data or {},
+        )
+
+
+#: Registry of every known rule, in registration (= evaluation) order.
+RULES: "Dict[str, RuleSpec]" = {}
+
+
+def rule(rule_id: str, severity: Severity, title: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a design rule under ``rule_id`` with a default severity."""
+
+    def decorator(func: RuleFunc) -> RuleFunc:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        RULES[rule_id] = RuleSpec(
+            rule_id=rule_id, severity=severity, title=title, func=func
+        )
+        return func
+
+    return decorator
+
+
+def available_rules() -> Tuple[str, ...]:
+    return tuple(RULES)
+
+
+def get_rule(rule_id: str) -> RuleSpec:
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown analysis rule {rule_id!r}; available: "
+            f"{', '.join(RULES)}"
+        ) from None
+
+
+# ======================================================================
+# Structural rules
+# ======================================================================
+@rule("undriven-input", Severity.ERROR, "gate inputs read undriven nets")
+def _undriven_input(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["undriven-input"]
+    sources = ctx.source_net_set
+    instances = ctx.netlist.instances
+    undriven = sorted(
+        name
+        for name, net in ctx.netlist.nets.items()
+        if net.driver is None
+        and name not in sources
+        and any(
+            i != PORT and not instances[i].is_sequential
+            for i, _ in net.loads
+        )
+    )
+    if undriven:
+        yield spec.finding(
+            f"{len(undriven)} net(s) are read by gate inputs but never driven",
+            nets=tuple(undriven),
+        )
+
+
+@rule("multi-driven-net", Severity.ERROR, "nets with more than one driver")
+def _multi_driven(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["multi-driven-net"]
+    claims: Dict[str, List[str]] = {}
+    for name in ctx.netlist.inputs:
+        claims.setdefault(name, []).append("<port>")
+    for inst in ctx.netlist.instances.values():
+        claims.setdefault(
+            inst.connections[inst.cell.output], []
+        ).append(inst.name)
+    # Only the (rare) violating nets need deterministic ordering; sorting
+    # every net in the design dominated this rule's cost.
+    for net_name in sorted(
+        name for name, drivers in claims.items() if len(drivers) > 1
+    ):
+        drivers = claims[net_name]
+        yield spec.finding(
+            f"net {net_name!r} is driven by {len(drivers)} drivers",
+            nets=(net_name,),
+            instances=tuple(d for d in drivers if d != "<port>"),
+            data={"drivers": drivers},
+        )
+
+
+@rule("unconnected-output", Severity.ERROR, "primary outputs with no driver")
+def _unconnected_output(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["unconnected-output"]
+    missing = tuple(
+        name
+        for name in ctx.netlist.outputs
+        if ctx.netlist.nets[name].driver is None
+    )
+    if missing:
+        yield spec.finding(
+            f"{len(missing)} primary output(s) are never driven",
+            nets=missing,
+        )
+
+
+@rule("combinational-loop", Severity.ERROR, "combinational feedback loops")
+def _combinational_loop(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["combinational-loop"]
+    members = ctx.loop_instances
+    if members:
+        yield spec.finding(
+            f"combinational loop through {len(members)} gate(s)",
+            instances=tuple(members),
+            data={"self_loop": len(members) == 1},
+        )
+
+
+@rule("dangling-net", Severity.WARNING, "driven nets with no loads")
+def _dangling_net(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["dangling-net"]
+    outputs = set(ctx.netlist.outputs)
+    dangling = sorted(
+        name
+        for name, net in ctx.netlist.nets.items()
+        if net.driver is not None and not net.loads and name not in outputs
+    )
+    if dangling:
+        yield spec.finding(
+            f"{len(dangling)} driven net(s) have no loads",
+            nets=tuple(dangling),
+        )
+
+
+@rule("fanout-outlier", Severity.INFO, "nets with statistically extreme fanout")
+def _fanout_outlier(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["fanout-outlier"]
+    hnp = HOST
+    fanout = ctx.fanout
+    if fanout.size < 4:
+        return
+    mean = float(fanout.mean())
+    std = float(fanout.std())
+    threshold = max(mean + 4.0 * std, 8.0)
+    mask = fanout > threshold
+    if not bool(hnp.any(mask)):
+        return
+    names = [ctx.net_names[i] for i in range(len(ctx.net_names)) if bool(mask[i])]
+    values = [int(v) for v in fanout[mask]]
+    order = sorted(range(len(names)), key=lambda i: -values[i])
+    names = [names[i] for i in order]
+    values = [values[i] for i in order]
+    yield spec.finding(
+        f"{len(names)} net(s) exceed the fanout outlier threshold "
+        f"({threshold:.1f}; design mean {mean:.2f})",
+        nets=tuple(names),
+        data={"fanouts": dict(zip(names, values)), "threshold": threshold},
+    )
+
+
+# ======================================================================
+# SDF / delay rules
+# ======================================================================
+@rule("sdf-unknown-instance", Severity.WARNING, "SDF entries naming unknown instances")
+def _sdf_unknown_instance(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["sdf-unknown-instance"]
+    if ctx.sdf is None:
+        return
+    unknown = sorted(
+        {
+            cell.instance
+            for cell in ctx.sdf.cells
+            if cell.instance and cell.instance not in ctx.netlist.instances
+        }
+    )
+    if unknown:
+        yield spec.finding(
+            f"{len(unknown)} SDF CELL entr(ies) reference instances that do "
+            f"not exist in the netlist",
+            instances=tuple(unknown),
+        )
+
+
+@rule("sdf-coverage", Severity.WARNING, "cells with missing/partial IOPATH coverage")
+def _sdf_coverage(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["sdf-coverage"]
+    if ctx.sdf is None:
+        return
+    by_instance = {cell.instance: cell for cell in ctx.sdf.cells}
+    missing: List[str] = []
+    partial: Dict[str, List[str]] = {}
+    for inst in ctx.netlist.combinational_instances():
+        if inst.cell.num_inputs == 0:
+            continue
+        cell_entry = by_instance.get(inst.name)
+        if cell_entry is None or not cell_entry.iopaths:
+            missing.append(inst.name)
+            continue
+        covered = {path.input_pin for path in cell_entry.iopaths}
+        gaps = [pin for pin in inst.cell.inputs if pin not in covered]
+        if gaps:
+            partial[inst.name] = gaps
+    if missing:
+        yield spec.finding(
+            f"{len(missing)} combinational instance(s) have no SDF IOPATH "
+            f"coverage at all",
+            instances=tuple(sorted(missing)),
+        )
+    if partial:
+        yield spec.finding(
+            f"{len(partial)} instance(s) have partial SDF IOPATH coverage "
+            f"(some input pins unannotated)",
+            instances=tuple(sorted(partial)),
+            data={"missing_pins": {k: list(v) for k, v in sorted(partial.items())}},
+        )
+
+
+@rule("negative-delay", Severity.ERROR, "negative delay arcs")
+def _negative_delay(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["negative-delay"]
+    hnp = HOST
+    bad: Dict[str, float] = {}
+    if ctx.sdf is not None:
+        for cell in ctx.sdf.cells:
+            for path in cell.iopaths:
+                for value in (path.rise, path.fall):
+                    if value is not None and value < 0:
+                        key = cell.instance or cell.cell_type
+                        bad[key] = min(bad.get(key, 0.0), float(value))
+    if ctx.annotation is not None:
+        for name, table in ctx.annotation.gate_tables.items():
+            worst = 0.0
+            for pin in table.pins:
+                arr = table.table_for(pin)
+                finite = arr[hnp.isfinite(arr)]
+                if finite.size and float(finite.min()) < 0:
+                    worst = min(worst, float(finite.min()))
+            if worst < 0:
+                bad[name] = min(bad.get(name, 0.0), worst)
+    if bad:
+        yield spec.finding(
+            f"{len(bad)} instance(s) carry negative delay arcs "
+            f"(worst {min(bad.values()):g})",
+            instances=tuple(sorted(bad)),
+            data={"worst_delays": dict(sorted(bad.items()))},
+        )
+
+
+@rule("zero-delay", Severity.WARNING, "explicit zero-valued SDF IOPATH delays")
+def _zero_delay(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["zero-delay"]
+    if ctx.sdf is None:
+        return
+    zero: List[str] = []
+    for cell in ctx.sdf.cells:
+        for path in cell.iopaths:
+            if (path.rise is not None and path.rise == 0) or (
+                path.fall is not None and path.fall == 0
+            ):
+                zero.append(cell.instance or cell.cell_type)
+                break
+    if zero:
+        yield spec.finding(
+            f"{len(zero)} instance(s) have explicit zero-valued IOPATH "
+            f"delays (glitch filtering degenerates on zero-delay arcs)",
+            instances=tuple(sorted(set(zero))),
+        )
+
+
+@rule("eow-overflow-risk", Severity.ERROR, "delays + horizon reaching the EOW sentinel")
+def _eow_overflow_risk(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["eow-overflow-risk"]
+    horizon = ctx.horizon
+    if horizon is None:
+        return
+    estimated = ctx.estimated_path_delay
+    if horizon + estimated >= EOW:
+        yield spec.finding(
+            f"stimulus horizon {horizon} plus estimated critical-path delay "
+            f"{estimated} reaches the EOW sentinel ({EOW}); waveforms would "
+            f"silently truncate",
+            data={"horizon": horizon, "estimated_path_delay": estimated},
+        )
+    elif estimated >= EOW:
+        yield spec.finding(
+            f"estimated critical-path delay {estimated} alone reaches the "
+            f"EOW sentinel ({EOW})",
+            data={"estimated_path_delay": estimated},
+        )
+
+
+# ======================================================================
+# Cone rules (need a levelizable design; skipped when loops exist)
+# ======================================================================
+@rule("constant-cone", Severity.INFO, "gates computing compile-time constants")
+def _constant_cone(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["constant-cone"]
+    constant = ctx.constant_gates
+    if constant:
+        yield spec.finding(
+            f"{len(constant)} gate(s) have all-constant input cones "
+            f"(outputs can never toggle)",
+            instances=tuple(constant),
+        )
+
+
+@rule("unreachable-cone", Severity.INFO, "gates observable at no endpoint")
+def _unreachable_cone(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["unreachable-cone"]
+    unreachable = ctx.unreachable_gates
+    if unreachable:
+        yield spec.finding(
+            f"{len(unreachable)} gate(s) reach no primary output or "
+            f"sequential input (dead cones)",
+            instances=tuple(unreachable),
+        )

@@ -19,7 +19,7 @@ should reach engines exclusively through ``get_backend(name).prepare(...)``.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Any, Mapping, Optional
 
 from ..core.config import SimConfig
 from ..core.engine import GatspiEngine
@@ -53,7 +53,12 @@ class GatspiSession(Session):
         super().__init__("gatspi", engine.netlist, engine.config)
         self.engine = engine
 
-    def _run(self, stimulus, cycles, duration) -> SimulationResult:
+    def _run(
+        self,
+        stimulus: Mapping[str, Waveform],
+        cycles: int,
+        duration: int,
+    ) -> SimulationResult:
         return self.engine.simulate(stimulus, duration=duration)
 
 
@@ -68,7 +73,7 @@ class GatspiBackend(SimBackend):
         description="Levelized two-pass GPU-style re-simulator (the paper's engine)",
     )
 
-    def prepare(
+    def _prepare(
         self,
         netlist: Netlist,
         annotation: Optional[DelayAnnotation] = None,
@@ -77,7 +82,7 @@ class GatspiBackend(SimBackend):
         kernel: Optional[str] = None,
         restructure: Optional[str] = None,
         device: Optional[str] = None,
-        **options,
+        **options: Any,
     ) -> GatspiSession:
         """Compile the design; ``kernel``/``restructure``/``device`` pick the
         executors.
@@ -120,7 +125,12 @@ class EventSession(Session):
         super().__init__("event", simulator.netlist, simulator.config)
         self.simulator = simulator
 
-    def _run(self, stimulus, cycles, duration) -> SimulationResult:
+    def _run(
+        self,
+        stimulus: Mapping[str, Waveform],
+        cycles: int,
+        duration: int,
+    ) -> SimulationResult:
         return self.simulator.simulate(stimulus, duration=duration)
 
 
@@ -135,12 +145,12 @@ class EventBackend(SimBackend):
         description="Inertial-delay event-driven baseline (commercial-simulator stand-in)",
     )
 
-    def prepare(
+    def _prepare(
         self,
         netlist: Netlist,
         annotation: Optional[DelayAnnotation] = None,
         config: Optional[SimConfig] = None,
-        **options,
+        **options: Any,
     ) -> EventSession:
         _reject_unknown_options(self.name, options)
         simulator = EventDrivenSimulator(netlist, annotation=annotation, config=config)
@@ -157,7 +167,12 @@ class ZeroDelaySession(Session):
         super().__init__("zero-delay", simulator.netlist, config)
         self.simulator = simulator
 
-    def _run(self, stimulus, cycles, duration) -> SimulationResult:
+    def _run(
+        self,
+        stimulus: Mapping[str, Waveform],
+        cycles: int,
+        duration: int,
+    ) -> SimulationResult:
         return self.simulator.simulate(
             stimulus, duration=duration, clock_period=self.clock_period
         )
@@ -174,12 +189,12 @@ class ZeroDelayBackend(SimBackend):
         description="Zero-delay functional simulation (glitch-free reference activity)",
     )
 
-    def prepare(
+    def _prepare(
         self,
         netlist: Netlist,
         annotation: Optional[DelayAnnotation] = None,
         config: Optional[SimConfig] = None,
-        **options,
+        **options: Any,
     ) -> ZeroDelaySession:
         # ``annotation`` is accepted for interface uniformity and ignored:
         # a zero-delay simulation has no delays to annotate.
@@ -203,7 +218,12 @@ class ThreadedCpuSession(Session):
         self.simulator = simulator
         self.last_report: Optional[PartitionedRunReport] = None
 
-    def _run(self, stimulus, cycles, duration) -> SimulationResult:
+    def _run(
+        self,
+        stimulus: Mapping[str, Waveform],
+        cycles: int,
+        duration: int,
+    ) -> SimulationResult:
         result, report = self.simulator.run(stimulus, duration=duration)
         self.last_report = report
         return result
@@ -220,7 +240,7 @@ class ThreadedCpuBackend(SimBackend):
         description="Partitioned (OpenMP-style) CPU port of the GATSPI algorithm",
     )
 
-    def prepare(
+    def _prepare(
         self,
         netlist: Netlist,
         annotation: Optional[DelayAnnotation] = None,
@@ -228,7 +248,7 @@ class ThreadedCpuBackend(SimBackend):
         *,
         num_workers: int = 32,
         barrier_overhead: float = 1e-5,
-        **options,
+        **options: Any,
     ) -> ThreadedCpuSession:
         _reject_unknown_options(self.name, options)
         simulator = PartitionedCpuSimulator(

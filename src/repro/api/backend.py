@@ -6,13 +6,21 @@ compilation, gate-state elaboration) and returns a
 :class:`~repro.api.session.Session` that can be run many times over different
 stimuli — the compile-once/simulate-many lifecycle the paper's deployment
 flow depends on.
+
+``prepare`` itself is a template method: it first runs design-rule analysis
+(:mod:`repro.analysis`) according to ``SimConfig(analysis=...)`` — so a
+malformed design is rejected with a structured
+:class:`~repro.analysis.DesignAnalysisError` *before* any engine compiles
+anything — then delegates the actual compilation to the backend-specific
+:meth:`SimBackend._prepare` and attaches the analysis report to the
+returned session.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import ClassVar, Optional, TYPE_CHECKING
+from typing import Any, ClassVar, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..core.config import SimConfig
@@ -54,21 +62,56 @@ class SimBackend(abc.ABC):
     #: Feature summary; set by each concrete backend.
     capabilities: ClassVar[BackendCapabilities] = BackendCapabilities()
 
-    @abc.abstractmethod
     def prepare(
         self,
         netlist: "Netlist",
         annotation: Optional["DelayAnnotation"] = None,
         config: Optional["SimConfig"] = None,
-        **options,
+        **options: Any,
     ) -> "Session":
         """Compile ``netlist`` (+ optional SDF annotation and config) into a
         reusable :class:`Session`.
 
-        ``options`` are backend-specific knobs (e.g. ``num_workers`` for the
-        partitioned CPU backend); unknown options must be rejected with a
+        Runs design-rule analysis first (per ``SimConfig(analysis=...)``;
+        strict mode raises :class:`~repro.analysis.DesignAnalysisError`
+        with the structured report before any compilation), then delegates
+        to the backend-specific :meth:`_prepare`.  ``options`` are
+        backend-specific knobs (e.g. ``num_workers`` for the partitioned
+        CPU backend); unknown options must be rejected with a
         ``TypeError`` so typos do not pass silently.
         """
+        from ..analysis.engine import analyze_for_prepare
+        from ..core import compile_cache
+        from ..core.config import SimConfig
+
+        effective = config if config is not None else SimConfig()
+        report = analyze_for_prepare(netlist, annotation, effective)
+        if report is not None and report.fingerprint:
+            # The analysis key's first component is the netlist content
+            # fingerprint the engine's compile needs too; hand it off so
+            # one prepare hashes the design once.  Scoped by the finally:
+            # an unconsumed entry never outlives this call.
+            compile_cache.seed_netlist_fingerprint(
+                netlist, report.fingerprint.split("|", 1)[0]
+            )
+        try:
+            session = self._prepare(
+                netlist, annotation=annotation, config=config, **options
+            )
+        finally:
+            compile_cache.discard_netlist_fingerprint(netlist)
+        session.attach_analysis(report)
+        return session
+
+    @abc.abstractmethod
+    def _prepare(
+        self,
+        netlist: "Netlist",
+        annotation: Optional["DelayAnnotation"] = None,
+        config: Optional["SimConfig"] = None,
+        **options: Any,
+    ) -> "Session":
+        """Backend-specific compilation; analysis has already run."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} name={self.name!r}>"

@@ -26,13 +26,16 @@ from __future__ import annotations
 
 import abc
 import threading
-from typing import Mapping, Optional
+from typing import Mapping, Optional, TYPE_CHECKING
 
 from ..core.config import SimConfig
 from ..core.contract import fanin_weighted_toggles, normalize_horizon, validate_stimulus
 from ..core.results import SimulationResult
 from ..core.waveform import Waveform
 from ..netlist import Netlist
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..analysis.report import AnalysisReport
 
 
 class Session(abc.ABC):
@@ -48,6 +51,7 @@ class Session(abc.ABC):
         self._netlist = netlist
         self._config = config or SimConfig()
         self._runs_completed = 0
+        self._analysis_report: Optional["AnalysisReport"] = None
         # Serializes the backend dispatch and the counter/stats mutation of
         # concurrent ``run`` calls; reentrant so a backend-specific ``_run``
         # may itself call ``run`` on the same session if it ever needs to.
@@ -76,6 +80,19 @@ class Session(abc.ABC):
     def runs_completed(self) -> int:
         """Number of successful :meth:`run` calls on this session."""
         return self._runs_completed
+
+    @property
+    def analysis_report(self) -> Optional["AnalysisReport"]:
+        """Design-rule analysis report produced at ``prepare()`` time.
+
+        ``None`` when the session was prepared with
+        ``SimConfig(analysis="off")``.
+        """
+        return self._analysis_report
+
+    def attach_analysis(self, report: Optional["AnalysisReport"]) -> None:
+        """Record the prepare-time analysis report (called by the backend)."""
+        self._analysis_report = report
 
     # ------------------------------------------------------------------
     # The uniform run contract

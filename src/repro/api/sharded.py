@@ -54,7 +54,7 @@ import time
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import SimConfig
 from ..core.contract import (
@@ -66,6 +66,7 @@ from ..core.contract import (
 from ..core.restructure import slice_stimulus
 from ..core.results import PhaseTimings, SimulationResult, SimulationStats
 from ..core.sharding import (
+    FusedLayout,
     Shard,
     fuse_stimuli,
     merge_shard_waveforms,
@@ -142,8 +143,13 @@ class ShardedGatspiSession(Session):
         # ``store_waveforms=False`` the merged counts are the stitched-exact
         # (waveform-mode) counts — seam toggles counted once — not the
         # engine's counts-only shortcut of summing per-window trimmed counts.
+        # ``analysis="off"``: the outer (template-method) ``prepare`` already
+        # analyzed the design once under the caller's mode; re-running it per
+        # inner worker would duplicate warnings without new information.
         self._inner_config = config.with_updates(
-            cycle_parallelism=inner_parallelism, store_waveforms=True
+            cycle_parallelism=inner_parallelism,
+            store_waveforms=True,
+            analysis="off",
         )
         from .registry import get_backend  # local: avoids import cycles
 
@@ -388,7 +394,7 @@ class ShardedGatspiSession(Session):
     def _split_fused_result(
         self,
         fused: SimulationResult,
-        layout,
+        layout: FusedLayout,
         index: int,
         cycles: int,
         duration: int,
@@ -460,7 +466,7 @@ class GatspiShardedBackend(SimBackend):
         ),
     )
 
-    def prepare(
+    def _prepare(
         self,
         netlist: Netlist,
         annotation: Optional[DelayAnnotation] = None,
@@ -471,7 +477,7 @@ class GatspiShardedBackend(SimBackend):
         kernel: Optional[str] = None,
         restructure: Optional[str] = None,
         device: Optional[str] = None,
-        **options,
+        **options: Any,
     ) -> ShardedGatspiSession:
         """Compile once, ready to simulate in window-axis shares.
 

@@ -51,9 +51,10 @@ from __future__ import annotations
 import hashlib
 import struct
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 #: Default maximum number of cached designs (LRU eviction beyond this).
 #: Note the footprint is count-bounded, not byte-bounded: each entry pins
@@ -113,19 +114,30 @@ def _hash_floats(h, *values: float) -> None:
 def fingerprint_netlist(netlist) -> str:
     """Content hash of everything compilation reads from a netlist."""
     h = hashlib.sha256()
-    h.update(netlist.name.encode())
-    h.update(repr(netlist.inputs).encode())
-    h.update(repr(netlist.outputs).encode())
     cells_seen: Dict[str, bool] = {}
     # Instance iteration order matters: levelization emits gates in a
     # deterministic order derived from it, which fixes the packed tensor
-    # layout — so the fingerprint preserves insertion order.
+    # layout — so the fingerprint preserves insertion order.  Chunks are
+    # joined and hashed in one update: per-call hashing overhead dominated
+    # fingerprint time on large designs.  Connections are hashed in the
+    # cell's canonical pin order (every pin is connected by construction),
+    # which is caller-order independent and avoids sorting each dict.
+    parts = [
+        netlist.name.encode(),
+        repr(netlist.inputs).encode(),
+        repr(netlist.outputs).encode(),
+    ]
+    append = parts.append
     for name, inst in netlist.instances.items():
-        h.update(b"\x00I")
-        h.update(name.encode())
-        h.update(inst.cell.name.encode())
-        h.update(repr(sorted(inst.connections.items())).encode())
-        cells_seen.setdefault(inst.cell.name, not inst.is_sequential)
+        cell = inst.cell
+        append(b"\x00I")
+        append(name.encode())
+        append(cell.name.encode())
+        connections = inst.connections
+        for pin in cell.pins:
+            append(connections[pin].encode())
+        cells_seen.setdefault(cell.name, not cell.is_sequential)
+    h.update(b"\x00".join(parts))
     for cell_name in sorted(cells_seen):
         cell = netlist.library.get(cell_name)
         h.update(b"\x00C")
@@ -174,16 +186,101 @@ def fingerprint_annotation(annotation, netlist) -> str:
     return h.hexdigest()
 
 
-def compile_key(netlist, annotation, config) -> str:
-    """Cache key of one ``compile()`` invocation."""
+def compile_key(
+    netlist, annotation, config, *, netlist_fingerprint: Optional[str] = None
+) -> str:
+    """Cache key of one ``compile()`` invocation.
+
+    ``netlist_fingerprint`` lets a caller that already hashed the netlist
+    (e.g. to consult :func:`levelize_cached`) skip the second hash.
+    """
     return "|".join(
         (
-            fingerprint_netlist(netlist),
+            netlist_fingerprint or fingerprint_netlist(netlist),
             fingerprint_annotation(annotation, netlist),
             f"full_sdf={config.full_sdf}",
             f"device={config.effective_device()}",
         )
     )
+
+
+# ----------------------------------------------------------------------
+# One-shot netlist-fingerprint handoff (prepare-scoped)
+# ----------------------------------------------------------------------
+# ``SimBackend.prepare`` analyzes a design before compiling it; both steps
+# hash the same netlist.  The template method seeds the fingerprint the
+# analysis pass computed here, the engine's ``compile()`` consumes it, and
+# the template discards any leftover when ``_prepare`` returns — so an
+# entry can never outlive the prepare call that created it (the netlist is
+# not mutated inside prepare, which keeps the content-keyed contract).
+_FP_HANDOFF: Dict[int, "Tuple[object, str]"] = {}
+
+
+def seed_netlist_fingerprint(netlist, fingerprint: str) -> None:
+    """Stash a just-computed fingerprint for the next compile of ``netlist``.
+
+    Only call with a fingerprint of the object's *current* content, and
+    pair with :func:`discard_netlist_fingerprint` so the entry is scoped
+    to the calling operation.
+    """
+    with _LOCK:
+        _FP_HANDOFF[id(netlist)] = (weakref.ref(netlist), fingerprint)
+
+
+def consume_netlist_fingerprint(netlist) -> Optional[str]:
+    """Pop the seeded fingerprint for ``netlist`` (``None`` when absent)."""
+    with _LOCK:
+        entry = _FP_HANDOFF.pop(id(netlist), None)
+    if entry is None:
+        return None
+    ref, fingerprint = entry
+    return fingerprint if ref() is netlist else None
+
+
+def discard_netlist_fingerprint(netlist) -> None:
+    """Drop any unconsumed handoff entry for ``netlist``."""
+    with _LOCK:
+        _FP_HANDOFF.pop(id(netlist), None)
+
+
+# ----------------------------------------------------------------------
+# Shared levelization memo
+# ----------------------------------------------------------------------
+# Both the analysis engine and ``GatspiEngine._build_artifacts`` levelize
+# the same netlist during one ``prepare()`` (analysis first, compile right
+# after).  Levelization is pure, so a small fingerprint-keyed memo lets the
+# second consumer reuse the first one's result instead of re-walking the
+# design.  Entries are keyed by the same netlist fingerprint the compile
+# and analysis caches already compute, so callers pass it in rather than
+# paying for a second hash.
+_LEVELIZE_CAPACITY = 32
+_LEVELIZE_CACHE: "OrderedDict[str, object]" = OrderedDict()
+
+
+def levelize_cached(netlist, fingerprint: Optional[str] = None):
+    """Levelize ``netlist``, memoized process-wide by content fingerprint.
+
+    ``fingerprint`` should be a precomputed :func:`fingerprint_netlist`
+    value when the caller already has one; when ``None`` it is computed
+    here.  Failures (cyclic or undriven designs) are not cached — the
+    exception propagates to the caller.
+    """
+    from ..netlist import levelize
+
+    if fingerprint is None:
+        fingerprint = fingerprint_netlist(netlist)
+    with _LOCK:
+        cached = _LEVELIZE_CACHE.get(fingerprint)
+        if cached is not None:
+            _LEVELIZE_CACHE.move_to_end(fingerprint)
+            return cached
+    result = levelize(netlist)
+    with _LOCK:
+        _LEVELIZE_CACHE[fingerprint] = result
+        _LEVELIZE_CACHE.move_to_end(fingerprint)
+        while len(_LEVELIZE_CACHE) > _LEVELIZE_CAPACITY:
+            _LEVELIZE_CACHE.popitem(last=False)
+    return result
 
 
 def lookup(key: str) -> Optional[CompiledArtifacts]:
@@ -215,6 +312,7 @@ def clear_compile_cache() -> None:
     global _HITS, _MISSES
     with _LOCK:
         _CACHE.clear()
+        _LEVELIZE_CACHE.clear()
         _HITS = 0
         _MISSES = 0
 

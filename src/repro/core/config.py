@@ -79,6 +79,16 @@ class SimConfig:
         fingerprint, ``full_sdf``, ``device``), so repeated sessions on
         the same design reuse the compiled tensors instead of re-packing
         them (:mod:`repro.core.compile_cache`).
+    analysis:
+        Design-rule analysis mode applied at ``prepare()`` time
+        (:mod:`repro.analysis`).  ``"warn"`` (default) evaluates every
+        rule, attaches the report to the session
+        (:attr:`~repro.api.session.Session.analysis_report`), and emits a
+        Python warning when error-severity findings exist; ``"strict"``
+        raises :class:`~repro.analysis.DesignAnalysisError` before any
+        compilation happens; ``"off"`` skips analysis entirely.  Reports
+        are cached process-wide by content fingerprint, so repeated
+        prepares of one design analyze it once.
     device_memory_gb / waveform_pool_fraction:
         Model of the pre-allocated device memory chunk: of ``device_memory_gb``
         total, ``waveform_pool_fraction`` is reserved for waveform storage
@@ -96,6 +106,7 @@ class SimConfig:
     restructure: str = "vector"
     device: str = field(default_factory=default_device)
     compile_cache: bool = True
+    analysis: str = "warn"
     store_waveforms: bool = True
     device_memory_gb: float = 32.0
     waveform_pool_fraction: float = 0.75
@@ -126,6 +137,11 @@ class SimConfig:
             raise ValueError(
                 f"restructure must be 'vector' or 'python', got "
                 f"{self.restructure!r}"
+            )
+        if self.analysis not in ("strict", "warn", "off"):
+            raise ValueError(
+                f"analysis must be 'strict', 'warn' or 'off', got "
+                f"{self.analysis!r}"
             )
         if self.device not in available_array_backends():
             raise ValueError(

@@ -189,14 +189,23 @@ class GatspiEngine:
         self._xp = get_array_backend(self.config.effective_device())
         artifacts = None
         key = None
+        netlist_fp = None
         if self.config.compile_cache:
+            # prepare() seeds the fingerprint its analysis pass already
+            # computed; outside prepare the handoff is empty and we hash.
+            netlist_fp = compile_cache.consume_netlist_fingerprint(self.netlist)
+            if netlist_fp is None:
+                netlist_fp = compile_cache.fingerprint_netlist(self.netlist)
             key = compile_cache.compile_key(
-                self.netlist, self.annotation, self.config
+                self.netlist,
+                self.annotation,
+                self.config,
+                netlist_fingerprint=netlist_fp,
             )
             artifacts = compile_cache.lookup(key)
         self._compile_cache_hit = artifacts is not None
         if artifacts is None:
-            artifacts = self._build_artifacts()
+            artifacts = self._build_artifacts(netlist_fingerprint=netlist_fp)
             if key is not None:
                 compile_cache.store(key, artifacts)
         # Cached artifacts are shared between engines and treated as
@@ -212,11 +221,21 @@ class GatspiEngine:
         self._compile_time = time.perf_counter() - start
         return self._compiled
 
-    def _build_artifacts(self) -> compile_cache.CompiledArtifacts:
+    def _build_artifacts(
+        self, netlist_fingerprint: Optional[str] = None
+    ) -> compile_cache.CompiledArtifacts:
         """One full (uncached) compile: levelize, build lookup arrays, pack,
         and materialize the packed tensors on the configured backend."""
         gate_inputs: Dict[str, GateKernelInputs] = {}
-        levelization = levelize(self.netlist)
+        if netlist_fingerprint is not None:
+            # prepare() analyzes before compiling; the analysis engine
+            # levelizes through the same fingerprint-keyed memo, so this is
+            # typically a hit and the design is walked once per prepare.
+            levelization = compile_cache.levelize_cached(
+                self.netlist, fingerprint=netlist_fingerprint
+            )
+        else:
+            levelization = levelize(self.netlist)
         compiled = compile_netlist(self.netlist, levelization)
         annotation = self.annotation
         if not self.config.full_sdf:

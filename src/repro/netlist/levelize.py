@@ -63,9 +63,16 @@ def levelize(netlist: Netlist) -> Levelization:
 
     combinational = netlist.combinational_instances()
     consumers: Dict[str, List[str]] = {}
+    # Materialize per-gate input/output nets once: the worklist loop below
+    # revisits them, and tuple-building per visit dominated levelization
+    # time on large designs.
+    inputs_of: Dict[str, Tuple[str, ...]] = {}
+    output_of: Dict[str, str] = {}
     for inst in combinational:
+        inputs_of[inst.name] = inst.input_nets()
+        output_of[inst.name] = inst.output_net()
         remaining = 0
-        for net_name in inst.input_nets():
+        for net_name in inputs_of[inst.name]:
             if net_name in result.net_levels:
                 continue
             remaining += 1
@@ -75,14 +82,14 @@ def levelize(netlist: Netlist) -> Levelization:
             ready.append(inst.name)
 
     processed = 0
+    net_levels = result.net_levels
     while ready:
         inst_name = ready.popleft()
-        inst = netlist.instances[inst_name]
-        input_levels = [result.net_levels[n] for n in inst.input_nets()]
-        level = (max(input_levels) + 1) if input_levels else 1
+        input_nets = inputs_of[inst_name]
+        level = (max([net_levels[n] for n in input_nets]) + 1) if input_nets else 1
         result.gate_levels[inst_name] = level
         processed += 1
-        output_net = inst.output_net()
+        output_net = output_of[inst_name]
         previous = result.net_levels.get(output_net)
         if previous is not None and previous != level:
             raise NetlistError(

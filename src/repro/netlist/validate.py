@@ -1,34 +1,72 @@
 """Netlist structural checks run before simulation.
 
-The checks mirror what a commercial simulator's elaboration step would flag:
-undriven nets, multiply-driven nets (already prevented at construction),
-floating gate inputs, dangling nets, and combinational loops.
+Since the design-rule engine landed (:mod:`repro.analysis`), this module is
+a backwards-compatible shim: :func:`validate_netlist` evaluates the
+structural subset of the rule registry (undriven inputs, multi-driven nets,
+unconnected outputs, dangling nets, combinational loops) and folds the
+findings back into the legacy :class:`ValidationReport` shape that existing
+callers consume.  New code should call
+:func:`repro.analysis.analyze_design` directly — it runs the full registry
+(SDF coverage, delay sanity, cone analysis, ...) and returns structured,
+JSON-serializable findings.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Tuple
 
-from .levelize import levelize
-from .netlist import Netlist, NetlistError, PORT
+from .netlist import Netlist, NetlistError
+
+#: The rule-registry subset equivalent to the legacy structural checks.
+STRUCTURAL_RULES: Tuple[str, ...] = (
+    "undriven-input",
+    "multi-driven-net",
+    "unconnected-output",
+    "combinational-loop",
+    "dangling-net",
+)
 
 
 @dataclass
 class ValidationReport:
-    """Collected findings from :func:`validate_netlist`."""
+    """Collected findings from :func:`validate_netlist`.
+
+    ``is_clean`` is symmetric with what the report carries: it is true only
+    when *no* finding of any kind was collected — including dangling nets,
+    which earlier revisions reported but silently excluded from
+    cleanliness (the asymmetry meant a report could be "clean" while still
+    carrying findings nothing downstream ever surfaced).  Callers that
+    only care about simulatability should use :attr:`has_fatal` /
+    :meth:`raise_if_fatal`, whose semantics are unchanged.
+    """
 
     undriven_nets: List[str] = field(default_factory=list)
     dangling_nets: List[str] = field(default_factory=list)
+    multi_driven_nets: List[str] = field(default_factory=list)
     unconnected_outputs: List[str] = field(default_factory=list)
     combinational_loop: bool = False
     loop_message: str = ""
+    loop_instances: List[str] = field(default_factory=list)
+
+    @property
+    def has_fatal(self) -> bool:
+        """True when the design cannot be levelized and simulated."""
+        return bool(
+            self.undriven_nets
+            or self.multi_driven_nets
+            or self.combinational_loop
+            or self.unconnected_outputs
+        )
+
+    @property
+    def warnings(self) -> List[str]:
+        """Non-fatal findings (currently: dangling nets)."""
+        return [f"dangling net {name!r} (driven, no loads)" for name in self.dangling_nets]
 
     @property
     def is_clean(self) -> bool:
-        return not (
-            self.undriven_nets or self.combinational_loop or self.unconnected_outputs
-        )
+        return not (self.has_fatal or self.dangling_nets)
 
     def raise_if_fatal(self) -> None:
         """Raise :class:`NetlistError` for errors that prevent simulation."""
@@ -38,45 +76,40 @@ class ValidationReport:
             raise NetlistError(
                 f"undriven nets used as gate inputs: {self.undriven_nets[:10]}"
             )
+        if self.multi_driven_nets:
+            raise NetlistError(
+                f"multiply-driven nets: {self.multi_driven_nets[:10]}"
+            )
 
 
 def validate_netlist(netlist: Netlist) -> ValidationReport:
-    """Run all structural checks and return a report."""
+    """Run the structural design rules and return a legacy-shaped report.
+
+    Delegates to the rule engine (:mod:`repro.analysis`), so results are
+    fingerprint-cached: validating the same design twice analyzes it once.
+    """
+    # Local import: ``repro.analysis`` imports ``repro.netlist``, so a
+    # module-level import here would be a cycle.
+    from ..analysis.engine import analyze_design
+
     report = ValidationReport()
-    sources = set(netlist.source_nets())
-
-    used_as_input = set()
-    for inst in netlist.instances.values():
-        for pin in inst.cell.inputs:
-            used_as_input.add(inst.connections[pin])
-
-    for name, net in netlist.nets.items():
-        driven = net.driver is not None or name in sources
-        loaded = bool(net.loads)
-        if not driven and name in used_as_input:
-            report.undriven_nets.append(name)
-        if driven and not loaded and name not in netlist.outputs:
-            report.dangling_nets.append(name)
-
-    for name in netlist.outputs:
-        net = netlist.nets[name]
-        if net.driver is None or net.driver[0] == PORT and name not in netlist.inputs:
-            if net.driver is None:
-                report.unconnected_outputs.append(name)
-
-    try:
-        levelize(netlist)
-    except NetlistError as exc:
-        message = str(exc)
-        if "loop" in message:
+    analysis = analyze_design(netlist, rules=list(STRUCTURAL_RULES))
+    for finding in analysis.findings:
+        if finding.rule_id == "undriven-input":
+            report.undriven_nets.extend(finding.nets)
+        elif finding.rule_id == "multi-driven-net":
+            report.multi_driven_nets.extend(finding.nets)
+        elif finding.rule_id == "unconnected-output":
+            report.unconnected_outputs.extend(finding.nets)
+        elif finding.rule_id == "dangling-net":
+            report.dangling_nets.extend(finding.nets)
+        elif finding.rule_id == "combinational-loop":
             report.combinational_loop = True
-            report.loop_message = message
-        elif "undriven" in message:
-            pass  # already captured above
-        else:
-            raise
-
+            report.loop_message = finding.message
+            report.loop_instances.extend(finding.instances)
     report.undriven_nets.sort()
     report.dangling_nets.sort()
+    report.multi_driven_nets.sort()
     report.unconnected_outputs.sort()
+    report.loop_instances.sort()
     return report

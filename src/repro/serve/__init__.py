@@ -19,6 +19,7 @@ on a worker pool — any registered backend spec, including the sharded
 """
 
 from .service import (
+    DesignRejectedError,
     ServeRequest,
     ServeResponse,
     ServiceClosedError,
@@ -28,6 +29,7 @@ from .service import (
 )
 
 __all__ = [
+    "DesignRejectedError",
     "ServeRequest",
     "ServeResponse",
     "ServiceClosedError",

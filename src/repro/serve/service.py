@@ -61,8 +61,9 @@ import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..analysis import analyze_design
 from ..api import resolve_backend
 from ..core.compile_cache import fingerprint_annotation, fingerprint_netlist
 from ..core.config import SimConfig
@@ -82,6 +83,21 @@ class ServiceClosedError(ServiceError):
 
 class ServiceOverloadedError(ServiceError):
     """Raised when the bounded request queue cannot admit a request."""
+
+
+class DesignRejectedError(ServiceError):
+    """Raised when design-rule analysis finds error-severity problems.
+
+    Carries the structured :class:`~repro.analysis.AnalysisReport` on
+    ``report`` so the client can see exactly which rules fired and on which
+    nets/instances — the serving front door rejects un-simulatable designs
+    eagerly at ``submit`` time instead of failing the future later inside a
+    worker's ``prepare()``.
+    """
+
+    def __init__(self, message: str, report: Any):
+        super().__init__(message)
+        self.report = report
 
 
 @dataclass(frozen=True)
@@ -244,11 +260,19 @@ class SimulationService:
         ``block=False`` or ``timeout`` is given, in which case a full
         queue raises :class:`ServiceOverloadedError`.  The returned
         future may be ``cancel()``-ed while the request is still queued.
+
+        Admission runs design-rule analysis eagerly (unless the request's
+        config says ``analysis="off"``): a design with error-severity
+        findings is rejected here with :class:`DesignRejectedError` —
+        before it consumes a queue slot or a worker — rather than failing
+        later inside ``prepare()``.  Reports are fingerprint-cached, so
+        repeat submissions of a known design pay a dictionary lookup.
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
         if request.cycles is None and request.duration is None:
             raise ValueError("one of cycles/duration must be provided")
+        self._check_admission(request)
         item = _QueueItem(
             request=request,
             future=Future(),
@@ -274,6 +298,27 @@ class SimulationService:
                 self._stats["max_queue_depth"], self._queue.qsize()
             )
         return item.future
+
+    def _check_admission(self, request: ServeRequest) -> None:
+        """Reject un-simulatable designs at the front door.
+
+        Uses the fingerprint-keyed analysis cache, so the per-submit cost
+        for an already-seen design is one cache lookup (``submit`` computes
+        the same fingerprints for the session key anyway).
+        """
+        config = request.config if request.config is not None else SimConfig()
+        if config.analysis == "off":
+            return
+        report = analyze_design(request.netlist, annotation=request.annotation)
+        if report.has_errors:
+            self._bump("rejected")
+            rule_ids = sorted({f.rule_id for f in report.errors})
+            raise DesignRejectedError(
+                f"design {request.netlist.name!r} rejected by analysis: "
+                f"{len(report.errors)} error finding(s) "
+                f"({', '.join(rule_ids)})",
+                report,
+            )
 
     def run(self, request: ServeRequest, timeout: Optional[float] = None) -> ServeResponse:
         """Synchronous convenience: ``submit`` and wait for the response."""
@@ -320,7 +365,7 @@ class SimulationService:
     def __enter__(self) -> "SimulationService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -493,7 +538,11 @@ class SimulationService:
                 self._inflight.release()
 
     def _execute_fused(
-        self, key: str, run_many, live: List[_QueueItem], reused: bool
+        self,
+        key: str,
+        run_many: Callable[..., List[SimulationResult]],
+        live: List[_QueueItem],
+        reused: bool,
     ) -> bool:
         """Execute a micro-batch as one fused session run.
 

@@ -1,0 +1,12 @@
+"""Seeded XP001 fixture: direct numpy usage in an xp-routed module.
+
+The path mimics ``core/engine.py`` so the linter's xp-routed matcher
+applies; every numpy touch below must be reported.
+"""
+
+import numpy as np  # XP001: direct import
+from numpy import int64  # XP001: direct from-import
+
+
+def leaky_kernel(values):
+    return np.asarray(values, dtype=int64)  # XP001: use of 'np'

@@ -1,0 +1,42 @@
+"""Seeded LK001 fixture: inverted lock acquisition order.
+
+Acquiring the serve stats lock — and worse, a session lock — while
+holding the innermost compile-cache ``_LOCK`` is the deadlock shape the
+lock-rank rule exists to catch.
+"""
+
+import threading
+
+_LOCK = threading.RLock()
+
+
+class BadService:
+    def __init__(self):
+        self._stats_lock = threading.Lock()
+        self._session_lock = threading.RLock()
+
+    def inverted(self):
+        with _LOCK:  # rank 30 (innermost) taken first ...
+            with self._stats_lock:  # LK001: rank 20 under rank 30
+                pass
+
+    def doubly_inverted(self):
+        with self._stats_lock:  # rank 20 first ...
+            with self._session_lock:  # LK001: rank 10 under rank 20
+                pass
+
+    def fine(self):
+        # Rank-ascending nesting is the sanctioned order.
+        with self._session_lock:
+            with self._stats_lock:
+                with _LOCK:
+                    pass
+
+    def nested_function_resets(self):
+        with _LOCK:
+            def callback():
+                # Defined, not called, under the lock: no violation.
+                with self._stats_lock:
+                    pass
+
+            return callback

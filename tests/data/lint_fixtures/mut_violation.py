@@ -1,0 +1,16 @@
+"""Seeded MUT001 fixture: post-construction packed-tensor mutation."""
+
+
+def patch_design(design, tensors, new_flat, new_weights):
+    design.tt_flat = new_flat  # MUT001: plain field assignment
+    design.net_index["extra"] = 0  # fine: reads the mapping, no rebind
+    object.__setattr__(tensors, "weights", new_weights)  # MUT001: frozen bypass
+    object.__setattr__(design, "levels", ())  # MUT001: exempt only for attr form
+    return design
+
+
+def unrelated(obj):
+    # Names outside the packed-design field set must not fire.
+    obj.table = {}
+    obj.data = []
+    obj.device = "numpy"  # exempt: GPU models own a 'device' attribute

@@ -59,7 +59,7 @@ class TestRegistry:
             name = "temp-backend"
             capabilities = BackendCapabilities(description="test stub")
 
-            def prepare(self, netlist, annotation=None, config=None, **options):
+            def _prepare(self, netlist, annotation=None, config=None, **options):
                 raise NotImplementedError
 
         try:

@@ -212,6 +212,9 @@ def blocking_backend():
     class BlockingSession:
         backend_name = "blocking-test"
 
+        def attach_analysis(self, report):
+            pass
+
         def run(self, stimulus, cycles=None, duration=None):
             gate.entered.set()
             if not gate.release.wait(timeout=30):
@@ -224,7 +227,7 @@ def blocking_backend():
         name = "blocking-test"
         capabilities = BackendCapabilities(description="test rig")
 
-        def prepare(self, netlist, annotation=None, config=None, **options):
+        def _prepare(self, netlist, annotation=None, config=None, **options):
             return BlockingSession()
 
     register_backend("blocking-test", BlockingBackend)
