@@ -19,9 +19,11 @@ should reach engines exclusively through ``get_backend(name).prepare(...)``.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+import warnings
+from typing import Any, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import SimConfig
+from ..core.edits import Edit, EditReceipt
 from ..core.engine import GatspiEngine
 from ..core.results import SimulationResult
 from ..core.waveform import Waveform
@@ -46,12 +48,66 @@ def _reject_unknown_options(backend_name: str, options: Mapping[str, object]) ->
 # ----------------------------------------------------------------------
 # gatspi
 # ----------------------------------------------------------------------
+#: Rules re-evaluated after a structural edit batch (fast structural set —
+#: the expensive SDF/statistics rules cannot be invalidated by an ECO edit).
+_STRUCTURAL_EDIT_RULES: Tuple[str, ...] = (
+    "undriven-input",
+    "multi-driven-net",
+    "unconnected-output",
+    "combinational-loop",
+    "negative-delay",
+)
+#: Rules re-evaluated after a delay-only edit batch.
+_DELAY_EDIT_RULES: Tuple[str, ...] = ("negative-delay",)
+
+
+def _check_edit_analysis(
+    engine: GatspiEngine,
+    receipt: EditReceipt,
+    analysis: Optional[str] = None,
+) -> None:
+    """Incremental design-rule gate for an applied edit batch.
+
+    Mirrors prepare-time analysis (`analyze_for_prepare`) but re-evaluates
+    only the rules an edit of this kind can invalidate: delay-only batches
+    check ``negative-delay`` alone, structural batches the fast structural
+    set.  ``analysis="off"`` and empty batches skip entirely.  ``analysis``
+    overrides the engine config's mode (the sharded session passes its
+    outer mode — inner engines always run with analysis off).
+    """
+    if analysis is None:
+        analysis = engine.config.analysis
+    if analysis == "off" or not receipt.seeds:
+        return
+    from ..analysis.engine import AnalysisWarning, DesignAnalysisError, analyze_design
+
+    rules = _DELAY_EDIT_RULES if receipt.delay_only else _STRUCTURAL_EDIT_RULES
+    # The edited design mutates in place under a stable object identity, so
+    # the fingerprint cache must not serve a stale pre-edit report.
+    report = analyze_design(
+        engine.netlist,
+        annotation=engine.annotation,
+        rules=rules,
+        use_cache=False,
+    )
+    if report.has_errors:
+        if analysis == "strict":
+            raise DesignAnalysisError(report)
+        warnings.warn(
+            f"design {engine.netlist.name!r} has analysis errors after edits: "
+            f"{report.summary()}",
+            AnalysisWarning,
+            stacklevel=4,
+        )
+
+
 class GatspiSession(Session):
     """Session over a compiled :class:`GatspiEngine`."""
 
     def __init__(self, engine: GatspiEngine):
         super().__init__("gatspi", engine.netlist, engine.config)
         self.engine = engine
+        self._last_edit_receipt: Optional[EditReceipt] = None
 
     def _run(
         self,
@@ -60,6 +116,41 @@ class GatspiSession(Session):
         duration: int,
     ) -> SimulationResult:
         return self.engine.simulate(stimulus, duration=duration)
+
+    @property
+    def last_edit_receipt(self) -> Optional[EditReceipt]:
+        """Receipt of the most recent :meth:`rerun`/:meth:`apply_edits`."""
+        return self._last_edit_receipt
+
+    def apply_edits(self, edits: Sequence[Edit]) -> EditReceipt:
+        with self._run_lock:
+            receipt = self.engine.apply_edits(list(edits))
+            self._last_edit_receipt = receipt
+        return receipt
+
+    def rerun(
+        self,
+        edits: Sequence[Edit],
+        *,
+        stimulus: Optional[Mapping[str, Waveform]] = None,
+        cycles: Optional[int] = None,
+        duration: Optional[int] = None,
+    ) -> SimulationResult:
+        with self._run_lock:
+            receipt = self.engine.apply_edits(list(edits))
+            try:
+                _check_edit_analysis(self.engine, receipt)
+                result = self.engine.resimulate(
+                    receipt, stimulus, cycles=cycles, duration=duration
+                )
+            except Exception:
+                # Leave the design exactly as before the failed rerun.
+                self.engine.apply_edits(receipt.undo_edits)
+                raise
+            self._last_edit_receipt = receipt
+            self._finalize_stats(result, result.stats.cycles)
+            self._runs_completed += 1
+        return result
 
 
 @register_backend("gatspi")

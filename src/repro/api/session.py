@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import abc
 import threading
-from typing import Mapping, Optional, TYPE_CHECKING
+from typing import Mapping, Optional, Sequence, TYPE_CHECKING
 
 from ..core.config import SimConfig
 from ..core.contract import fanin_weighted_toggles, normalize_horizon, validate_stimulus
+from ..core.edits import Edit, EditReceipt
 from ..core.results import SimulationResult
 from ..core.waveform import Waveform
 from ..netlist import Netlist
@@ -131,6 +132,45 @@ class Session(abc.ABC):
         duration: int,
     ) -> SimulationResult:
         """Backend-specific dispatch; ``cycles``/``duration`` are resolved."""
+
+    # ------------------------------------------------------------------
+    # Incremental re-simulation (opt-in per backend)
+    # ------------------------------------------------------------------
+    def apply_edits(self, edits: Sequence[Edit]) -> EditReceipt:
+        """Apply a batch of netlist/annotation edits to the prepared design.
+
+        Backends that support incremental re-simulation (``gatspi`` and
+        ``gatspi-sharded``) apply the edits in place, refresh only the dirty
+        slices of their compiled artifacts, and return an
+        :class:`~repro.core.edits.EditReceipt` whose ``undo_edits`` restore
+        the previous state exactly.  Other backends raise
+        :class:`NotImplementedError`.
+        """
+        raise NotImplementedError(
+            f"backend {self._backend_name!r} does not support incremental edits"
+        )
+
+    def rerun(
+        self,
+        edits: Sequence[Edit],
+        *,
+        stimulus: Optional[Mapping[str, Waveform]] = None,
+        cycles: Optional[int] = None,
+        duration: Optional[int] = None,
+    ) -> SimulationResult:
+        """Apply ``edits`` and re-simulate only their cone of influence.
+
+        The result is bit-identical to preparing the edited design from
+        scratch and running the same stimulus, but only the gates downstream
+        of the edits are re-executed; clean waveforms are stitched from the
+        previous run.  ``stimulus``/``cycles``/``duration`` default to the
+        previous run's when omitted.  The edits stay applied on success
+        (undo them via the receipt from :attr:`last_edit_receipt` on
+        backends that expose it); on failure the design is left unchanged.
+        """
+        raise NotImplementedError(
+            f"backend {self._backend_name!r} does not support incremental rerun"
+        )
 
     def _finalize_stats(self, result: SimulationResult, cycles: int) -> None:
         """Make ``result.stats`` uniform across backends."""

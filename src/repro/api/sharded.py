@@ -52,6 +52,7 @@ from __future__ import annotations
 import os
 import time
 import weakref
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, List, Mapping, Optional, Sequence, Tuple
@@ -63,6 +64,8 @@ from ..core.contract import (
     normalize_horizon,
     validate_stimulus,
 )
+from ..core.edits import Edit, EditReceipt
+from ..core.engine import RETAINED_RUN_CAPACITY, _RetainedRun
 from ..core.restructure import slice_stimulus
 from ..core.results import PhaseTimings, SimulationResult, SimulationStats
 from ..core.sharding import (
@@ -163,6 +166,14 @@ class ShardedGatspiSession(Session):
         self._gate_output_nets = tuple(
             gate.output_net for gate in engine.compiled.gates.values()
         )
+        # Incremental rerun keeps full-range *merged* results at this level
+        # (keyed by the first engine's journal fingerprint); the inner
+        # engines must not retain their per-share slices, which are useless
+        # as rerun baselines and would pin share-sized waveform sets.
+        for inner in self._inner_sessions:
+            inner.engine.retain_results = False
+        self._retained: "OrderedDict[str, _RetainedRun]" = OrderedDict()
+        self._last_edit_receipt: Optional[EditReceipt] = None
         # Session-lifetime worker pool, created lazily by the first
         # multi-shard run (serving hot path: no per-run thread spawn/join)
         # and shut down when the session is garbage collected.
@@ -201,8 +212,94 @@ class ShardedGatspiSession(Session):
         duration: int,
     ) -> SimulationResult:
         result = self._execute(stimulus, duration)
+        # Retain before the waveform clear below: rerun baselines need the
+        # full merged waveforms (retention is skipped entirely when the
+        # session never stores them, so the clear cannot corrupt the store).
+        self._retain(stimulus, duration, result)
         if not self._config.store_waveforms:
             result.waveforms.clear()
+        return result
+
+    def _retain(
+        self,
+        stimulus: Mapping[str, Waveform],
+        duration: int,
+        result: SimulationResult,
+    ) -> None:
+        if not self._config.store_waveforms:
+            return
+        key = self._inner_sessions[0].engine.journal.fingerprint()
+        self._retained[key] = _RetainedRun(
+            stimulus=dict(stimulus), duration=duration, result=result
+        )
+        self._retained.move_to_end(key)
+        while len(self._retained) > RETAINED_RUN_CAPACITY:
+            self._retained.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Incremental re-simulation
+    # ------------------------------------------------------------------
+    @property
+    def last_edit_receipt(self) -> Optional[EditReceipt]:
+        """Receipt of the most recent :meth:`rerun`/:meth:`apply_edits`."""
+        return self._last_edit_receipt
+
+    def _sync_inner_engines(self) -> None:
+        """Propagate the first engine's post-edit state to every worker."""
+        engine0 = self._inner_sessions[0].engine
+        for inner in self._inner_sessions[1:]:
+            inner.engine.adopt(engine0)
+        self._overlap = engine0.window_overlap
+        self._gate_output_nets = tuple(
+            gate.output_net for gate in engine0.compiled.gates.values()
+        )
+
+    def apply_edits(self, edits: Sequence[Edit]) -> EditReceipt:
+        with self._run_lock:
+            receipt = self._inner_sessions[0].engine.apply_edits(list(edits))
+            self._sync_inner_engines()
+            self._last_edit_receipt = receipt
+        return receipt
+
+    def rerun(
+        self,
+        edits: Sequence[Edit],
+        *,
+        stimulus: Optional[Mapping[str, Waveform]] = None,
+        cycles: Optional[int] = None,
+        duration: Optional[int] = None,
+    ) -> SimulationResult:
+        from .adapters import _check_edit_analysis
+
+        with self._run_lock:
+            engine0 = self._inner_sessions[0].engine
+            receipt = engine0.apply_edits(list(edits))
+            try:
+                _check_edit_analysis(engine0, receipt, self._config.analysis)
+                retained = self._retained.get(receipt.parent_journal)
+                if stimulus is None and retained is not None:
+                    stimulus = retained.stimulus
+                if duration is None and cycles is None and retained is not None:
+                    duration = retained.duration
+                result = engine0.resimulate(
+                    receipt,
+                    stimulus,
+                    cycles=cycles,
+                    duration=duration,
+                    previous=retained.result if retained is not None else None,
+                )
+            except Exception:
+                engine0.apply_edits(receipt.undo_edits)
+                self._sync_inner_engines()
+                raise
+            self._sync_inner_engines()
+            self._last_edit_receipt = receipt
+            if stimulus is not None:
+                self._retain(stimulus, result.duration, result)
+            if not self._config.store_waveforms:
+                result.waveforms.clear()
+            self._finalize_stats(result, result.stats.cycles)
+            self._runs_completed += 1
         return result
 
     def _execute(

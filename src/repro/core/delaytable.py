@@ -170,6 +170,30 @@ class GateDelayTable:
     # ------------------------------------------------------------------
     # Derived tables
     # ------------------------------------------------------------------
+    def copy(self) -> "GateDelayTable":
+        """Deep copy (fresh per-pin arrays; safe to mutate independently)."""
+        result = GateDelayTable(self._pins)
+        for pin in self._pins:
+            result._tables[pin][...] = self._tables[pin]
+        return result
+
+    def with_pin_delay(
+        self, pin: str, rise: float, fall: float
+    ) -> "GateDelayTable":
+        """Copy-on-write variant with one pin's arcs replaced.
+
+        Returns a *new* table whose ``pin`` entries are uniformly
+        ``rise``/``fall`` (both edges, every column) and whose other pins
+        are copied unchanged.  The original table — which may be shared by
+        several gates — is never mutated; this is the sanctioned way for
+        the edit API (:mod:`repro.core.edits`) to resize a delay arc.
+        """
+        if pin not in self._pin_index:
+            raise KeyError(f"unknown input pin {pin!r}")
+        result = self.copy()
+        result.add_arc(DelayArc(pin=pin, rise=float(rise), fall=float(fall)))
+        return result
+
     def averaged(self) -> "GateDelayTable":
         """Collapse conditional delays to per-pin averages.
 

@@ -1,0 +1,614 @@
+"""Typed netlist/annotation deltas for incremental re-simulation (ECO edits).
+
+The glitch-ECO loop iterates *small* design changes — resize a delay arc,
+retype a gate, rewire a pin, insert or remove a path-balancing buffer — and
+the whole point of :meth:`Session.rerun` is that such a change must not pay
+``copy.deepcopy``-the-netlist or recompile-the-world costs.  This module is
+the edit vocabulary that makes that possible:
+
+* Every edit is a small frozen dataclass with an :meth:`Edit.apply` method
+  that mutates the session's ``Netlist``/``DelayAnnotation`` **in place**
+  and returns an :class:`AppliedEdit` receipt carrying the exact *inverse*
+  edit (for undo/rollback) and the *seed gates* whose compiled state the
+  change invalidates.
+* :func:`forward_cone` propagates seeds through the fanout graph to the
+  full cone of influence — the dirty set the engine re-simulates.
+* :class:`EditJournal` chains edit fingerprints so compile-cache entries
+  for edited designs are addressable as ``parent-key ~eco: journal-hash``
+  and an edit immediately followed by its inverse cancels out (the journal
+  — and therefore the cache key — returns to the parent's).
+
+Edits deliberately target **combinational** instances only: sequential
+outputs are stimulus boundaries in re-simulation, so their cone is not
+defined by the gate graph.
+
+Aliasing rule: delay edits never mutate a :class:`GateDelayTable` in place.
+Tables can be shared between gates (and the packed-design delay dedup keys
+off object identity), so :class:`SetPinDelay` builds a copy-on-write
+replacement via :meth:`GateDelayTable.with_pin_delay` and swaps the
+``gate_tables`` entry; the inverse restores the *original table object*,
+which keeps round-tripped designs fingerprint-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    ClassVar,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .delaytable import GateDelayTable, InterconnectDelay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist import Instance, Netlist
+    from ..sdf.annotate import DelayAnnotation
+
+
+class EditError(ValueError):
+    """Raised when an edit cannot be applied to the current design."""
+
+
+# ======================================================================
+# Base protocol
+# ======================================================================
+@dataclass(frozen=True)
+class AppliedEdit:
+    """Receipt for one successfully applied edit.
+
+    ``inverse`` undoes the edit exactly (applying it restores the netlist
+    and annotation to their prior state); ``seeds`` are the gate names
+    whose compiled per-gate state (truth/delay/wire rows) the edit
+    invalidated — the starting points for cone-of-influence dirty marking.
+    """
+
+    edit: "Edit"
+    inverse: "Edit"
+    seeds: Tuple[str, ...]
+
+
+class Edit:
+    """Base class for the ECO edit vocabulary.
+
+    ``structural`` edits change the gate graph (levelization, net set),
+    forcing a re-levelize; non-structural edits only patch per-gate rows
+    of the packed tensors.  ``delay_only`` edits cannot change logic
+    function or connectivity, which lets the analysis layer skip every
+    structural design rule on rerun.
+    """
+
+    structural: ClassVar[bool] = False
+    delay_only: ClassVar[bool] = False
+
+    def apply(
+        self, netlist: "Netlist", annotation: "DelayAnnotation"
+    ) -> AppliedEdit:
+        """Mutate the design in place; return the receipt (with inverse)."""
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint (keys the edit journal)."""
+        raise NotImplementedError
+
+
+def _combinational_instance(netlist: "Netlist", gate: str) -> "Instance":
+    if gate not in netlist.instances:
+        raise EditError(f"unknown instance {gate!r}")
+    inst = netlist.instances[gate]
+    if inst.cell.is_sequential:
+        raise EditError(
+            f"edits target combinational gates; {gate!r} is sequential"
+        )
+    return inst
+
+
+def _require_input_pin(inst: "Instance", pin: str) -> None:
+    if pin not in inst.cell.inputs:
+        raise EditError(
+            f"gate {inst.name!r} ({inst.cell_name}) has no input pin {pin!r}"
+        )
+
+
+def _table_fingerprint(table: Optional[GateDelayTable]) -> str:
+    if table is None:
+        return "absent"
+    digest = hashlib.sha256()
+    for pin in table.pins:
+        digest.update(pin.encode())
+        digest.update(table.table_for(pin).tobytes())
+    return digest.hexdigest()[:12]
+
+
+def _wire_fingerprint(entry: Optional[InterconnectDelay]) -> str:
+    if entry is None:
+        return "absent"
+    return f"{entry.rise:.17g},{entry.fall:.17g}"
+
+
+# ======================================================================
+# Delay edits (non-structural, delay-only)
+# ======================================================================
+@dataclass(frozen=True)
+class SetPinDelay(Edit):
+    """Replace one input pin's delay arcs with uniform ``rise``/``fall``."""
+
+    gate: str
+    pin: str
+    rise: float
+    fall: float
+
+    delay_only = True
+
+    def apply(
+        self, netlist: "Netlist", annotation: "DelayAnnotation"
+    ) -> AppliedEdit:
+        inst = _combinational_instance(netlist, self.gate)
+        _require_input_pin(inst, self.pin)
+        # Record the *exact* prior state: the table object if one exists,
+        # or absence (table_for would lazily insert a default on a miss).
+        previous = annotation.gate_tables.get(self.gate)
+        base = annotation.table_for(self.gate)
+        annotation.gate_tables[self.gate] = base.with_pin_delay(
+            self.pin, self.rise, self.fall
+        )
+        inverse = _RestoreGateTable(gate=self.gate, table=previous)
+        return AppliedEdit(self, inverse, (self.gate,))
+
+    def fingerprint(self) -> str:
+        return (
+            f"pin-delay|{self.gate}|{self.pin}|"
+            f"{float(self.rise):.17g}|{float(self.fall):.17g}"
+        )
+
+
+@dataclass(frozen=True)
+class SetWireDelay(Edit):
+    """Set the interconnect (wire) delay at one gate input pin."""
+
+    gate: str
+    pin: str
+    rise: float
+    fall: float
+
+    delay_only = True
+
+    def apply(
+        self, netlist: "Netlist", annotation: "DelayAnnotation"
+    ) -> AppliedEdit:
+        inst = _combinational_instance(netlist, self.gate)
+        _require_input_pin(inst, self.pin)
+        key = (self.gate, self.pin)
+        previous = annotation.interconnect.get(key)
+        annotation.interconnect[key] = InterconnectDelay(
+            rise=float(self.rise), fall=float(self.fall)
+        )
+        inverse = _RestoreWireDelay(gate=self.gate, pin=self.pin, entry=previous)
+        return AppliedEdit(self, inverse, (self.gate,))
+
+    def fingerprint(self) -> str:
+        return (
+            f"wire-delay|{self.gate}|{self.pin}|"
+            f"{float(self.rise):.17g}|{float(self.fall):.17g}"
+        )
+
+
+@dataclass(frozen=True)
+class _RestoreGateTable(Edit):
+    """Internal inverse: put back a gate's previous delay-table object."""
+
+    gate: str
+    table: Optional[GateDelayTable]
+
+    delay_only = True
+
+    def apply(
+        self, netlist: "Netlist", annotation: "DelayAnnotation"
+    ) -> AppliedEdit:
+        _combinational_instance(netlist, self.gate)
+        previous = annotation.gate_tables.get(self.gate)
+        if self.table is None:
+            annotation.gate_tables.pop(self.gate, None)
+        else:
+            annotation.gate_tables[self.gate] = self.table
+        inverse = _RestoreGateTable(gate=self.gate, table=previous)
+        return AppliedEdit(self, inverse, (self.gate,))
+
+    def fingerprint(self) -> str:
+        return f"restore-table|{self.gate}|{_table_fingerprint(self.table)}"
+
+
+@dataclass(frozen=True)
+class _RestoreWireDelay(Edit):
+    """Internal inverse: put back (or delete) one interconnect entry."""
+
+    gate: str
+    pin: str
+    entry: Optional[InterconnectDelay]
+
+    delay_only = True
+
+    def apply(
+        self, netlist: "Netlist", annotation: "DelayAnnotation"
+    ) -> AppliedEdit:
+        _combinational_instance(netlist, self.gate)
+        key = (self.gate, self.pin)
+        previous = annotation.interconnect.get(key)
+        if self.entry is None:
+            annotation.interconnect.pop(key, None)
+        else:
+            annotation.interconnect[key] = self.entry
+        inverse = _RestoreWireDelay(gate=self.gate, pin=self.pin, entry=previous)
+        return AppliedEdit(self, inverse, (self.gate,))
+
+    def fingerprint(self) -> str:
+        return (
+            f"restore-wire|{self.gate}|{self.pin}|"
+            f"{_wire_fingerprint(self.entry)}"
+        )
+
+
+# ======================================================================
+# Logic edits (non-structural)
+# ======================================================================
+@dataclass(frozen=True)
+class RetypeGate(Edit):
+    """Swap a gate's cell for a pin-compatible one (e.g. AND2 → NAND2).
+
+    The replacement cell must be combinational with the same ordered input
+    pin list and output pin name, so connectivity and levelization are
+    untouched — only the truth-table row of the packed design changes.
+    """
+
+    gate: str
+    cell: str
+
+    def apply(
+        self, netlist: "Netlist", annotation: "DelayAnnotation"
+    ) -> AppliedEdit:
+        inst = _combinational_instance(netlist, self.gate)
+        old = inst.cell
+        try:
+            new = netlist.library.get(self.cell)
+        except KeyError as exc:
+            raise EditError(str(exc)) from exc
+        if new.is_sequential:
+            raise EditError(f"cannot retype {self.gate!r} to sequential cell "
+                            f"{self.cell!r}")
+        if tuple(new.inputs) != tuple(old.inputs) or new.output != old.output:
+            raise EditError(
+                f"retype {self.gate!r}: {self.cell!r} pins "
+                f"{new.inputs + (new.output,)} are incompatible with "
+                f"{old.name!r} pins {old.inputs + (old.output,)}"
+            )
+        inst.cell = new
+        return AppliedEdit(self, RetypeGate(self.gate, old.name), (self.gate,))
+
+    def fingerprint(self) -> str:
+        return f"retype|{self.gate}|{self.cell}"
+
+
+# ======================================================================
+# Structural edits
+# ======================================================================
+@dataclass(frozen=True)
+class RewirePin(Edit):
+    """Reconnect one input pin to a different existing net."""
+
+    gate: str
+    pin: str
+    net: str
+
+    structural = True
+
+    def apply(
+        self, netlist: "Netlist", annotation: "DelayAnnotation"
+    ) -> AppliedEdit:
+        inst = _combinational_instance(netlist, self.gate)
+        _require_input_pin(inst, self.pin)
+        if self.net not in netlist.nets:
+            raise EditError(f"unknown net {self.net!r}")
+        old_net_name = inst.connections[self.pin]
+        if old_net_name != self.net:
+            old_net = netlist.nets[old_net_name]
+            old_net.loads = [
+                load for load in old_net.loads if load != (self.gate, self.pin)
+            ]
+            netlist.nets[self.net].loads.append((self.gate, self.pin))
+            inst.connections[self.pin] = self.net
+        inverse = RewirePin(self.gate, self.pin, old_net_name)
+        return AppliedEdit(self, inverse, (self.gate,))
+
+    def fingerprint(self) -> str:
+        return f"rewire|{self.gate}|{self.pin}|{self.net}"
+
+
+@dataclass(frozen=True)
+class InsertBuffer(Edit):
+    """Insert a delay buffer in front of one input pin (path balancing).
+
+    Mirrors the glitch-fix transform exactly: the original net keeps
+    driving every other load; the targeted pin is re-routed through the
+    new buffer, whose table is ``rise = fall = max(1, delay)``; the pin's
+    wire delay moves onto the buffer's input and the pin itself gets zero
+    wire delay.  ``buffer_name`` pins the instance name (used by undo);
+    left ``None``, ``glitchfix_<gate>_<pin>[_<k>]`` is chosen.
+    """
+
+    gate: str
+    pin: str
+    delay: float
+    buffer_cell: str = "DLY"
+    buffer_name: Optional[str] = None
+
+    structural = True
+
+    def apply(
+        self, netlist: "Netlist", annotation: "DelayAnnotation"
+    ) -> AppliedEdit:
+        inst = _combinational_instance(netlist, self.gate)
+        _require_input_pin(inst, self.pin)
+        try:
+            cell = netlist.library.get(self.buffer_cell)
+        except KeyError as exc:
+            raise EditError(str(exc)) from exc
+        if cell.is_sequential or cell.num_inputs != 1:
+            raise EditError(
+                f"buffer cell {self.buffer_cell!r} must be combinational "
+                f"with exactly one input"
+            )
+        original_net = inst.connections[self.pin]
+        if self.buffer_name is not None:
+            buffer_name = self.buffer_name
+            buffer_net = f"{buffer_name}_out"
+            if buffer_name in netlist.instances or buffer_net in netlist.nets:
+                raise EditError(
+                    f"buffer name {buffer_name!r} (or its net) already exists"
+                )
+        else:
+            buffer_name = f"glitchfix_{self.gate}_{self.pin}"
+            buffer_net = f"{buffer_name}_out"
+            suffix = 0
+            while buffer_name in netlist.instances or buffer_net in netlist.nets:
+                suffix += 1
+                buffer_name = f"glitchfix_{self.gate}_{self.pin}_{suffix}"
+                buffer_net = f"{buffer_name}_out"
+
+        # Record prior annotation state for the exact inverse.
+        wire_key = (self.gate, self.pin)
+        previous_wire = annotation.interconnect.get(wire_key)
+
+        # Detach the pin from the original net.
+        net = netlist.nets[original_net]
+        net.loads = [load for load in net.loads if load != (self.gate, self.pin)]
+
+        netlist.add_instance(
+            self.buffer_cell, buffer_name,
+            {cell.inputs[0]: original_net, cell.output: buffer_net},
+        )
+        # Reattach the pin to the buffered net.
+        inst.connections[self.pin] = buffer_net
+        netlist.nets[buffer_net].loads.append((self.gate, self.pin))
+
+        # Annotate the new buffer and the (now buffered) pin.
+        delay = max(1.0, float(self.delay))
+        table = GateDelayTable.uniform(cell.inputs, delay, delay)
+        annotation.gate_tables[buffer_name] = table
+        annotation.interconnect[(buffer_name, cell.inputs[0])] = (
+            annotation.interconnect.pop(wire_key, InterconnectDelay(0.0, 0.0))
+        )
+        annotation.interconnect[wire_key] = InterconnectDelay(0.0, 0.0)
+
+        inverse = RemoveBuffer(
+            buffer=buffer_name, restored_wire=previous_wire, exact=True
+        )
+        # Both the new buffer and the edited gate need fresh compiled rows.
+        return AppliedEdit(self, inverse, (buffer_name, self.gate))
+
+    def fingerprint(self) -> str:
+        return (
+            f"insert-buffer|{self.gate}|{self.pin}|{float(self.delay):.17g}|"
+            f"{self.buffer_cell}|{self.buffer_name or ''}"
+        )
+
+
+@dataclass(frozen=True)
+class RemoveBuffer(Edit):
+    """Remove a single-input buffer, splicing its load back to its input.
+
+    Only removable shapes are accepted: a combinational one-input cell
+    whose output net has exactly one load, and that load is a gate input
+    pin (not a primary output).  When constructed as the inverse of an
+    :class:`InsertBuffer` (``exact=True``), the load pin's wire-delay
+    entry is restored byte-exactly (present vs. absent); a user-written
+    removal moves the buffer's input wire delay back onto the pin, which
+    is simulation-identical but may differ in explicit-zero bookkeeping.
+    """
+
+    buffer: str
+    restored_wire: Optional[InterconnectDelay] = None
+    exact: bool = False
+
+    structural = True
+
+    def apply(
+        self, netlist: "Netlist", annotation: "DelayAnnotation"
+    ) -> AppliedEdit:
+        inst = _combinational_instance(netlist, self.buffer)
+        cell = inst.cell
+        if cell.num_inputs != 1:
+            raise EditError(
+                f"{self.buffer!r} ({cell.name}) is not a one-input buffer"
+            )
+        in_pin = cell.inputs[0]
+        in_net_name = inst.connections[in_pin]
+        out_net_name = inst.connections[cell.output]
+        out_net = netlist.nets[out_net_name]
+        loads = list(out_net.loads)
+        if len(loads) != 1 or loads[0][0] not in netlist.instances:
+            raise EditError(
+                f"buffer {self.buffer!r} output net {out_net_name!r} must "
+                f"drive exactly one gate input (has loads {loads})"
+            )
+        load_gate, load_pin = loads[0]
+
+        # Splice the load back onto the buffer's input net.
+        in_net = netlist.nets[in_net_name]
+        in_net.loads = [
+            load for load in in_net.loads if load != (self.buffer, in_pin)
+        ]
+        netlist.instances[load_gate].connections[load_pin] = in_net_name
+        in_net.loads.append((load_gate, load_pin))
+        del netlist.instances[self.buffer]
+        del netlist.nets[out_net_name]
+
+        old_table = annotation.gate_tables.pop(self.buffer, None)
+        buffer_wire = annotation.interconnect.pop((self.buffer, in_pin), None)
+        wire_key = (load_gate, load_pin)
+        if self.exact:
+            if self.restored_wire is None:
+                annotation.interconnect.pop(wire_key, None)
+            else:
+                annotation.interconnect[wire_key] = self.restored_wire
+        else:
+            if buffer_wire is None:
+                annotation.interconnect.pop(wire_key, None)
+            else:
+                annotation.interconnect[wire_key] = buffer_wire
+
+        delay = old_table.max_finite_delay() if old_table is not None else 1.0
+        inverse = InsertBuffer(
+            gate=load_gate, pin=load_pin, delay=max(1.0, delay),
+            buffer_cell=cell.name, buffer_name=self.buffer,
+        )
+        return AppliedEdit(self, inverse, (load_gate,))
+
+    def fingerprint(self) -> str:
+        return (
+            f"remove-buffer|{self.buffer}|"
+            f"{_wire_fingerprint(self.restored_wire)}|{int(self.exact)}"
+        )
+
+
+# ======================================================================
+# Journal + receipts
+# ======================================================================
+@dataclass(frozen=True)
+class JournalEntry:
+    """One recorded edit: its fingerprint, its inverse's, and its class."""
+
+    fingerprint: str
+    inverse_fingerprint: str
+    structural: bool
+    delay_only: bool
+
+
+class EditJournal:
+    """Ordered chain of applied edits, with inverse cancellation.
+
+    The journal fingerprint extends a design's compile-cache key
+    (``parent ~eco: <journal-hash>``) so repeated ECO iterations stay
+    warm.  Recording an edit whose fingerprint equals the *inverse*
+    fingerprint of the latest entry pops that entry instead — an
+    apply/undo round trip restores the parent's key exactly.
+    """
+
+    def __init__(self, entries: Iterable[JournalEntry] = ()):
+        self._entries: List[JournalEntry] = list(entries)
+
+    def record(self, edit: Edit, inverse: Edit) -> None:
+        fingerprint = edit.fingerprint()
+        if self._entries and self._entries[-1].inverse_fingerprint == fingerprint:
+            self._entries.pop()
+            return
+        self._entries.append(
+            JournalEntry(
+                fingerprint=fingerprint,
+                inverse_fingerprint=inverse.fingerprint(),
+                structural=type(edit).structural,
+                delay_only=type(edit).delay_only,
+            )
+        )
+
+    def fingerprint(self) -> str:
+        """Chain hash of the recorded edits; ``""`` when empty."""
+        if not self._entries:
+            return ""
+        digest = hashlib.sha256()
+        for entry in self._entries:
+            digest.update(entry.fingerprint.encode())
+            digest.update(b"\n")
+        return digest.hexdigest()[:16]
+
+    @property
+    def delay_only(self) -> bool:
+        return all(entry.delay_only for entry in self._entries)
+
+    @property
+    def entries(self) -> Tuple[JournalEntry, ...]:
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass(frozen=True)
+class EditReceipt:
+    """What :meth:`GatspiEngine.apply_edits` hands back for one batch.
+
+    ``inverses`` are in application order; :attr:`undo_edits` reverses
+    them, ready to feed back through ``apply_edits`` to roll the whole
+    batch back (journal entries cancel pairwise, so the compile-cache
+    key returns to ``parent_journal``'s).
+    """
+
+    edits: Tuple[Edit, ...]
+    inverses: Tuple[Edit, ...]
+    seeds: Tuple[str, ...]
+    structural: bool
+    delay_only: bool
+    parent_journal: str
+    journal: str
+
+    @property
+    def undo_edits(self) -> Tuple[Edit, ...]:
+        return tuple(reversed(self.inverses))
+
+
+# ======================================================================
+# Cone of influence
+# ======================================================================
+def forward_cone(
+    netlist: "Netlist", seeds: Sequence[str]
+) -> FrozenSet[str]:
+    """Combinational gates reachable forward from ``seeds`` (inclusive).
+
+    Propagation follows output-net loads and stops at sequential elements
+    and ports (re-simulation boundaries).  Seed names not present in the
+    netlist (e.g. a buffer that a later edit in the same batch removed)
+    are skipped.
+    """
+    instances = netlist.instances
+    pending = [
+        name for name in seeds
+        if name in instances and not instances[name].cell.is_sequential
+    ]
+    dirty = set(pending)
+    while pending:
+        gate = pending.pop()
+        inst = instances[gate]
+        output = inst.connections[inst.cell.output]
+        for load_gate, _pin in netlist.nets[output].loads:
+            if load_gate in dirty or load_gate not in instances:
+                continue
+            if instances[load_gate].cell.is_sequential:
+                continue
+            dirty.add(load_gate)
+            pending.append(load_gate)
+    return frozenset(dirty)

@@ -34,7 +34,8 @@ the paper describes for testbenches that exceed device memory.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..netlist import CompiledGraph, Netlist, compile_netlist, levelize
@@ -46,6 +47,14 @@ from .contract import (
     fanin_weighted_toggles,
     normalize_horizon,
     validate_stimulus,
+)
+from .edits import AppliedEdit, Edit, EditJournal, EditReceipt
+from .incremental import (
+    ExecutionPlan,
+    build_dirty_plan,
+    derive_compile_key,
+    full_plan,
+    rebuild_artifacts,
 )
 from .kernel import GateKernelInputs, GateKernelResult, simulate_gate_window
 from .memory import DeviceMemoryError, WaveformPool
@@ -62,6 +71,19 @@ from .results import PhaseTimings, SimulationResult, SimulationStats
 from .vector_kernel import PackedDesign, pack_design, simulate_level, tile_level
 from .waveform import EOW, INITIAL_ONE_MARKER, Waveform
 from .xp import HOST, ArrayBackend, get_array_backend
+
+#: Previous-run results kept per engine for incremental re-simulation,
+#: keyed by edit-journal fingerprint (the state of the design they ran on).
+RETAINED_RUN_CAPACITY = 4
+
+
+@dataclass
+class _RetainedRun:
+    """One completed run retained as the base for incremental reruns."""
+
+    stimulus: Dict[str, Waveform] = field(default_factory=dict)
+    duration: int = 0
+    result: Optional[SimulationResult] = None
 
 
 @dataclass
@@ -141,6 +163,16 @@ class GatspiEngine:
         self._compile_time = 0.0
         self._compile_cache_hit = False
         self._estimated_path_delay = 0
+        self._artifacts: Optional[compile_cache.CompiledArtifacts] = None
+        self._base_compile_key: Optional[str] = None
+        self._journal = EditJournal()
+        self._plan: Optional[ExecutionPlan] = None
+        #: Completed runs kept as incremental-rerun bases (LRU, see
+        #: :data:`RETAINED_RUN_CAPACITY`).  Sharded inner engines disable
+        #: retention — their runs cover window sub-ranges, not the full
+        #: horizon an incremental rerun stitches from.
+        self.retain_results = True
+        self._retained: "OrderedDict[str, _RetainedRun]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Compilation (netlist + SDF -> arrays)
@@ -203,23 +235,37 @@ class GatspiEngine:
                 netlist_fingerprint=netlist_fp,
             )
             artifacts = compile_cache.lookup(key)
-        self._compile_cache_hit = artifacts is not None
+        cache_hit = artifacts is not None
         if artifacts is None:
             artifacts = self._build_artifacts(netlist_fingerprint=netlist_fp)
             if key is not None:
                 compile_cache.store(key, artifacts)
-        # Cached artifacts are shared between engines and treated as
-        # immutable; the one mapping the engine exposes for mutation-style
-        # access (tests patch per-gate inputs) is copied per compile, which
-        # also guarantees recompiles drop stale entries.
+        self._base_compile_key = key
+        self._install_artifacts(artifacts, cache_hit=cache_hit)
+        self._compile_time = time.perf_counter() - start
+        return self._compiled
+
+    def _install_artifacts(
+        self,
+        artifacts: compile_cache.CompiledArtifacts,
+        cache_hit: bool = False,
+    ) -> None:
+        """Swap the engine onto a set of compiled artifacts.
+
+        Cached artifacts are shared between engines and treated as
+        immutable; the one mapping the engine exposes for mutation-style
+        access (tests patch per-gate inputs) is copied per install, which
+        also guarantees recompiles drop stale entries.
+        """
+        self._artifacts = artifacts
         self._compiled = artifacts.compiled
         self._gate_inputs = dict(artifacts.gate_inputs)
         self._packed = artifacts.packed
         self._readback_net_ids = artifacts.readback_net_ids
         self._source_net_ids = artifacts.source_net_ids
         self._estimated_path_delay = artifacts.estimated_path_delay
-        self._compile_time = time.perf_counter() - start
-        return self._compiled
+        self._compile_cache_hit = cache_hit
+        self._plan = None
 
     def _build_artifacts(
         self, netlist_fingerprint: Optional[str] = None
@@ -309,6 +355,282 @@ class GatspiEngine:
         return self._estimated_path_delay
 
     # ------------------------------------------------------------------
+    # Incremental recompilation (edit API)
+    # ------------------------------------------------------------------
+    @property
+    def journal(self) -> EditJournal:
+        """The edit journal chaining this engine's state to its base compile."""
+        return self._journal
+
+    def apply_edits(self, edits: Sequence[Edit]) -> EditReceipt:
+        """Apply an edit batch in place and incrementally recompile.
+
+        The batch is transactional: if any edit fails to apply, or the
+        incremental recompile fails, every already-applied edit is undone
+        (and its journal entry cancelled) before the exception propagates —
+        the engine's design and artifacts are left exactly as before.
+
+        Returns an :class:`~repro.core.edits.EditReceipt` whose
+        ``undo_edits`` reverse the batch (via another ``apply_edits`` call)
+        and whose seeds drive :meth:`resimulate`.
+        """
+        if self._compiled is None:
+            self.compile()
+        parent = self._journal.fingerprint()
+        applied: List[AppliedEdit] = []
+        try:
+            for edit in edits:
+                applied.append(edit.apply(self.netlist, self.annotation))
+        except Exception:
+            for done in reversed(applied):
+                done.inverse.apply(self.netlist, self.annotation)
+            raise
+        seeds: List[str] = []
+        structural = False
+        delay_only = True
+        for done in applied:
+            self._journal.record(done.edit, done.inverse)
+            seeds.extend(done.seeds)
+            structural = structural or done.edit.structural
+            delay_only = delay_only and done.edit.delay_only
+        seed_names = tuple(dict.fromkeys(seeds))
+        try:
+            self._refresh_artifacts(seed_names, structural)
+        except Exception:
+            for done in reversed(applied):
+                undone = done.inverse.apply(self.netlist, self.annotation)
+                self._journal.record(done.inverse, undone.inverse)
+            raise
+        return EditReceipt(
+            edits=tuple(done.edit for done in applied),
+            inverses=tuple(done.inverse for done in applied),
+            seeds=seed_names,
+            structural=structural,
+            delay_only=delay_only and bool(applied),
+            parent_journal=parent,
+            journal=self._journal.fingerprint(),
+        )
+
+    def _refresh_artifacts(
+        self, seeds: Tuple[str, ...], structural: bool
+    ) -> None:
+        """Re-derive compiled artifacts after an edit batch.
+
+        Journal-chained cache keys make ECO iteration warm: the derived
+        key is the base compile key plus the journal fingerprint, so
+        re-applying a previously seen batch (or undoing one) adopts the
+        cached artifacts instead of rebuilding; otherwise only the dirty
+        slices are rebuilt (:func:`~repro.core.incremental.rebuild_artifacts`).
+        """
+        if not seeds:
+            return
+        previous = self._artifacts
+        if previous is None:  # pragma: no cover - compile() precedes edits
+            self.compile()
+            return
+        key = None
+        if self._base_compile_key is not None and self.config.compile_cache:
+            key = derive_compile_key(self._base_compile_key, self._journal)
+            cached = compile_cache.lookup(key)
+            if cached is not None:
+                self._install_artifacts(cached, cache_hit=True)
+                return
+        artifacts = rebuild_artifacts(
+            previous,
+            self.netlist,
+            self.annotation,
+            self.config,
+            seeds,
+            structural,
+            self._xp,
+        )
+        if key is not None:
+            compile_cache.store(key, artifacts)
+        self._install_artifacts(artifacts, cache_hit=False)
+
+    def adopt(self, other: "GatspiEngine") -> None:
+        """Adopt another engine's design state and compiled artifacts.
+
+        Used by the sharded backend to keep its inner engines coherent
+        after edits are applied through the first one: artifacts do not
+        depend on ``cycle_parallelism``, so sharing them across engines
+        whose configs differ only in window partitioning is exact.
+        """
+        self.netlist = other.netlist
+        self.annotation = other.annotation
+        self._journal = other._journal
+        self._base_compile_key = other._base_compile_key
+        if other._artifacts is not None:
+            self._install_artifacts(other._artifacts, cache_hit=True)
+
+    def resimulate(
+        self,
+        receipt: EditReceipt,
+        stimulus: Optional[Mapping[str, Waveform]] = None,
+        cycles: Optional[int] = None,
+        duration: Optional[int] = None,
+        previous: Optional[SimulationResult] = None,
+    ) -> SimulationResult:
+        """Re-simulate only the cone of influence of an applied edit batch.
+
+        ``previous`` (default: the retained run of the receipt's parent
+        state) supplies the clean nets' waveforms; dirty gates re-simulate
+        from the exact boundary waveforms, and the merged result is
+        bit-identical to a cold full run of the edited design.  Falls back
+        to :meth:`simulate` whenever partial execution cannot be exact:
+        no usable previous run, a user-pinned ``window_overlap``, disabled
+        waveform storage, or a changed stimulus/horizon.
+        """
+        retained = self._retained.get(receipt.parent_journal)
+        if previous is None and retained is not None:
+            previous = retained.result
+        if stimulus is None and retained is not None:
+            stimulus = retained.stimulus
+        if duration is None and cycles is None and retained is not None:
+            duration = retained.duration
+        if stimulus is None:
+            raise ValueError(
+                "resimulate() needs a stimulus: none was given and no "
+                "previous run is retained for the receipt's parent state"
+            )
+        cycles, duration = normalize_horizon(
+            cycles, duration, self.config.clock_period
+        )
+        if not receipt.seeds:
+            # Empty dirty set: the design is unchanged, so the previous
+            # result (when reusable) already is the answer.
+            if (
+                previous is not None
+                and previous.duration == duration
+                and self._same_stimulus(stimulus, previous)
+            ):
+                stats = replace(
+                    previous.stats,
+                    incremental=True, dirty_gates=0, dirty_fraction=0.0,
+                )
+                return replace(previous, stats=stats)
+            return self.simulate(stimulus, duration=duration)
+        plan = None
+        if previous is not None and self._partial_ok(previous, stimulus, duration):
+            plan = build_dirty_plan(
+                self.compiled,
+                self._gate_inputs,
+                self.netlist,
+                receipt.seeds,
+                self._xp,
+            )
+            if plan is not None and any(
+                net not in previous.waveforms and net not in stimulus
+                for net in plan.source_nets
+            ):
+                plan = None
+        if plan is None or previous is None:
+            return self.simulate(stimulus, duration=duration)
+        validate_stimulus(self.netlist, stimulus)
+        # True stimulus sources are clipped at the horizon — the extended
+        # window slices of a partial run reach past window ends, but a cold
+        # run never feeds stimulus events at or beyond ``duration``.
+        sources = {}
+        for net in plan.source_nets:
+            if net in stimulus:
+                wave = stimulus[net]
+                if int(wave.data[-2]) >= duration:
+                    wave = wave.window(0, duration, rebase=True)
+                sources[net] = wave
+            else:
+                sources[net] = previous.waveforms[net]
+        compiled = self.compiled
+        config = self.config
+        timings = PhaseTimings()
+        stats = SimulationStats(
+            gate_count=compiled.gate_count,
+            levels=compiled.depth,
+            widest_level=compiled.levelization.widest_level,
+            cycles=cycles,
+            kernel_mode=config.kernel,
+            restructure_mode=config.restructure,
+            device=self._xp.name,
+            incremental=True,
+            dirty_gates=plan.dirty_gates,
+            dirty_fraction=plan.dirty_fraction,
+        )
+        outputs = self._execute_partial(plan, sources, duration, timings, stats)
+
+        start = time.perf_counter()
+        result = SimulationResult(duration=duration, timings=timings, stats=stats)
+        for net in self.netlist.source_nets():
+            wave = stimulus[net]
+            result.toggle_counts[net] = wave.toggles_in(0, duration - 1)
+            result.waveforms[net] = wave
+        total_output_transitions = 0
+        dirty_nets = set(plan.readback_nets)
+        for gate in compiled.gates.values():
+            net = gate.output_net
+            if net in dirty_nets:
+                count, wave = outputs[net]
+            else:
+                count = previous.toggle_counts[net]
+                wave = previous.waveforms[net]
+            result.toggle_counts[net] = count
+            result.waveforms[net] = wave
+            total_output_transitions += count
+        stats.output_transitions = total_output_transitions
+        stats.input_events = fanin_weighted_toggles(
+            self.netlist, result.toggle_counts
+        )
+        timings.readback += time.perf_counter() - start
+        self._retain(stimulus, duration, result)
+        return result
+
+    def _partial_ok(
+        self,
+        previous: Optional[SimulationResult],
+        stimulus: Mapping[str, Waveform],
+        duration: int,
+    ) -> bool:
+        """Whether partial execution is provably exact for this rerun."""
+        if previous is None or not previous.waveforms:
+            return False
+        if not self.config.store_waveforms:
+            return False
+        if self.config.window_overlap is not None:
+            # Partial execution relies on the settle-margin invariance
+            # argument, which needs the margin to cover the (post-edit)
+            # critical path; a user-pinned overlap voids that guarantee.
+            return False
+        if previous.duration != duration:
+            return False
+        return self._same_stimulus(stimulus, previous)
+
+    def _same_stimulus(
+        self, stimulus: Mapping[str, Waveform], previous: SimulationResult
+    ) -> bool:
+        for net in self.netlist.source_nets():
+            wave = stimulus.get(net)
+            prior = previous.waveforms.get(net)
+            if wave is None or prior is None:
+                return False
+            if wave is not prior and wave != prior:
+                return False
+        return True
+
+    def _retain(
+        self,
+        stimulus: Mapping[str, Waveform],
+        duration: int,
+        result: SimulationResult,
+    ) -> None:
+        if not (self.retain_results and self.config.store_waveforms):
+            return
+        key = self._journal.fingerprint()
+        self._retained[key] = _RetainedRun(
+            stimulus=dict(stimulus), duration=duration, result=result
+        )
+        self._retained.move_to_end(key)
+        while len(self._retained) > RETAINED_RUN_CAPACITY:
+            self._retained.popitem(last=False)
+
+    # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
     def simulate(
@@ -327,9 +649,10 @@ class GatspiEngine:
         config = self.config
         cycles, duration = normalize_horizon(cycles, duration, config.clock_period)
         validate_stimulus(self.netlist, stimulus)
+        plan = self._full_plan()
 
         windows = self._window_ranges(duration)
-        self._check_sentinel_headroom(stimulus, windows)
+        self._check_sentinel_headroom(stimulus, windows, plan.source_nets)
         timings = PhaseTimings()
         stats = SimulationStats(
             gate_count=compiled.gate_count,
@@ -346,40 +669,118 @@ class GatspiEngine:
             # Lower the stimulus once into flat event tensors; every
             # segment batch slices the same tensors.
             start = time.perf_counter()
-            events = lower_stimulus(tuple(self.netlist.source_nets()), stimulus)
+            events = lower_stimulus(plan.source_nets, stimulus)
             timings.restructure += time.perf_counter() - start
             # Host→device transfer point (the only one of the stimulus
             # path): the lowered event tensors move to the device once.
             start = time.perf_counter()
             events = events.to_device(self._xp)
             timings.host_to_device += time.perf_counter() - start
-            readback = _ReadbackAccumulator(
-                tuple(gate.output_net for gate in compiled.gates.values())
-            )
+            readback = _ReadbackAccumulator(plan.readback_nets)
             stats.segments = self._segment_windows(
                 windows,
                 lambda batch: self._simulate_batch_vector(
-                    events, batch, duration, timings, stats, readback
+                    events, batch, duration, timings, stats, readback, plan
                 ),
             )
-            return self._assemble_result_vector(
+            result = self._assemble_result_vector(
                 stimulus, windows, readback, duration, timings, stats
             )
+            self._retain(stimulus, duration, result)
+            return result
 
         window_outputs: Dict[str, Dict[int, Waveform]] = {}
         stats.segments = self._segment_windows(
             windows,
             lambda batch: self._simulate_batch(
-                stimulus, batch, duration, timings, stats, window_outputs
+                stimulus, batch, duration, timings, stats, window_outputs, plan
             ),
         )
         result = self._assemble_result(
             stimulus, windows, window_outputs, duration, timings, stats
         )
+        self._retain(stimulus, duration, result)
         return result
 
+    def _full_plan(self) -> ExecutionPlan:
+        """The whole-design execution plan (cached until artifacts change)."""
+        if self._plan is None:
+            self._plan = full_plan(
+                self.compiled,
+                self.netlist,
+                self.packed_design,
+                self._source_net_ids,
+                self._readback_net_ids,
+            )
+        return self._plan
+
+    def _execute_partial(
+        self,
+        plan: ExecutionPlan,
+        sources: Mapping[str, Waveform],
+        duration: int,
+        timings: PhaseTimings,
+        stats: SimulationStats,
+    ) -> Dict[str, Tuple[int, Waveform]]:
+        """Run the level loop over a dirty sub-plan only.
+
+        ``sources`` maps every plan source net (true stimulus sources plus
+        clean boundary nets) to its exact absolute waveform.  Returns the
+        stitched ``(toggle_count, waveform)`` of every dirty gate output;
+        waveforms are always stitched here (partial execution requires
+        ``store_waveforms`` anyway — the merged result feeds later reruns).
+        """
+        config = self.config
+        windows = self._window_ranges(duration)
+        self._check_sentinel_headroom(sources, windows, plan.source_nets)
+        stats.windows = len(windows)
+        outputs: Dict[str, Tuple[int, Waveform]] = {}
+
+        if config.restructure == "vector":
+            start = time.perf_counter()
+            events = lower_stimulus(plan.source_nets, sources)
+            timings.restructure += time.perf_counter() - start
+            start = time.perf_counter()
+            events = events.to_device(self._xp)
+            timings.host_to_device += time.perf_counter() - start
+            readback = _ReadbackAccumulator(plan.readback_nets)
+            stats.segments = self._segment_windows(
+                windows,
+                lambda batch: self._simulate_batch_vector(
+                    events, batch, duration, timings, stats, readback, plan
+                ),
+            )
+            hnp = HOST
+            start = time.perf_counter()
+            window_starts = hnp.asarray(
+                [window.start for window in windows], dtype=hnp.int64
+            )
+            for index, net in enumerate(plan.readback_nets):
+                establish, counts, times = readback.net_series(index)
+                stitched = stitch_windows(window_starts, establish, counts, times)
+                outputs[net] = (stitched.toggle_count(), stitched)
+            timings.readback += time.perf_counter() - start
+            return outputs
+
+        window_outputs: Dict[str, Dict[int, Waveform]] = {}
+        stats.segments = self._segment_windows(
+            windows,
+            lambda batch: self._simulate_batch(
+                sources, batch, duration, timings, stats, window_outputs, plan
+            ),
+        )
+        start = time.perf_counter()
+        for net, per_window in window_outputs.items():
+            stitched = self._stitch(net, per_window, windows)
+            outputs[net] = (stitched.toggle_count(), stitched)
+        timings.readback += time.perf_counter() - start
+        return outputs
+
     def _check_sentinel_headroom(
-        self, stimulus: Mapping[str, Waveform], windows: Sequence["_WindowRange"]
+        self,
+        stimulus: Mapping[str, Waveform],
+        windows: Sequence["_WindowRange"],
+        nets: Optional[Sequence[str]] = None,
     ) -> None:
         """Refuse runs whose timestamps could reach the ``EOW`` sentinel.
 
@@ -387,10 +788,14 @@ class GatspiEngine:
         waveform early on readback — a silent wrong answer.  Window-local
         input times are bounded by both the longest extended window and the
         largest stimulus timestamp; adding the estimated critical-path delay
-        bounds every output time the kernel can produce.
+        bounds every output time the kernel can produce.  ``nets`` narrows
+        the check to a plan's source nets (partial execution feeds boundary
+        waveforms, not just the design's stimulus sources).
         """
+        if nets is None:
+            nets = tuple(self.netlist.source_nets())
         max_timestamp = 0
-        for net in self.netlist.source_nets():
+        for net in nets:
             wave = stimulus[net]
             # data[-1] is EOW, data[-2] the final timestamp.
             max_timestamp = max(max_timestamp, int(wave.data[-2]))
@@ -428,17 +833,20 @@ class GatspiEngine:
             ranges.append(_WindowRange(index=0, start=0, end=max(1, duration)))
         return ranges
 
-    def _make_pool(self, windows: Sequence[_WindowRange]) -> WaveformPool:
+    def _make_pool(
+        self, windows: Sequence[_WindowRange], plan: ExecutionPlan
+    ) -> WaveformPool:
         """A per-batch waveform pool on the engine's array backend.
 
-        Registration rows come from the design-wide net index built at
-        pack time, so every bulk store/gather resolves ``(net, window)``
-        pairs through flat index tables.
+        Registration rows come from the plan's net index built at pack
+        time (the design-wide index for full runs, the dirty sub-design's
+        for partial ones), so every bulk store/gather resolves
+        ``(net, window)`` pairs through flat index tables.
         """
         return WaveformPool(
             self.config.waveform_pool_words,
             xp=self._xp,
-            net_index=self.packed_design.net_index,
+            net_index=plan.packed.net_index,
             window_indices=[window.index for window in windows],
         )
 
@@ -478,26 +886,33 @@ class GatspiEngine:
         timings: PhaseTimings,
         stats: SimulationStats,
         window_outputs: Dict[str, Dict[int, Waveform]],
+        plan: ExecutionPlan,
     ) -> None:
         config = self.config
-        compiled = self.compiled
-        pool = self._make_pool(windows)
+        pool = self._make_pool(windows, plan)
         overlap = self.window_overlap
 
         # Restructure source waveforms into windows (cycle parallelism).  Each
         # window is extended backwards by the settle margin so events still
         # propagating across the window boundary are reproduced exactly; the
         # margin region is trimmed from the outputs below.
+        # Partial plans keep the settle margin on the right too: boundary
+        # waveforms are previous-run absolute waveforms, and the window
+        # must see the propagation tail past its edge exactly as a cold
+        # run's in-pool fanin waveforms would provide it.
+        slice_tail = overlap if plan.partial else 0
         start = time.perf_counter()
         sliced: Dict[Tuple[str, int], Waveform] = {}
         extended_starts: Dict[int, int] = {}
         for window in windows:
             extended_starts[window.index] = max(0, window.start - overlap)
-        for net in self.netlist.source_nets():
+        for net in plan.source_nets:
             wave = stimulus[net]
             for window in windows:
                 sliced[(net, window.index)] = wave.window(
-                    extended_starts[window.index], window.end, rebase=True
+                    extended_starts[window.index],
+                    window.end + slice_tail,
+                    rebase=True,
                 )
         timings.restructure += time.perf_counter() - start
 
@@ -509,9 +924,9 @@ class GatspiEngine:
 
         # Level-by-level two-pass simulation through the configured kernel.
         if config.kernel == "vector":
-            self._run_levels_vector(pool, windows, timings, stats)
+            self._run_levels_vector(pool, windows, timings, stats, plan)
         else:
-            self._run_levels_scalar(pool, windows, timings, stats)
+            self._run_levels_scalar(pool, windows, timings, stats, plan)
 
         # Read back gate output waveforms for this batch of windows, trimming
         # each one to exactly [start, end): the settle margin on the left is
@@ -519,10 +934,10 @@ class GatspiEngine:
         # next window reproduces it with full knowledge of its stimulus).
         # Only the final window keeps its tail, since nothing follows it.
         start = time.perf_counter()
-        for gate in compiled.gates.values():
-            per_net = window_outputs.setdefault(gate.output_net, {})
+        for net in plan.readback_nets:
+            per_net = window_outputs.setdefault(net, {})
             for window in windows:
-                wave = pool.read_waveform(gate.output_net, window.index)
+                wave = pool.read_waveform(net, window.index)
                 margin = window.start - extended_starts[window.index]
                 if overlap > 0 and window.end < duration:
                     right_edge = window.end - extended_starts[window.index]
@@ -542,6 +957,7 @@ class GatspiEngine:
         timings: PhaseTimings,
         stats: SimulationStats,
         readback: _ReadbackAccumulator,
+        plan: ExecutionPlan,
     ) -> None:
         """One segment batch through the bulk-array pipeline.
 
@@ -555,7 +971,7 @@ class GatspiEngine:
         """
         config = self.config
         xp = self._xp
-        pool = self._make_pool(windows)
+        pool = self._make_pool(windows, plan)
         overlap = self.window_overlap
         B = len(windows)
         window_indices = [window.index for window in windows]
@@ -563,11 +979,14 @@ class GatspiEngine:
             [max(0, window.start - overlap) for window in windows], dtype=xp.int64
         )
         ends = xp.asarray([window.end for window in windows], dtype=xp.int64)
+        # See _simulate_batch: partial plans keep the right-hand settle
+        # margin so boundary waveforms reproduce a cold run's in-pool tails.
+        slice_ends = ends + overlap if plan.partial else ends
 
         # Restructure: per-(net, window) slice bounds over the flat event
         # tensor — the cycle-parallelism step without any waveform copies.
         start = time.perf_counter()
-        slices = slice_windows(events, extended_starts, ends, xp=xp)
+        slices = slice_windows(events, extended_starts, slice_ends, xp=xp)
         timings.restructure += time.perf_counter() - start
 
         # Load: one batched scatter writes every window into the pool.
@@ -580,14 +999,14 @@ class GatspiEngine:
             slices.starts,
             slices.counts,
             extended_starts,
-            net_ids=self._source_net_ids,
+            net_ids=plan.source_net_ids,
         )
         timings.host_to_device += time.perf_counter() - start
 
         if config.kernel == "vector":
-            self._run_levels_vector(pool, windows, timings, stats)
+            self._run_levels_vector(pool, windows, timings, stats, plan)
         else:
-            self._run_levels_scalar(pool, windows, timings, stats)
+            self._run_levels_scalar(pool, windows, timings, stats, plan)
 
         # Readback: trim every output window to [start, end) — settle
         # margin and propagation tail dropped exactly as the reference
@@ -595,7 +1014,7 @@ class GatspiEngine:
         start = time.perf_counter()
         nets = readback.nets
         addresses, toggle_counts = pool.window_table(
-            nets, window_indices, net_ids=self._readback_net_ids
+            nets, window_indices, net_ids=plan.readback_net_ids
         )
         markers = xp.astype(pool.data[addresses] == INITIAL_ONE_MARKER, xp.int64)
         task_offsets = xp.zeros(xp.size(toggle_counts) + 1, dtype=xp.int64)
@@ -642,11 +1061,11 @@ class GatspiEngine:
         windows: Sequence[_WindowRange],
         timings: PhaseTimings,
         stats: SimulationStats,
+        plan: ExecutionPlan,
     ) -> None:
         """Per-(gate, window) Python kernel loop — the reference oracle."""
         config = self.config
-        compiled = self.compiled
-        for level in compiled.gates_by_level:
+        for level in plan.gates_by_level:
             schedule_start = time.perf_counter()
             tasks = [
                 (gate, window)
@@ -714,6 +1133,7 @@ class GatspiEngine:
         windows: Sequence[_WindowRange],
         timings: PhaseTimings,
         stats: SimulationStats,
+        plan: ExecutionPlan,
     ) -> None:
         """Struct-of-arrays execution: one batched launch per level per pass.
 
@@ -728,7 +1148,7 @@ class GatspiEngine:
         """
         config = self.config
         xp = self._xp
-        packed = self.packed_design
+        packed = plan.packed
         W = len(windows)
         window_indices = [window.index for window in windows]
 

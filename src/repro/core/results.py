@@ -85,6 +85,14 @@ class SimulationStats:
     #: standalone; batched serving fuses same-design requests, and fused
     #: workload stats/timings are attributed evenly across the batch).
     fused_requests: int = 1
+    #: Whether this result came from an incremental rerun (``Session.rerun``):
+    #: only the cone of influence of an edit batch was re-simulated and the
+    #: clean waveforms were stitched from the previous run.
+    incremental: bool = False
+    #: Gates inside the re-simulated dirty cone (0 for full runs).
+    dirty_gates: int = 0
+    #: ``dirty_gates`` over the design's total gate count.
+    dirty_fraction: float = 0.0
 
     def mean_batch_tasks(self) -> float:
         """Average tasks per level-batched kernel launch."""

@@ -6,6 +6,7 @@ from .glitch_fix import (
     estimate_arrival_times,
     input_arrival_skew,
     insert_delay_buffer,
+    plan_balance_edits,
 )
 from .flow import FlowResult, GlitchOptimizationFlow
 
@@ -15,6 +16,7 @@ __all__ = [
     "estimate_arrival_times",
     "input_arrival_skew",
     "insert_delay_buffer",
+    "plan_balance_edits",
     "FlowResult",
     "GlitchOptimizationFlow",
 ]

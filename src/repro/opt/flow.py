@@ -10,27 +10,33 @@ This module reproduces the flow end to end on generated designs:
 1. delay-aware re-simulation with the GATSPI engine (timed),
 2. zero-delay functional simulation to isolate glitch activity,
 3. glitch-power ranking and selection of fix candidates,
-4. path-balancing fixes on a working copy of the netlist/annotation,
-5. re-simulation and power comparison,
+4. path-balancing fixes planned as a typed edit batch and applied in
+   place through the edit API (no per-iteration ``deepcopy``),
+5. incremental confirmation re-simulation (:meth:`Session.rerun`: only
+   the fixes' cone of influence re-executes) and power comparison,
 6. the same two re-simulations with the event-driven reference simulator so
    the turnaround-time speedup can be reported the way the paper does.
+
+The flow always leaves the caller's netlist/annotation exactly as it found
+them: the applied fix batch is undone through the receipt's inverse edits
+before returning (even on failure).
 """
 
 from __future__ import annotations
 
-import copy
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from ..api import get_backend
 from ..core.config import SimConfig
+from ..core.edits import AppliedEdit, InsertBuffer, RemoveBuffer
 from ..core.results import SimulationResult
 from ..core.waveform import Waveform
 from ..netlist import Netlist
 from ..power import GlitchReport, PowerModel, PowerReport, analyze_glitches
 from ..sdf.annotate import DelayAnnotation, default_annotation
-from .glitch_fix import FixRecord, balance_gate_inputs, estimate_arrival_times
+from .glitch_fix import FixRecord, estimate_arrival_times, plan_balance_edits
 
 
 @dataclass
@@ -126,12 +132,18 @@ class GlitchOptimizationFlow:
         power_model = PowerModel(self.netlist)
         resim_backend = get_backend(self.backend)
         functional_backend = get_backend(self.functional_backend)
+        reference_backend = (
+            get_backend(self.baseline_backend)
+            if self.measure_reference_turnaround
+            else None
+        )
 
         # --- baseline delay-aware re-simulation (GATSPI) -------------------
         start = time.perf_counter()
-        baseline_result = resim_backend.prepare(
+        session = resim_backend.prepare(
             self.netlist, annotation=self.annotation, config=self.config
-        ).run(stimulus, cycles=cycles)
+        )
+        baseline_result = session.run(stimulus, cycles=cycles)
         gatspi_seconds = time.perf_counter() - start
 
         functional = functional_backend.prepare(
@@ -142,56 +154,97 @@ class GlitchOptimizationFlow:
         )
         baseline_power = baseline_glitch.total_power
 
-        # --- glitch fixing on a working copy -------------------------------
-        fixed_netlist = copy.deepcopy(self.netlist)
-        fixed_annotation = copy.deepcopy(self.annotation)
-        fixed_annotation.netlist = fixed_netlist
-        arrivals = estimate_arrival_times(fixed_netlist, fixed_annotation)
-        fixes: List[FixRecord] = []
+        # --- reference turnaround, original design (before any edits) ------
+        reference_seconds = 0.0
+        if reference_backend is not None:
+            start = time.perf_counter()
+            reference_backend.prepare(
+                self.netlist, annotation=self.annotation, config=self.config
+            ).run(stimulus, cycles=cycles)
+            reference_seconds += time.perf_counter() - start
+
+        # --- plan the glitch fixes from the baseline state -----------------
+        # Per-pin fixes are independent of each other (each touches only
+        # its own pin's wiring/delay), so planning every gate's edits from
+        # the one baseline arrival profile and applying them as a single
+        # batch is equivalent to the old copy-and-mutate loop.
+        arrivals = estimate_arrival_times(self.netlist, self.annotation)
+        fix_edits: List[InsertBuffer] = []
         for gate_name in baseline_glitch.worst_driver_gates(
             self.netlist, max_gates_to_fix
         ):
-            fixes.extend(
-                balance_gate_inputs(
-                    fixed_netlist,
-                    fixed_annotation,
+            fix_edits.extend(
+                plan_balance_edits(
+                    self.netlist,
+                    self.annotation,
                     gate_name,
                     skew_threshold=skew_threshold,
                     arrivals=arrivals,
                 )
             )
 
-        # --- confirmation re-simulation ------------------------------------
+        # --- apply fixes in place + confirmation re-simulation -------------
+        # Preferred path: the session's incremental rerun — only the fixes'
+        # cone of influence re-executes.  Backends without edit support
+        # fall back to applying the same edit batch and re-preparing.
+        undo_receipt = None
+        applied: List[AppliedEdit] = []
         start = time.perf_counter()
-        optimized_result = resim_backend.prepare(
-            fixed_netlist, annotation=fixed_annotation, config=self.config
-        ).run(stimulus, cycles=cycles)
-        gatspi_seconds += time.perf_counter() - start
-
-        fixed_power_model = PowerModel(fixed_netlist)
-        optimized_functional = functional_backend.prepare(
-            fixed_netlist, annotation=fixed_annotation, config=self.config
-        ).run(stimulus, duration=duration)
-        optimized_glitch = analyze_glitches(
-            fixed_netlist,
-            optimized_result,
-            optimized_functional.toggle_counts,
-            fixed_power_model,
-        )
-        optimized_power = optimized_glitch.total_power
-
-        # --- reference turnaround (the commercial-simulator flow) ----------
-        reference_seconds = 0.0
-        if self.measure_reference_turnaround:
-            baseline_backend = get_backend(self.baseline_backend)
-            start = time.perf_counter()
-            baseline_backend.prepare(
+        try:
+            optimized_result = session.rerun(fix_edits, stimulus=stimulus, cycles=cycles)
+            undo_receipt = session.last_edit_receipt
+        except NotImplementedError:
+            applied = [edit.apply(self.netlist, self.annotation) for edit in fix_edits]
+            optimized_result = resim_backend.prepare(
                 self.netlist, annotation=self.annotation, config=self.config
             ).run(stimulus, cycles=cycles)
-            baseline_backend.prepare(
-                fixed_netlist, annotation=fixed_annotation, config=self.config
-            ).run(stimulus, cycles=cycles)
-            reference_seconds = time.perf_counter() - start
+        gatspi_seconds += time.perf_counter() - start
+
+        try:
+            if undo_receipt is not None:
+                edit_pairs = list(zip(undo_receipt.edits, undo_receipt.inverses))
+            else:
+                edit_pairs = [(done.edit, done.inverse) for done in applied]
+            fixes: List[FixRecord] = []
+            for edit, inverse in edit_pairs:
+                assert isinstance(edit, InsertBuffer)
+                assert isinstance(inverse, RemoveBuffer)
+                fixes.append(
+                    FixRecord(
+                        gate=edit.gate,
+                        pin=edit.pin,
+                        inserted_buffer=inverse.buffer,
+                        added_delay=edit.delay,
+                    )
+                )
+
+            # The design now carries the fixes: analyze the edited state.
+            fixed_power_model = PowerModel(self.netlist)
+            optimized_functional = functional_backend.prepare(
+                self.netlist, annotation=self.annotation, config=self.config
+            ).run(stimulus, duration=duration)
+            optimized_glitch = analyze_glitches(
+                self.netlist,
+                optimized_result,
+                optimized_functional.toggle_counts,
+                fixed_power_model,
+            )
+            optimized_power = optimized_glitch.total_power
+
+            # --- reference turnaround, fixed design ------------------------
+            if reference_backend is not None:
+                start = time.perf_counter()
+                reference_backend.prepare(
+                    self.netlist, annotation=self.annotation, config=self.config
+                ).run(stimulus, cycles=cycles)
+                reference_seconds += time.perf_counter() - start
+        finally:
+            # Restore the caller's design exactly, whatever happened above.
+            if undo_receipt is not None:
+                session.apply_edits(undo_receipt.undo_edits)
+            else:
+                for done in reversed(applied):
+                    done.inverse.apply(self.netlist, self.annotation)
 
         return FlowResult(
             baseline_power=baseline_power,

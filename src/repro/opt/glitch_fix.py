@@ -13,16 +13,22 @@ This module provides:
 * static arrival-time estimation from the delay annotation,
 * single-pin delay-buffer insertion (netlist + annotation kept consistent),
 * a per-gate input balancing transform built on the two.
+
+The transforms are expressed through the typed edit API
+(:class:`~repro.core.edits.InsertBuffer`), so every fix is journaled,
+invertible, and drives :meth:`Session.rerun`'s cone-of-influence dirty
+marking; :func:`plan_balance_edits` returns the edits without applying
+them, which is what the glitch-ECO loop feeds to ``rerun``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.delaytable import DelayArc, GateDelayTable, InterconnectDelay
+from ..core.edits import InsertBuffer, RemoveBuffer
 from ..netlist import Netlist, levelize
 from ..sdf.annotate import DelayAnnotation
 
@@ -105,42 +111,50 @@ def insert_delay_buffer(
     the buffer (rise = fall = ``delay``) and zero wire delay, so the change is
     visible to both GATSPI and the reference simulator.  Returns the new
     buffer instance name.
+
+    The transform itself lives in the edit API
+    (:class:`~repro.core.edits.InsertBuffer`); this wrapper applies it
+    immediately and reports the buffer name, for callers that do not care
+    about the inverse.
     """
-    inst = netlist.instances[gate_name]
-    if pin not in inst.cell.inputs:
-        raise ValueError(f"gate {gate_name!r} has no input pin {pin!r}")
-    original_net = inst.connections[pin]
-    buffer_name = f"glitchfix_{gate_name}_{pin}"
-    buffer_net = f"{buffer_name}_out"
-    suffix = 0
-    while buffer_name in netlist.instances or buffer_net in netlist.nets:
-        suffix += 1
-        buffer_name = f"glitchfix_{gate_name}_{pin}_{suffix}"
-        buffer_net = f"{buffer_name}_out"
+    applied = InsertBuffer(
+        gate=gate_name, pin=pin, delay=delay, buffer_cell=buffer_cell
+    ).apply(netlist, annotation)
+    inverse = applied.inverse
+    assert isinstance(inverse, RemoveBuffer)
+    return inverse.buffer
 
-    # Detach the pin from the original net.
-    net = netlist.nets[original_net]
-    net.loads = [load for load in net.loads if load != (gate_name, pin)]
 
-    buffer_cell_obj = netlist.library.get(buffer_cell)
-    netlist.add_instance(
-        buffer_cell, buffer_name,
-        {buffer_cell_obj.inputs[0]: original_net, buffer_cell_obj.output: buffer_net},
-    )
-    # Reattach the pin to the buffered net.
-    inst.connections[pin] = buffer_net
-    netlist.nets[buffer_net].loads.append((gate_name, pin))
+def plan_balance_edits(
+    netlist: Netlist,
+    annotation: DelayAnnotation,
+    gate_name: str,
+    skew_threshold: float = 5.0,
+    arrivals: Optional[Dict[str, float]] = None,
+    max_added_delay: float = 200.0,
+) -> List[InsertBuffer]:
+    """Plan the delay-balancing buffers for one glitching gate.
 
-    # Annotate the new buffer and the (now buffered) pin.
-    delay = max(1.0, float(delay))
-    table = GateDelayTable(buffer_cell_obj.inputs)
-    table.add_arc(DelayArc(pin=buffer_cell_obj.inputs[0], rise=delay, fall=delay))
-    annotation.gate_tables[buffer_name] = table
-    annotation.interconnect[(buffer_name, buffer_cell_obj.inputs[0])] = (
-        annotation.interconnect.pop((gate_name, pin), InterconnectDelay(0.0, 0.0))
-    )
-    annotation.interconnect[(gate_name, pin)] = InterconnectDelay(0.0, 0.0)
-    return buffer_name
+    Pure planning: nothing is applied.  Every input arriving more than
+    ``skew_threshold`` earlier than the latest input gets a buffer edit
+    sized to close most of the gap.  Per-pin fixes are independent (each
+    touches only its own pin's wiring and delay), so edits planned from
+    one baseline state for several gates may be applied as a single batch
+    — which is exactly how the glitch-ECO loop feeds them to
+    :meth:`Session.rerun`.
+    """
+    skews = input_arrival_skew(netlist, annotation, gate_name, arrivals)
+    if not skews:
+        return []
+    latest = max(skews.values())
+    edits: List[InsertBuffer] = []
+    for pin, arrival in skews.items():
+        gap = latest - arrival
+        if gap <= skew_threshold:
+            continue
+        added = min(gap - skew_threshold / 2.0, max_added_delay)
+        edits.append(InsertBuffer(gate=gate_name, pin=pin, delay=added))
+    return edits
 
 
 def balance_gate_inputs(
@@ -157,19 +171,20 @@ def balance_gate_inputs(
     latest input gets a buffer sized to close most of the gap.  Returns the
     applied fixes (possibly empty when the gate is already balanced).
     """
-    skews = input_arrival_skew(netlist, annotation, gate_name, arrivals)
-    if not skews:
-        return []
-    latest = max(skews.values())
     fixes: List[FixRecord] = []
-    for pin, arrival in skews.items():
-        gap = latest - arrival
-        if gap <= skew_threshold:
-            continue
-        added = min(gap - skew_threshold / 2.0, max_added_delay)
-        buffer_name = insert_delay_buffer(netlist, annotation, gate_name, pin, added)
+    for edit in plan_balance_edits(
+        netlist,
+        annotation,
+        gate_name,
+        skew_threshold=skew_threshold,
+        arrivals=arrivals,
+        max_added_delay=max_added_delay,
+    ):
+        applied = edit.apply(netlist, annotation)
+        inverse = applied.inverse
+        assert isinstance(inverse, RemoveBuffer)
         fixes.append(
-            FixRecord(gate=gate_name, pin=pin, inserted_buffer=buffer_name,
-                      added_delay=added)
+            FixRecord(gate=edit.gate, pin=edit.pin, inserted_buffer=inverse.buffer,
+                      added_delay=edit.delay)
         )
     return fixes

@@ -26,6 +26,8 @@ from .service import (
     ServiceError,
     ServiceOverloadedError,
     SimulationService,
+    UnknownBaseDesignError,
+    session_key,
 )
 
 __all__ = [
@@ -36,4 +38,6 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "SimulationService",
+    "UnknownBaseDesignError",
+    "session_key",
 ]

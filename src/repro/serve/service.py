@@ -60,13 +60,14 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..analysis import analyze_design
 from ..api import resolve_backend
 from ..core.compile_cache import fingerprint_annotation, fingerprint_netlist
 from ..core.config import SimConfig
+from ..core.edits import Edit
 from ..core.results import SimulationResult
 from ..core.waveform import Waveform
 from ..netlist import Netlist
@@ -83,6 +84,16 @@ class ServiceClosedError(ServiceError):
 
 class ServiceOverloadedError(ServiceError):
     """Raised when the bounded request queue cannot admit a request."""
+
+
+class UnknownBaseDesignError(ServiceError):
+    """Raised when a delta request's ``base_key`` names no live session.
+
+    Delta requests can only run against a prepared session still in the
+    service's session cache; after eviction (or against a key that never
+    existed) the client must re-submit the full design once to re-establish
+    the base.
+    """
 
 
 class DesignRejectedError(ServiceError):
@@ -102,22 +113,37 @@ class DesignRejectedError(ServiceError):
 
 @dataclass(frozen=True)
 class ServeRequest:
-    """One re-simulation request.
+    """One re-simulation request — full or delta.
 
+    **Full request** (the default): provide ``netlist`` and ``stimulus``;
     ``backend`` is a registry spec (``"gatspi"``,
     ``"gatspi-sharded:shards=4"``, ``"event"``, ...); one of ``cycles`` /
     ``duration`` must be given, exactly as for :meth:`Session.run`.
+
+    **Delta request**: provide ``base_key`` (the ``session_key`` echoed on
+    a previous response) plus ``edits`` instead of a netlist.  The service
+    applies the edits to the cached base session, re-simulates only their
+    cone of influence (:meth:`Session.rerun`), and undoes them before the
+    next request — the shared session always stays at the base design, so
+    clients can probe independent what-if ECOs against one compile.
+    ``stimulus``/``cycles``/``duration`` default to the base session's
+    previous run when omitted.
+
     ``tag`` is opaque client bookkeeping echoed back on the response.
     """
 
-    netlist: Netlist
-    stimulus: Mapping[str, Waveform]
+    netlist: Optional[Netlist] = None
+    stimulus: Mapping[str, Waveform] = field(default_factory=dict)
     backend: str = "gatspi"
     annotation: Optional[DelayAnnotation] = None
     config: Optional[SimConfig] = None
     cycles: Optional[int] = None
     duration: Optional[int] = None
     tag: Optional[str] = None
+    #: Session key of the prepared base design a delta request targets.
+    base_key: Optional[str] = None
+    #: Edit batch of a delta request (applied, re-simulated, undone).
+    edits: Tuple[Edit, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -158,8 +184,14 @@ def session_key(request: ServeRequest) -> str:
     Built from the same netlist/annotation fingerprints the compile cache
     uses, so two structurally identical designs submitted as different
     objects batch onto one session; the backend spec and config are part
-    of the key because they select the engine and its executors.
+    of the key because they select the engine and its executors.  A delta
+    request targets its base design's session directly: its key IS the
+    ``base_key`` it carries.
     """
+    if request.base_key is not None:
+        return request.base_key
+    if request.netlist is None:
+        raise ValueError("request provides neither netlist nor base_key")
     netlist_fp = fingerprint_netlist(request.netlist)
     annotation_fp = (
         fingerprint_annotation(request.annotation, request.netlist)
@@ -270,8 +302,16 @@ class SimulationService:
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
-        if request.cycles is None and request.duration is None:
-            raise ValueError("one of cycles/duration must be provided")
+        if (request.netlist is None) == (request.base_key is None):
+            raise ValueError(
+                "exactly one of netlist (full request) or base_key "
+                "(delta request) must be provided"
+            )
+        if request.base_key is None:
+            # Delta requests may omit the horizon (and stimulus): they
+            # default to the base session's previous run.
+            if request.cycles is None and request.duration is None:
+                raise ValueError("one of cycles/duration must be provided")
         self._check_admission(request)
         item = _QueueItem(
             request=request,
@@ -306,6 +346,11 @@ class SimulationService:
         for an already-seen design is one cache lookup (``submit`` computes
         the same fingerprints for the session key anyway).
         """
+        if request.netlist is None:
+            # Delta request: there is no netlist to analyze here; the
+            # session's incremental analysis gate (``Session.rerun``) checks
+            # the edited design and rolls the edits back on rejection.
+            return
         config = request.config if request.config is not None else SimConfig()
         if config.analysis == "off":
             return
@@ -462,6 +507,11 @@ class SimulationService:
                 self._bump("session_hits")
                 return session, True
             self._bump("session_misses")
+        if request.netlist is None:
+            raise UnknownBaseDesignError(
+                f"base_key {key!r} names no live prepared session "
+                "(evicted or never prepared); re-submit the full design"
+            )
         backend, options = resolve_backend(request.backend)
         session = backend.prepare(
             request.netlist,
@@ -482,8 +532,14 @@ class SimulationService:
         Every item releases its in-flight permit exactly once, whatever
         its outcome (completed, failed, cancelled, prepare error).
         """
+        # Prepare (or fetch) the session from a full request when the batch
+        # has one; an all-delta batch can only hit the cache.
+        probe = next(
+            (q.request for q in items if q.request.netlist is not None),
+            items[0].request,
+        )
         try:
-            session, reused = self._session_for(key, items[0].request)
+            session, reused = self._session_for(key, probe)
         except BaseException as exc:
             for queued in items:
                 if queued.future.set_running_or_notify_cancel():
@@ -499,20 +555,28 @@ class SimulationService:
                 self._inflight.release()
         if not live:
             return
+        # Delta requests are never fused: each one mutates the session
+        # (apply -> rerun -> undo), which the time-axis fusion layout
+        # cannot express.  Full requests of the batch still fuse.
+        full_items = [q for q in live if q.request.netlist is not None]
         run_many = getattr(session, "run_many", None)
-        if run_many is not None and len(live) > 1:
-            if self._execute_fused(key, run_many, live, reused):
-                return
+        if run_many is not None and len(full_items) > 1:
+            if self._execute_fused(key, run_many, full_items, reused):
+                live = [q for q in live if q.request.netlist is None]
+                reused = True
         for queued in live:
             try:
                 picked_up = time.perf_counter()
                 request = queued.request
                 try:
-                    result = session.run(
-                        request.stimulus,
-                        cycles=request.cycles,
-                        duration=request.duration,
-                    )
+                    if request.netlist is None:
+                        result = self._run_delta(session, request)
+                    else:
+                        result = session.run(
+                            request.stimulus,
+                            cycles=request.cycles,
+                            duration=request.duration,
+                        )
                 except BaseException as exc:
                     queued.future.set_exception(exc)
                     self._bump("failed")
@@ -536,6 +600,27 @@ class SimulationService:
                 reused = True
             finally:
                 self._inflight.release()
+
+    def _run_delta(self, session: Any, request: ServeRequest) -> SimulationResult:
+        """Evaluate one what-if edit batch against the base session.
+
+        At most one batch per key executes at a time (the dispatcher's
+        active-key bookkeeping), so apply -> rerun -> undo is race-free.
+        The undo restores the shared session to the base design before
+        the next request touches it; the journal-chained compile cache
+        makes repeat evaluations of a seen batch (and every undo) cache
+        hits instead of rebuilds.
+        """
+        result = session.rerun(
+            list(request.edits),
+            stimulus=request.stimulus or None,
+            cycles=request.cycles,
+            duration=request.duration,
+        )
+        receipt = getattr(session, "last_edit_receipt", None)
+        if receipt is not None and receipt.edits:
+            session.apply_edits(receipt.undo_edits)
+        return result
 
     def _execute_fused(
         self,

@@ -1,0 +1,20 @@
+"""Seeded MUT002 fixture: in-place writes into packed-tensor rows."""
+
+
+def patch_rows(design, level, tensors, rows, value):
+    design.tt_flat[rows] = value  # MUT002: subscript write into shared flat
+    level.tt_offsets[3] = 0  # MUT002: element write
+    tensors.wire_rise[rows, :] += 1.0  # MUT002: augmented slice write
+    return design
+
+
+def clean_shapes(scratch, arr, model, idx):
+    # Local arrays (no attribute base) never fire: the dirty-slice rebuild
+    # fills freshly allocated locals before publishing them.
+    scratch[idx] = 0
+    arr[:] = 1.0
+    # Exempt generic names stay writable through subscripts too
+    # (Levelization.levels is a plain list on a non-frozen type).
+    model.levels[0] = ()
+    registry = {}
+    registry["levels"] = ()

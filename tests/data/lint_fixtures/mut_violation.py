@@ -3,7 +3,7 @@
 
 def patch_design(design, tensors, new_flat, new_weights):
     design.tt_flat = new_flat  # MUT001: plain field assignment
-    design.net_index["extra"] = 0  # fine: reads the mapping, no rebind
+    design.net_index["extra"] = 0  # MUT002 (not MUT001): in-place write, no rebind
     object.__setattr__(tensors, "weights", new_weights)  # MUT001: frozen bypass
     object.__setattr__(design, "levels", ())  # MUT001: exempt only for attr form
     return design

@@ -115,6 +115,42 @@ class TestFrozenMutationRule:
         assert "'data'" not in messages
 
 
+class TestSliceMutationRule:
+    def test_seeded_subscript_writes_reported(self, linter):
+        violations = linter.lint_file(FIXTURES / "mut002_violation.py")
+        mut = [v for v in violations if v.rule == "MUT002"]
+        assert len(mut) == 3
+        messages = "\n".join(v.message for v in mut)
+        assert "'tt_flat'" in messages
+        assert "'tt_offsets'" in messages
+        assert "'wire_rise'" in messages
+        # Local arrays and exempt generic names stay clean.
+        assert "'levels'" not in messages
+
+    def test_net_index_write_is_mut002_not_mut001(self, linter):
+        violations = linter.lint_file(FIXTURES / "mut_violation.py")
+        by_rule = {v.rule for v in violations if "'net_index'" in v.message}
+        assert by_rule == {"MUT002"}
+
+    def test_sanctioned_rebuild_paths(self, linter):
+        assert linter._is_slice_sanctioned(Path("src/repro/core/vector_kernel.py"))
+        assert linter._is_slice_sanctioned(Path("src/repro/core/incremental.py"))
+        assert not linter._is_slice_sanctioned(Path("src/repro/core/engine.py"))
+        assert not linter._is_slice_sanctioned(Path("src/repro/api/sharded.py"))
+
+    def test_sanctioned_path_not_linted(self, linter, tmp_path):
+        sanctioned = tmp_path / "core" / "incremental.py"
+        sanctioned.parent.mkdir()
+        sanctioned.write_text(
+            "def patch(level):\n"
+            "    level.tt_offsets[0] = 1\n"
+        )
+        assert linter.lint_file(sanctioned) == []
+
+    def test_incremental_module_is_xp_routed(self, linter):
+        assert linter._is_xp_routed(Path("src/repro/core/incremental.py"))
+
+
 class TestWholeTree:
     def test_source_tree_is_clean(self, linter):
         violations = linter.lint_paths([REPO_ROOT / "src" / "repro"])

@@ -31,6 +31,16 @@ cheaply observe:
     field assignment (including ``object.__setattr__`` bypasses of the
     frozen dataclass) is cross-session state corruption.
 
+``MUT002`` — packed-tensor rows mutate only via sanctioned rebuild paths
+    Element/slice writes into the packed tensors (``x.tt_offsets[...] =``)
+    are how the pack and the incremental dirty-slice rebuild fill freshly
+    allocated arrays — but anywhere else they mutate tensors shared with
+    live cached artifacts (the incremental path *shares* clean rows and
+    levels by reference, so an unsanctioned in-place write corrupts every
+    session holding the parent artifacts).  Only ``core/vector_kernel.py``
+    (initial pack) and ``core/incremental.py`` (dirty-slice rebuild, which
+    copies before patching) may subscript-assign these fields.
+
 Usage::
 
     python tools/lint_invariants.py [paths...]     # default: src/repro
@@ -59,6 +69,7 @@ XP_ROUTED_MODULES = (
     "core/vector_kernel.py",
     "core/restructure.py",
     "core/memory.py",
+    "core/incremental.py",
 )
 
 # ----------------------------------------------------------------------
@@ -104,6 +115,18 @@ FROZEN_FIELDS = LEVEL_TENSORS_FIELDS | PACKED_DESIGN_FIELDS
 #: covered through the ``object.__setattr__`` form, which is the only way
 #: to mutate the frozen dataclasses anyway.
 MUT_ATTR_EXEMPT = frozenset({"levels", "device"})
+
+# ----------------------------------------------------------------------
+# MUT002: sanctioned homes of packed-tensor slice mutation
+# ----------------------------------------------------------------------
+#: The only modules allowed to subscript-assign into FROZEN_FIELDS arrays:
+#: the initial pack (filling arrays it just allocated) and the incremental
+#: dirty-slice rebuild (which ``xp.copy``-s before patching).  Paths are
+#: relative to the ``src/repro`` package root.
+SLICE_MUTATION_SANCTIONED = (
+    "core/vector_kernel.py",
+    "core/incremental.py",
+)
 
 
 @dataclass(frozen=True)
@@ -266,12 +289,45 @@ def _check_frozen_mutation(path: Path, tree: ast.AST) -> Iterator[Violation]:
             )
 
 
+def _check_slice_mutation(path: Path, tree: ast.AST) -> Iterator[Violation]:
+    """MUT002: packed-tensor rows mutate only in sanctioned rebuild paths."""
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr in FROZEN_FIELDS
+                and target.value.attr not in MUT_ATTR_EXEMPT
+            ):
+                yield Violation(
+                    path,
+                    target.lineno,
+                    "MUT002",
+                    f"in-place write into packed-design field "
+                    f"{target.value.attr!r}; rows may be shared with live "
+                    f"cached artifacts — only the pack "
+                    f"(core/vector_kernel.py) and the dirty-slice rebuild "
+                    f"(core/incremental.py) may subscript-assign these "
+                    f"tensors",
+                )
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 def _is_xp_routed(path: Path) -> bool:
     posix = path.as_posix()
     return any(posix.endswith(suffix) for suffix in XP_ROUTED_MODULES)
+
+
+def _is_slice_sanctioned(path: Path) -> bool:
+    posix = path.as_posix()
+    return any(posix.endswith(suffix) for suffix in SLICE_MUTATION_SANCTIONED)
 
 
 def lint_file(path: Path) -> List[Violation]:
@@ -286,6 +342,8 @@ def lint_file(path: Path) -> List[Violation]:
         violations.extend(_check_numpy_purity(path, tree))
     violations.extend(_check_lock_order(path, tree))
     violations.extend(_check_frozen_mutation(path, tree))
+    if not _is_slice_sanctioned(path):
+        violations.extend(_check_slice_mutation(path, tree))
     return violations
 
 
