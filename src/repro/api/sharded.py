@@ -38,6 +38,23 @@ Two design decisions matter for throughput:
   (:mod:`repro.serve`) faster than serializing single-session runs even on
   one core.
 
+Shares normally execute on worker *threads* — the numpy kernels release
+the GIL only partially, so thread shards stop scaling once the Python-side
+scheduling work saturates one core.  ``workers="process"`` (spec
+``"gatspi-sharded:shards=4,workers=process"``; ``"process:N"`` pins the
+pool width) runs each share in a separate spawned OS process instead.  The
+packed design tensors are exported once into a
+``multiprocessing.shared_memory`` segment (:mod:`repro.core.shm`) and every
+worker attaches them read-only, so the per-worker cost is one levelize plus
+zero-copy views — not a duplicate of the design tensors.  Workers rebuild a
+normal ``gatspi`` session around the attached tensors through the regular
+compile path, so process shards stay bit-identical to thread shards and to
+single-session runs.  Process sessions are host-only (``device="numpy"``)
+and do not support in-place edits (:meth:`ShardedGatspiSession.apply_edits`
+/ :meth:`~ShardedGatspiSession.rerun` raise); call
+:meth:`ShardedGatspiSession.close` (or drop the session) to shut the pool
+down and unlink the shared segment.
+
 Sharded runs keep the *total* cycle parallelism at the configured value:
 each share runs with ``ceil(cycle_parallelism / shards)`` windows,
 mirroring the paper's ``32 * n`` windows across ``n`` GPUs.  Each share's
@@ -49,14 +66,16 @@ as the engine trims its own windows.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 import weakref
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core import shm as design_shm
 from ..core.config import SimConfig
 from ..core.contract import (
     StimulusError,
@@ -95,6 +114,64 @@ class RunSpec:
     duration: Optional[int] = None
 
 
+# ----------------------------------------------------------------------
+# Process-shard worker plumbing
+# ----------------------------------------------------------------------
+#: Per-worker-process state: the attached shared-memory design and the
+#: ``gatspi`` session rebuilt around it.  Populated once by the pool
+#: initializer; worker processes are single-threaded, so no lock.
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _process_worker_init(
+    netlist: Netlist,
+    annotation: Optional[DelayAnnotation],
+    inner_config: SimConfig,
+    manifest: "design_shm.DesignManifest",
+) -> None:
+    """Initializer of one spawned shard worker.
+
+    Attaches the parent's shared design tensors and compiles a normal
+    ``gatspi`` engine around them (``compile(packed=...)`` skips only the
+    pack/upload step), so shard execution in the worker runs the exact
+    code path thread shards run in the parent.
+    """
+    from ..core.engine import GatspiEngine
+    from .adapters import GatspiSession
+
+    attachment = design_shm.attach_packed_design(manifest)
+    engine = GatspiEngine(netlist, annotation=annotation, config=inner_config)
+    engine.compile(packed=attachment.packed)
+    # The attachment must outlive the engine: the packed tensors are
+    # zero-copy views into its mapping.
+    _WORKER_STATE["attachment"] = attachment
+    _WORKER_STATE["session"] = GatspiSession(engine)
+
+
+def _process_run_shard(
+    stimulus: Mapping[str, Waveform], duration: int
+) -> SimulationResult:
+    """Run one share on this worker's session (executed in the worker)."""
+    session = _WORKER_STATE["session"]
+    return session.run(stimulus, duration=duration)
+
+
+def _release_process_resources(
+    pool: Optional[ProcessPoolExecutor],
+    shared: Optional["design_shm.SharedDesign"],
+) -> None:
+    """Shut the worker pool down, then unlink the shared segment.
+
+    Module-level so ``weakref.finalize`` can hold it without keeping the
+    session alive; ordering matters — unlinking while a spawning worker
+    has yet to attach would break its initializer.
+    """
+    if pool is not None:
+        pool.shutdown(wait=True)
+    if shared is not None:
+        shared.close()
+
+
 class ShardedGatspiSession(Session):
     """One compiled design, simulated in window-axis shards on a pool.
 
@@ -113,12 +190,25 @@ class ShardedGatspiSession(Session):
         config: SimConfig,
         shards: int,
         workers: Optional[int],
+        worker_mode: str = "thread",
     ):
         super().__init__("gatspi-sharded", netlist, config)
         if shards < 1:
             raise ValueError("shards must be at least 1")
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
+        if worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', got {worker_mode!r}"
+            )
+        if worker_mode == "process" and config.effective_device() != "numpy":
+            raise ValueError(
+                "workers='process' requires the numpy device: the design "
+                "tensors are shared between processes via host shared "
+                "memory, which device arrays cannot live in"
+            )
+        self._worker_mode = worker_mode
+        self._annotation = annotation
         self._requested_shards = shards
         if config.window_overlap is not None:
             # A user-pinned settle margin may be smaller than the critical
@@ -157,9 +247,14 @@ class ShardedGatspiSession(Session):
         from .registry import get_backend  # local: avoids import cycles
 
         backend = get_backend("gatspi")
+        # Process mode keeps exactly one in-parent session: it serves the
+        # single-shard passthrough, the merge metadata, and the compiled
+        # tensors the shared segment is exported from; the shard-executing
+        # sessions live in the worker processes instead.
+        inner_count = 1 if worker_mode == "process" else self._workers
         self._inner_sessions = [
             backend.prepare(netlist, annotation=annotation, config=self._inner_config)
-            for _ in range(self._workers)
+            for _ in range(inner_count)
         ]
         engine = self._inner_sessions[0].engine
         self._overlap = engine.window_overlap
@@ -178,6 +273,13 @@ class ShardedGatspiSession(Session):
         # multi-shard run (serving hot path: no per-run thread spawn/join)
         # and shut down when the session is garbage collected.
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Process-mode resources, also created lazily by the first
+        # multi-shard run: the spawned worker pool and the shared-memory
+        # export of the packed design every worker attaches.  Torn down by
+        # close() or, failing that, the finalizer at garbage collection.
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._shared_design: Optional[design_shm.SharedDesign] = None
+        self._process_finalizer: Optional[weakref.finalize] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -194,13 +296,68 @@ class ShardedGatspiSession(Session):
 
     @property
     def worker_count(self) -> int:
-        """Worker threads (and inner sessions) shares execute on."""
+        """Worker threads or processes shares execute on."""
         return self._workers
+
+    @property
+    def worker_mode(self) -> str:
+        """``"thread"`` (default) or ``"process"`` (GIL-free shards)."""
+        return self._worker_mode
 
     @property
     def compile_cache_hit(self) -> bool:
         """Whether the *first* inner prepare reused a cached compile."""
         return self._inner_sessions[0].engine.compile_cache_hit
+
+    # ------------------------------------------------------------------
+    # Lifecycle (process mode)
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release process-shard resources: pool shutdown + segment unlink.
+
+        Idempotent; a no-op for thread-mode sessions (their pool is torn
+        down by the garbage-collection finalizer) and for process sessions
+        that never ran multi-shard.  After ``close()`` the session still
+        serves single-shard passthrough runs on the in-parent session.
+        """
+        finalizer = self._process_finalizer
+        self._process_pool = None
+        self._shared_design = None
+        self._process_finalizer = None
+        if finalizer is not None:
+            finalizer()
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        """Export the packed design and spawn the worker pool (once).
+
+        Spawn (not fork) context: the serving front end runs sessions on
+        live threads holding locks, which a forked child would inherit
+        mid-flight.  Workers attach the shared segment in their
+        initializer, so the export must stay linked until ``close()``.
+        """
+        if self._process_pool is None:
+            engine = self._inner_sessions[0].engine
+            self._shared_design = design_shm.export_packed_design(
+                engine.packed_design
+            )
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_process_worker_init,
+                initargs=(
+                    self._netlist,
+                    self._annotation,
+                    self._inner_config,
+                    self._shared_design.manifest,
+                ),
+            )
+            self._process_finalizer = weakref.finalize(
+                self,
+                _release_process_resources,
+                self._process_pool,
+                self._shared_design,
+            )
+        return self._process_pool
 
     # ------------------------------------------------------------------
     # Single-request execution
@@ -254,7 +411,19 @@ class ShardedGatspiSession(Session):
             gate.output_net for gate in engine0.compiled.gates.values()
         )
 
+    def _reject_edits_in_process_mode(self) -> None:
+        if self._worker_mode == "process":
+            # Worker engines live in other processes; there is no channel
+            # to re-sync their compiled state after an in-place edit, and
+            # silently editing only the parent would break bit-identity.
+            raise NotImplementedError(
+                "process-shard sessions do not support in-place edits; "
+                "prepare a new session for the edited design "
+                "(or use workers=thread)"
+            )
+
     def apply_edits(self, edits: Sequence[Edit]) -> EditReceipt:
+        self._reject_edits_in_process_mode()
         with self._run_lock:
             receipt = self._inner_sessions[0].engine.apply_edits(list(edits))
             self._sync_inner_engines()
@@ -271,6 +440,7 @@ class ShardedGatspiSession(Session):
     ) -> SimulationResult:
         from .adapters import _check_edit_analysis
 
+        self._reject_edits_in_process_mode()
         with self._run_lock:
             engine0 = self._inner_sessions[0].engine
             receipt = engine0.apply_edits(list(edits))
@@ -323,7 +493,24 @@ class ShardedGatspiSession(Session):
         Shard ``k`` runs on inner session ``k % workers``; with more
         shards than workers the extra shards queue up behind their
         session's lock, bounding concurrency at the worker count.
+
+        In process mode each share is sliced here in the parent (the same
+        slice thread mode takes) and submitted to the spawned pool; the
+        executor queues excess shares behind the worker count, and results
+        come back in plan order, so merging is identical to thread mode —
+        which is what keeps the two modes bit-identical.
         """
+        if self._worker_mode == "process":
+            pool = self._ensure_process_pool()
+            futures = [
+                pool.submit(
+                    _process_run_shard,
+                    slice_stimulus(stimulus, shard.ext_start, shard.end),
+                    shard.run_duration,
+                )
+                for shard in plan
+            ]
+            return [future.result() for future in futures]
 
         def run_shard(shard: Shard) -> SimulationResult:
             session = self._inner_sessions[shard.index % self._workers]
@@ -570,7 +757,7 @@ class GatspiShardedBackend(SimBackend):
         config: Optional[SimConfig] = None,
         *,
         shards: int = 4,
-        workers: Optional[int] = None,
+        workers: Optional[Any] = None,
         kernel: Optional[str] = None,
         restructure: Optional[str] = None,
         device: Optional[str] = None,
@@ -583,7 +770,12 @@ class GatspiShardedBackend(SimBackend):
         session partitions only as wide as ``os.cpu_count()`` allows
         (down to a single-session passthrough on one core); pass
         ``workers=N`` to pin an ``N``-wide pool and force the full
-        requested partition count.  A config with a user-pinned
+        requested partition count.  ``workers="process"`` runs shares on
+        spawned worker *processes* instead of threads (GIL-free), with
+        the packed design tensors shared read-only via
+        :mod:`repro.core.shm`; ``workers="process:N"`` additionally pins
+        the pool width and forces the full partition count, exactly like
+        an integer ``workers=N``.  A config with a user-pinned
         ``window_overlap`` always degrades to the single-shard
         passthrough — partitioning under a margin the engine cannot
         vouch for would break the bit-identity contract.  ``kernel`` /
@@ -595,6 +787,25 @@ class GatspiShardedBackend(SimBackend):
         _reject_unknown_options(self.name, options)
         if shards < 1:
             raise ValueError("shards must be at least 1")
+        worker_mode = "thread"
+        if isinstance(workers, str):
+            base, sep, width_text = workers.partition(":")
+            if base != "process":
+                raise ValueError(
+                    f"workers must be an integer, 'process', or "
+                    f"'process:N', got {workers!r}"
+                )
+            worker_mode = "process"
+            if sep:
+                try:
+                    workers = int(width_text)
+                except ValueError:
+                    raise ValueError(
+                        f"invalid process worker width {width_text!r} in "
+                        f"workers={'process:' + width_text!r}"
+                    ) from None
+            else:
+                workers = None
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
         overrides = {}
@@ -608,5 +819,10 @@ class GatspiShardedBackend(SimBackend):
         if overrides:
             config = config.with_updates(**overrides)
         return ShardedGatspiSession(
-            netlist, annotation, config, shards=shards, workers=workers
+            netlist,
+            annotation,
+            config,
+            shards=shards,
+            workers=workers,
+            worker_mode=worker_mode,
         )

@@ -206,7 +206,7 @@ class GatspiEngine:
         """Whether the most recent :meth:`compile` reused cached artifacts."""
         return self._compile_cache_hit
 
-    def compile(self) -> CompiledGraph:
+    def compile(self, packed: Optional[PackedDesign] = None) -> CompiledGraph:
         """Levelize the netlist and build all lookup arrays.
 
         Produces two equivalent views of the design: the per-gate
@@ -216,6 +216,10 @@ class GatspiEngine:
         two kernels cannot diverge on compiled data).  Results are memoized
         process-wide by content fingerprint unless
         ``SimConfig(compile_cache=False)``.
+
+        ``packed`` injects pre-built design tensors (shared-memory views in
+        a process-shard worker) in place of re-packing; see
+        :meth:`_build_artifacts`.
         """
         start = time.perf_counter()
         self._xp = get_array_backend(self.config.effective_device())
@@ -237,7 +241,9 @@ class GatspiEngine:
             artifacts = compile_cache.lookup(key)
         cache_hit = artifacts is not None
         if artifacts is None:
-            artifacts = self._build_artifacts(netlist_fingerprint=netlist_fp)
+            artifacts = self._build_artifacts(
+                netlist_fingerprint=netlist_fp, packed=packed
+            )
             if key is not None:
                 compile_cache.store(key, artifacts)
         self._base_compile_key = key
@@ -268,10 +274,18 @@ class GatspiEngine:
         self._plan = None
 
     def _build_artifacts(
-        self, netlist_fingerprint: Optional[str] = None
+        self,
+        netlist_fingerprint: Optional[str] = None,
+        packed: Optional[PackedDesign] = None,
     ) -> compile_cache.CompiledArtifacts:
         """One full (uncached) compile: levelize, build lookup arrays, pack,
-        and materialize the packed tensors on the configured backend."""
+        and materialize the packed tensors on the configured backend.
+
+        ``packed`` injects pre-built design tensors (e.g. shared-memory
+        views attached by a process-shard worker, :mod:`repro.core.shm`)
+        instead of re-packing — the rest of the compile is unchanged, so
+        the artifacts flow through the normal compile cache and backends.
+        """
         gate_inputs: Dict[str, GateKernelInputs] = {}
         if netlist_fingerprint is not None:
             # prepare() analyzes before compiling; the analysis engine
@@ -312,11 +326,12 @@ class GatspiEngine:
                 wire_rise=tuple(wire_rise),
                 wire_fall=tuple(wire_fall),
             )
-        packed = pack_design(
-            compiled.gates_by_level,
-            gate_inputs,
-            extra_nets=tuple(self.netlist.source_nets()),
-        ).to_device(self._xp)
+        if packed is None:
+            packed = pack_design(
+                compiled.gates_by_level,
+                gate_inputs,
+                extra_nets=tuple(self.netlist.source_nets()),
+            ).to_device(self._xp)
         # Net-id tensors of the two bulk registration paths — gate outputs
         # in readback order and stimulus sources in lowering order — cached
         # alongside the packed tensors so a cache hit skips the O(design)

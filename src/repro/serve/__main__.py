@@ -1,0 +1,77 @@
+"""``python -m repro.serve`` — stand up a wire-protocol simulation server.
+
+Binds a :class:`~repro.serve.server.SimulationServer` over a freshly
+constructed :class:`~repro.serve.service.SimulationService` and serves
+until interrupted.  Clients connect with
+:class:`~repro.serve.wire.WireClient`::
+
+    $ python -m repro.serve --port 7634 --max-workers 4 &
+    >>> from repro.serve import ServeRequest, WireClient
+    >>> with WireClient("127.0.0.1", 7634) as client:
+    ...     client.run(ServeRequest(netlist=..., stimulus=..., cycles=100))
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .server import SimulationServer
+from .service import SimulationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve simulation requests over the wire protocol.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind; 0 picks a free port (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=4,
+        help="service worker threads (default %(default)s)",
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded admission queue depth (default %(default)s)",
+    )
+    parser.add_argument(
+        "--session-cache-size", type=int, default=8,
+        help="prepared sessions kept hot (default %(default)s)",
+    )
+    parser.add_argument(
+        "--per-client-quota", type=int, default=None,
+        help="max in-flight requests per client id (default: unlimited)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    service = SimulationService(
+        max_workers=args.max_workers,
+        queue_size=args.queue_size,
+        session_cache_size=args.session_cache_size,
+        per_client_quota=args.per_client_quota,
+    )
+    server = SimulationServer(service, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"repro.serve listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,7 @@ Request lifecycle::
 
 from __future__ import annotations
 
+import hashlib
 import queue
 import threading
 import time
@@ -84,6 +85,15 @@ class ServiceClosedError(ServiceError):
 
 class ServiceOverloadedError(ServiceError):
     """Raised when the bounded request queue cannot admit a request."""
+
+
+class QuotaExceededError(ServiceOverloadedError):
+    """Raised when one client exceeds its per-client in-flight quota.
+
+    Subclasses :class:`ServiceOverloadedError` because it is the same
+    back-pressure contract, scoped to one misbehaving client instead of
+    the whole queue: other clients keep being admitted.
+    """
 
 
 class UnknownBaseDesignError(ServiceError):
@@ -144,6 +154,10 @@ class ServeRequest:
     base_key: Optional[str] = None
     #: Edit batch of a delta request (applied, re-simulated, undone).
     edits: Tuple[Edit, ...] = ()
+    #: Client identity for per-client admission quotas (the wire server
+    #: stamps each connection's requests with its connection id when the
+    #: client does not name itself).
+    client: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -164,6 +178,12 @@ class ServeResponse:
     #: Whether the request executed inside a fused (batched) engine run.
     fused: bool = False
     tag: Optional[str] = None
+    #: Whether this request was coalesced onto another in-flight identical
+    #: request's engine run (same design, stimulus, and config).
+    coalesced: bool = False
+    #: The admission analysis report (``analysis="warn"``/``"strict"``
+    #: submissions; ``None`` when analysis was off or for delta requests).
+    analysis_report: Optional[Any] = None
 
 
 @dataclass
@@ -173,12 +193,43 @@ class _QueueItem:
     key: str
     enqueued_at: float
     batch_size: int = 1
+    analysis_report: Optional[Any] = None
+
+
+@dataclass
+class _Outcome:
+    """What one executed leader produced, for coalesced fan-out."""
+
+    result: Optional[SimulationResult] = None
+    error: Optional[BaseException] = None
+    run_seconds: float = 0.0
+    fused: bool = False
+
+
+def stimulus_fingerprint(stimulus: Mapping[str, Waveform]) -> str:
+    """Content hash of a stimulus set (net names + waveform arrays).
+
+    Together with the session key (which already pins the design
+    fingerprints, backend, and config) this identifies a request's entire
+    input, so two in-flight requests with equal fingerprints are
+    guaranteed to produce bit-identical results and can be coalesced onto
+    one engine run.
+    """
+    digest = hashlib.sha256()
+    for net in sorted(stimulus):
+        wave = stimulus[net]
+        digest.update(net.encode())
+        digest.update(b"\x00")
+        digest.update(wave.data.tobytes())
+    return digest.hexdigest()
 
 
 _SHUTDOWN = object()
 
 
-def session_key(request: ServeRequest) -> str:
+def session_key(
+    request: ServeRequest, *, netlist_fingerprint: Optional[str] = None
+) -> str:
     """Content-based identity of the prepared session a request needs.
 
     Built from the same netlist/annotation fingerprints the compile cache
@@ -186,13 +237,14 @@ def session_key(request: ServeRequest) -> str:
     objects batch onto one session; the backend spec and config are part
     of the key because they select the engine and its executors.  A delta
     request targets its base design's session directly: its key IS the
-    ``base_key`` it carries.
+    ``base_key`` it carries.  ``netlist_fingerprint`` lets ``submit``
+    reuse the hash its admission analysis already computed.
     """
     if request.base_key is not None:
         return request.base_key
     if request.netlist is None:
         raise ValueError("request provides neither netlist nor base_key")
-    netlist_fp = fingerprint_netlist(request.netlist)
+    netlist_fp = netlist_fingerprint or fingerprint_netlist(request.netlist)
     annotation_fp = (
         fingerprint_annotation(request.annotation, request.netlist)
         if request.annotation is not None
@@ -219,6 +271,14 @@ class SimulationService:
     session_cache_size:
         Prepared sessions kept warm (LRU).  Eviction only drops the
         session object — compiled artifacts stay in the compile cache.
+        Keys with dispatched-but-unfinished or pending work are pinned
+        and never evicted, so a delta stream's base session cannot vanish
+        mid-stream under eviction pressure.
+    per_client_quota:
+        When set, at most this many requests per ``ServeRequest.client``
+        may be in flight (submitted, not yet resolved) at once; the next
+        submission from that client raises :class:`QuotaExceededError`
+        while other clients keep being admitted.
     """
 
     def __init__(
@@ -226,6 +286,7 @@ class SimulationService:
         max_workers: int = 4,
         queue_size: int = 64,
         session_cache_size: int = 8,
+        per_client_quota: Optional[int] = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -233,6 +294,8 @@ class SimulationService:
             raise ValueError("queue_size must be at least 1")
         if session_cache_size < 1:
             raise ValueError("session_cache_size must be at least 1")
+        if per_client_quota is not None and per_client_quota < 1:
+            raise ValueError("per_client_quota must be at least 1")
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
@@ -256,18 +319,30 @@ class SimulationService:
         self._sessions: "OrderedDict[str, Any]" = OrderedDict()
         self._session_cache_size = session_cache_size
         self._session_lock = threading.RLock()
+        # Per-client in-flight accounting for admission quotas; a leaf
+        # lock (never held while any other lock is taken).
+        self._quota_lock = threading.Lock()
+        self._per_client_quota = per_client_quota
+        self._client_inflight: Dict[str, int] = {}
         self._stats_lock = threading.Lock()
-        self._stats: Dict[str, int] = {
+        self._stats: Dict[str, float] = {
             "submitted": 0,
             "completed": 0,
             "failed": 0,
             "rejected": 0,
+            "quota_rejected": 0,
             "batches": 0,
             "max_batch_size": 0,
+            "coalesced": 0,
             "fused_fallbacks": 0,
             "session_hits": 0,
             "session_misses": 0,
             "max_queue_depth": 0,
+            # Per-phase latency accumulators (seconds); divide by
+            # ``completed`` for the mean, the wire protocol's ``stats``
+            # op surfaces them as-is.
+            "queue_seconds_total": 0.0,
+            "run_seconds_total": 0.0,
         }
         self._closed = False
         self._closed_lock = threading.Lock()
@@ -294,11 +369,15 @@ class SimulationService:
         future may be ``cancel()``-ed while the request is still queued.
 
         Admission runs design-rule analysis eagerly (unless the request's
-        config says ``analysis="off"``): a design with error-severity
-        findings is rejected here with :class:`DesignRejectedError` —
-        before it consumes a queue slot or a worker — rather than failing
-        later inside ``prepare()``.  Reports are fingerprint-cached, so
-        repeat submissions of a known design pay a dictionary lookup.
+        config says ``analysis="off"``): under ``analysis="strict"`` a
+        design with error-severity findings is rejected here with
+        :class:`DesignRejectedError` — before it consumes a queue slot or
+        a worker — while the default ``"warn"`` attaches the report to
+        the response and proceeds, matching ``prepare()`` semantics.
+        Reports are fingerprint-cached (the netlist is hashed once per
+        submit, shared between the analysis key and the session key), so
+        repeat submissions of a known design pay a dictionary lookup and
+        evaluate zero rules.
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
@@ -312,16 +391,32 @@ class SimulationService:
             # default to the base session's previous run.
             if request.cycles is None and request.duration is None:
                 raise ValueError("one of cycles/duration must be provided")
-        self._check_admission(request)
+        netlist_fp = (
+            fingerprint_netlist(request.netlist)
+            if request.netlist is not None
+            else None
+        )
+        report = self._check_admission(request, netlist_fp)
+        quota_client = self._reserve_quota(request)
         item = _QueueItem(
             request=request,
             future=Future(),
-            key=session_key(request),
+            key=session_key(request, netlist_fingerprint=netlist_fp),
             enqueued_at=time.perf_counter(),
+            analysis_report=report,
         )
+        if quota_client is not None:
+            client_id = quota_client
+            item.future.add_done_callback(
+                lambda _future: self._release_quota(client_id)
+            )
         try:
             self._queue.put(item, block=block, timeout=timeout)
         except queue.Full:
+            if quota_client is not None:
+                # The done callback never fires for an item that was
+                # never enqueued; undo the reservation here.
+                item.future.cancel()
             self._bump("rejected")
             raise ServiceOverloadedError(
                 f"request queue is full ({self._queue.maxsize} pending)"
@@ -339,23 +434,35 @@ class SimulationService:
             )
         return item.future
 
-    def _check_admission(self, request: ServeRequest) -> None:
-        """Reject un-simulatable designs at the front door.
+    def _check_admission(
+        self, request: ServeRequest, netlist_fingerprint: Optional[str]
+    ) -> Optional[Any]:
+        """Analyze a full request at the front door; maybe reject it.
 
-        Uses the fingerprint-keyed analysis cache, so the per-submit cost
-        for an already-seen design is one cache lookup (``submit`` computes
-        the same fingerprints for the session key anyway).
+        Routes through the fingerprint-keyed analysis report cache
+        (reusing the netlist hash ``submit`` computes for the session
+        key), so the per-submit cost for an already-seen design is one
+        cache lookup with zero rule evaluations.  Only the effective
+        ``analysis="strict"`` mode rejects on error findings; ``"warn"``
+        (the default) returns the report so it can be attached to the
+        response, and the design proceeds — the same contract
+        ``prepare()`` honors.  Returns the report (``None`` for delta
+        requests and ``analysis="off"``).
         """
         if request.netlist is None:
             # Delta request: there is no netlist to analyze here; the
             # session's incremental analysis gate (``Session.rerun``) checks
             # the edited design and rolls the edits back on rejection.
-            return
+            return None
         config = request.config if request.config is not None else SimConfig()
         if config.analysis == "off":
-            return
-        report = analyze_design(request.netlist, annotation=request.annotation)
-        if report.has_errors:
+            return None
+        report = analyze_design(
+            request.netlist,
+            annotation=request.annotation,
+            netlist_fingerprint=netlist_fingerprint,
+        )
+        if config.analysis == "strict" and report.has_errors:
             self._bump("rejected")
             rule_ids = sorted({f.rule_id for f in report.errors})
             raise DesignRejectedError(
@@ -364,13 +471,52 @@ class SimulationService:
                 f"({', '.join(rule_ids)})",
                 report,
             )
+        return report
+
+    def _reserve_quota(self, request: ServeRequest) -> Optional[str]:
+        """Claim one in-flight slot for the request's client (or raise).
+
+        Returns the client id whose reservation must be released when the
+        request's future resolves, or ``None`` when quotas are disabled.
+        """
+        if self._per_client_quota is None:
+            return None
+        client_id = request.client if request.client is not None else "<anonymous>"
+        with self._quota_lock:
+            inflight = self._client_inflight.get(client_id, 0)
+            if inflight >= self._per_client_quota:
+                over = True
+            else:
+                over = False
+                self._client_inflight[client_id] = inflight + 1
+        if over:
+            self._bump("quota_rejected")
+            raise QuotaExceededError(
+                f"client {client_id!r} has {inflight} request(s) in flight "
+                f"(quota {self._per_client_quota})"
+            )
+        return client_id
+
+    def _release_quota(self, client_id: str) -> None:
+        with self._quota_lock:
+            remaining = self._client_inflight.get(client_id, 0) - 1
+            if remaining > 0:
+                self._client_inflight[client_id] = remaining
+            else:
+                self._client_inflight.pop(client_id, None)
 
     def run(self, request: ServeRequest, timeout: Optional[float] = None) -> ServeResponse:
         """Synchronous convenience: ``submit`` and wait for the response."""
         return self.submit(request).result(timeout=timeout)
 
-    def stats(self) -> Dict[str, int]:
-        """Snapshot of the service counters (plus current queue depth)."""
+    def stats(self) -> Dict[str, float]:
+        """Snapshot of the service counters (plus current queue depth).
+
+        Integer counters plus the per-phase latency accumulators
+        (``queue_seconds_total`` / ``run_seconds_total``) and the
+        coalesce/fusion counters; the wire protocol's ``stats`` op
+        returns exactly this mapping.
+        """
         with self._stats_lock:
             snapshot = dict(self._stats)
         snapshot["queue_depth"] = self._queue.qsize()
@@ -519,11 +665,26 @@ class SimulationService:
             config=request.config,
             **options,
         )
+        # Keys with dispatched-but-unfinished batches or pending groups
+        # are pinned: evicting them would turn the queued work (delta
+        # requests especially, which cannot re-prepare) into spurious
+        # UnknownBaseDesignError.  Snapshot under the group lock *before*
+        # taking the session lock — same-rank locks are never nested.
+        with self._group_lock:
+            pinned = set(self._active_keys)
+            pinned.update(self._pending_groups)
         with self._session_lock:
             self._sessions[key] = session
             self._sessions.move_to_end(key)
-            while len(self._sessions) > self._session_cache_size:
-                self._sessions.popitem(last=False)
+            if len(self._sessions) > self._session_cache_size:
+                for stale in list(self._sessions):
+                    if len(self._sessions) <= self._session_cache_size:
+                        break
+                    if stale == key or stale in pinned:
+                        continue
+                    del self._sessions[stale]
+            # With every resident key pinned the cache may transiently
+            # exceed its bound; the next unpinned insert re-trims it.
         return session, False
 
     def _execute_batch(self, key: str, items: List[_QueueItem]) -> None:
@@ -555,16 +716,48 @@ class SimulationService:
                 self._inflight.release()
         if not live:
             return
-        # Delta requests are never fused: each one mutates the session
-        # (apply -> rerun -> undo), which the time-axis fusion layout
-        # cannot express.  Full requests of the batch still fuse.
-        full_items = [q for q in live if q.request.netlist is not None]
+        # Coalesce in-flight identical full requests: the session key
+        # already pins the design fingerprints, backend spec, and config,
+        # so equal stimulus fingerprints and horizons guarantee
+        # bit-identical results — one leader runs the engine, followers
+        # fan its result out.  Delta requests are never coalesced (each
+        # mutates the session apply -> rerun -> undo).
+        followers: List[Tuple[_QueueItem, _QueueItem]] = []
+        leaders_by_fp: Dict[Tuple[str, Optional[int], Optional[int]], _QueueItem] = {}
+        runnable: List[_QueueItem] = []
+        for queued in live:
+            if queued.request.netlist is None:
+                runnable.append(queued)
+                continue
+            identity = (
+                stimulus_fingerprint(queued.request.stimulus),
+                queued.request.cycles,
+                queued.request.duration,
+            )
+            leader = leaders_by_fp.get(identity)
+            if leader is None:
+                leaders_by_fp[identity] = queued
+                runnable.append(queued)
+            else:
+                followers.append((queued, leader))
+        outcomes: Dict[int, _Outcome] = {}
+        # Delta requests are never fused either: the time-axis fusion
+        # layout cannot express the session mutation.  Distinct full
+        # requests of the batch still fuse.
+        full_items = [q for q in runnable if q.request.netlist is not None]
         run_many = getattr(session, "run_many", None)
         if run_many is not None and len(full_items) > 1:
-            if self._execute_fused(key, run_many, full_items, reused):
-                live = [q for q in live if q.request.netlist is None]
+            fused_results = self._execute_fused(key, run_many, full_items, reused)
+            if fused_results is not None:
+                for queued, result in zip(full_items, fused_results):
+                    outcomes[id(queued)] = _Outcome(
+                        result=result,
+                        run_seconds=0.0,
+                        fused=result.stats.fused_requests > 1,
+                    )
+                runnable = [q for q in runnable if q.request.netlist is None]
                 reused = True
-        for queued in live:
+        for queued in runnable:
             try:
                 picked_up = time.perf_counter()
                 request = queued.request
@@ -578,10 +771,14 @@ class SimulationService:
                             duration=request.duration,
                         )
                 except BaseException as exc:
+                    outcomes[id(queued)] = _Outcome(error=exc)
                     queued.future.set_exception(exc)
                     self._bump("failed")
                     continue
                 done = time.perf_counter()
+                outcomes[id(queued)] = _Outcome(
+                    result=result, run_seconds=done - picked_up
+                )
                 queued.future.set_result(
                     ServeResponse(
                         result=result,
@@ -591,13 +788,52 @@ class SimulationService:
                         run_seconds=done - picked_up,
                         batch_size=queued.batch_size,
                         session_reused=reused,
+                        analysis_report=queued.analysis_report,
                         tag=request.tag,
                     )
                 )
+                self._record_latency(picked_up - queued.enqueued_at, done - picked_up)
                 self._bump("completed")
                 # Later requests of the batch ran on a session the batch
                 # itself warmed up.
                 reused = True
+            finally:
+                self._inflight.release()
+        for queued, leader in followers:
+            try:
+                outcome = outcomes.get(id(leader))
+                if outcome is None or (outcome.result is None and outcome.error is None):
+                    # The leader never produced an outcome (defensive; it
+                    # always should) — fail the follower loudly rather
+                    # than hanging its future.
+                    queued.future.set_exception(
+                        ServiceError("coalesced leader produced no outcome")
+                    )
+                    self._bump("failed")
+                    continue
+                if outcome.error is not None:
+                    queued.future.set_exception(outcome.error)
+                    self._bump("failed")
+                    continue
+                now = time.perf_counter()
+                queued.future.set_result(
+                    ServeResponse(
+                        result=outcome.result,
+                        backend=queued.request.backend,
+                        session_key=key,
+                        queue_seconds=now - queued.enqueued_at,
+                        run_seconds=outcome.run_seconds,
+                        batch_size=queued.batch_size,
+                        session_reused=True,
+                        fused=outcome.fused,
+                        coalesced=True,
+                        analysis_report=queued.analysis_report,
+                        tag=queued.request.tag,
+                    )
+                )
+                self._record_latency(now - queued.enqueued_at, 0.0)
+                self._bump("completed")
+                self._bump("coalesced")
             finally:
                 self._inflight.release()
 
@@ -628,13 +864,14 @@ class SimulationService:
         run_many: Callable[..., List[SimulationResult]],
         live: List[_QueueItem],
         reused: bool,
-    ) -> bool:
+    ) -> Optional[List[SimulationResult]]:
         """Execute a micro-batch as one fused session run.
 
-        Returns ``False`` — with no future resolved and no permit
-        released — when the batched run raises, so the caller can fall
-        back to per-request execution and keep failures isolated to the
-        request that caused them.
+        Returns the per-request results (request order, futures resolved,
+        permits released) on success, or ``None`` — with no future
+        resolved and no permit released — when the batched run raises, so
+        the caller can fall back to per-request execution and keep
+        failures isolated to the request that caused them.
         """
         from ..api.sharded import RunSpec
 
@@ -656,28 +893,37 @@ class SimulationService:
             # a systematically failing fused path is observable in stats
             # instead of degrading silently.
             self._bump("fused_fallbacks")
-            return False
+            return None
         wall = time.perf_counter() - picked_up
         for queued, result in zip(live, results):
+            queue_seconds = picked_up - queued.enqueued_at
+            # The batch executed jointly; attribute the wall time evenly,
+            # matching the fused stats attribution.
+            run_seconds = wall / len(live)
             queued.future.set_result(
                 ServeResponse(
                     result=result,
                     backend=queued.request.backend,
                     session_key=key,
-                    queue_seconds=picked_up - queued.enqueued_at,
-                    # The batch executed jointly; attribute the wall time
-                    # evenly, matching the fused stats attribution.
-                    run_seconds=wall / len(live),
+                    queue_seconds=queue_seconds,
+                    run_seconds=run_seconds,
                     batch_size=queued.batch_size,
                     session_reused=reused,
                     fused=result.stats.fused_requests > 1,
+                    analysis_report=queued.analysis_report,
                     tag=queued.request.tag,
                 )
             )
+            self._record_latency(queue_seconds, run_seconds)
             self._bump("completed")
             self._inflight.release()
-        return True
+        return list(results)
 
     def _bump(self, counter: str) -> None:
         with self._stats_lock:
             self._stats[counter] += 1
+
+    def _record_latency(self, queue_seconds: float, run_seconds: float) -> None:
+        with self._stats_lock:
+            self._stats["queue_seconds_total"] += queue_seconds
+            self._stats["run_seconds_total"] += run_seconds

@@ -1,0 +1,294 @@
+"""Length-prefixed wire protocol for the serving front end.
+
+The serving stack is in-process Python objects end to end
+(:class:`~repro.serve.service.SimulationService` futures); this module
+gives it a socket form so simulation clients can live in other processes
+or on other machines.  The protocol is deliberately minimal:
+
+* **Framing.**  Every message is one frame: an 8-byte header
+  (``b"RS"`` magic, protocol version, frame kind, big-endian payload
+  length) followed by a pickled payload.  Length-prefixing makes the
+  stream self-delimiting — a reader always knows exactly how many bytes
+  the next message occupies — and the declared length is validated
+  against a frame-size ceiling *before* the payload is read, so an
+  oversized or corrupt header cannot make the server buffer unbounded
+  data.
+* **Kinds.**  ``REQUEST`` carries ``{"op": ..., ...}`` dictionaries
+  (``"run"`` with a :class:`~repro.serve.service.ServeRequest`;
+  ``"stats"``), ``RESPONSE`` the matching result payload, ``ERROR`` a
+  structured error: the exception class name, its message, and — for
+  :class:`~repro.serve.service.DesignRejectedError` — the analysis
+  report.  Clients map structured errors back onto the same exception
+  classes in-process callers see, so switching between ``WireClient``
+  and ``SimulationService`` is transparent to error handling.
+* **Versioning.**  The header carries a protocol version byte; a reader
+  that sees a version it does not speak fails with
+  :class:`ProtocolError` instead of misparsing the stream.
+
+Payloads are pickled: netlists, waveforms, and results are the repo's
+own (picklable) dataclasses, and inventing a parallel schema for them
+would duplicate every model class.  The standard pickle caveat applies —
+the protocol authenticates nothing and must only span *trusted*
+processes/hosts (the same trust boundary ``multiprocessing`` itself
+assumes).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+from .service import (
+    DesignRejectedError,
+    QuotaExceededError,
+    ServeRequest,
+    ServeResponse,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownBaseDesignError,
+)
+
+MAGIC = b"RS"
+PROTOCOL_VERSION = 1
+#: Header: magic (2s), version (B), frame kind (B), payload length (I, BE).
+HEADER = struct.Struct(">2sBBI")
+#: Default ceiling on a single frame's payload (64 MiB) — generous for
+#: netlist + stimulus payloads, small enough to bound a connection's
+#: buffering.  Both ends enforce it, on send and on receive.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Frame kinds.
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+KIND_ERROR = 3
+_KNOWN_KINDS = (KIND_REQUEST, KIND_RESPONSE, KIND_ERROR)
+
+
+class WireError(RuntimeError):
+    """Base class of wire-protocol failures."""
+
+
+class ProtocolError(WireError):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+class FrameTooLargeError(WireError):
+    """A frame's declared payload exceeds the configured ceiling."""
+
+
+class ConnectionClosedError(WireError):
+    """The peer closed the connection.
+
+    ``clean`` distinguishes an orderly close between frames (a client
+    simply disconnecting) from a close in the middle of one (a truncated
+    frame — data was lost).
+    """
+
+    def __init__(self, message: str, clean: bool = False):
+        super().__init__(message)
+        self.clean = clean
+
+
+class RemoteError(ServiceError):
+    """A server-side error with no dedicated client-side class."""
+
+
+#: Exception classes a structured error frame can round-trip.  Anything
+#: else arrives as :class:`RemoteError` carrying the original class name.
+_ERROR_TYPES: Dict[str, Type[Exception]] = {
+    cls.__name__: cls
+    for cls in (
+        ServiceError,
+        ServiceClosedError,
+        ServiceOverloadedError,
+        QuotaExceededError,
+        UnknownBaseDesignError,
+        ValueError,
+        TypeError,
+        NotImplementedError,
+        ProtocolError,
+        FrameTooLargeError,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(
+    kind: int, payload: Any, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """Serialize one frame (header + pickled payload) to bytes."""
+    if kind not in _KNOWN_KINDS:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte ceiling"
+        )
+    return HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, len(body)) + body
+
+
+def _recv_exact(sock: socket.socket, count: int, *, header: bool) -> bytes:
+    """Read exactly ``count`` bytes; EOF raises :class:`ConnectionClosedError`.
+
+    EOF on the first byte of a *header* is a clean close (the peer hung
+    up between frames); EOF anywhere else truncated a frame.
+    """
+    chunks = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(count - received)
+        if not chunk:
+            raise ConnectionClosedError(
+                "connection closed "
+                + ("between frames" if header and received == 0 else "mid-frame"),
+                clean=header and received == 0,
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Tuple[int, Any]:
+    """Read one frame from a socket, returning ``(kind, payload)``.
+
+    The declared length is validated against ``max_frame_bytes`` before
+    any payload byte is read.
+    """
+    header = _recv_exact(sock, HEADER.size, header=True)
+    magic, version, kind, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol version {version}, "
+            f"this end speaks {PROTOCOL_VERSION}"
+        )
+    if kind not in _KNOWN_KINDS:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"peer declared a {length}-byte frame, ceiling is "
+            f"{max_frame_bytes} bytes"
+        )
+    body = _recv_exact(sock, length, header=False)
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    return kind, payload
+
+
+def write_frame(
+    sock: socket.socket,
+    kind: int,
+    payload: Any,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Encode and send one frame."""
+    sock.sendall(encode_frame(kind, payload, max_frame_bytes))
+
+
+# ----------------------------------------------------------------------
+# Structured errors
+# ----------------------------------------------------------------------
+def encode_error(exc: BaseException) -> Dict[str, Any]:
+    """Structured-error payload for an exception (class, message, extras)."""
+    payload: Dict[str, Any] = {
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    if isinstance(exc, DesignRejectedError):
+        payload["report"] = exc.report
+    return payload
+
+
+def decode_error(payload: Mapping[str, Any]) -> Exception:
+    """Rebuild the client-side exception a structured error describes."""
+    name = str(payload.get("error", "ServiceError"))
+    message = str(payload.get("message", ""))
+    if name == DesignRejectedError.__name__:
+        return DesignRejectedError(message, payload.get("report"))
+    cls = _ERROR_TYPES.get(name)
+    if cls is not None:
+        return cls(message)
+    return RemoteError(f"{name}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Blocking client
+# ----------------------------------------------------------------------
+class WireClient:
+    """Blocking client of a :class:`~repro.serve.server.SimulationServer`.
+
+    One connection serves one request at a time (request frame out,
+    response frame in); run several clients for concurrency — the server
+    multiplexes connections onto the service's queue, where admission,
+    coalescing, and quotas apply exactly as for in-process submits::
+
+        with WireClient(host, port) as client:
+            response = client.run(ServeRequest(netlist=..., stimulus=...,
+                                               duration=10_000))
+            print(response.result.total_toggles())
+
+    Raises the same exception classes as
+    :meth:`SimulationService.run <repro.serve.service.SimulationService.run>`
+    (rebuilt from structured error frames).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self._max_frame_bytes = max_frame_bytes
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def run(self, request: ServeRequest) -> ServeResponse:
+        """Submit one request and block for its response."""
+        payload = self._round_trip({"op": "run", "request": request})
+        response = payload.get("response")
+        if not isinstance(response, ServeResponse):
+            raise ProtocolError("run response frame carries no ServeResponse")
+        return response
+
+    def stats(self) -> Dict[str, float]:
+        """Fetch the service's counter/latency snapshot."""
+        payload = self._round_trip({"op": "stats"})
+        stats = payload.get("stats")
+        if not isinstance(stats, dict):
+            raise ProtocolError("stats response frame carries no stats")
+        return stats
+
+    def _round_trip(self, request_payload: Dict[str, Any]) -> Dict[str, Any]:
+        write_frame(
+            self._sock, KIND_REQUEST, request_payload, self._max_frame_bytes
+        )
+        kind, payload = read_frame(self._sock, self._max_frame_bytes)
+        if kind == KIND_ERROR:
+            raise decode_error(payload)
+        if kind != KIND_RESPONSE or not isinstance(payload, dict):
+            raise ProtocolError(f"unexpected frame kind {kind} in response")
+        return payload
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close races are harmless
+            pass
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -437,6 +437,9 @@ def _stimulus_for(netlist):
 
 class TestServeAdmission:
     def test_bad_design_rejected_at_submit(self):
+        # Only the strict mode rejects at the front door; the default
+        # "warn" attaches the report and proceeds (SimConfig's documented
+        # semantics — regression-tested in tests/test_serve.py).
         netlist = self_loop_design()
         service = SimulationService(max_workers=1)
         try:
@@ -445,7 +448,7 @@ class TestServeAdmission:
                     ServeRequest(
                         netlist=netlist,
                         stimulus={},
-                        config=CONFIG,
+                        config=CONFIG.with_updates(analysis="strict"),
                         cycles=4,
                     )
                 )

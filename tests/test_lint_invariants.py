@@ -79,6 +79,28 @@ class TestLockOrderRule:
         # and the nested-function body are clean.
         assert len(violations) == 2
 
+    def test_serving_leaf_locks_admit_no_nesting(self, linter, tmp_path):
+        """The ISSUE-8 leaf locks (quota/conn/shm-registry) share the max
+        rank, so acquiring anything — even each other — inside them fires."""
+        bad = tmp_path / "leaf.py"
+        bad.write_text(
+            "class S:\n"
+            "    def f(self):\n"
+            "        with self._quota_lock:\n"
+            "            with self._stats_lock:\n"
+            "                pass\n"
+            "    def g(self):\n"
+            "        with self._conn_lock:\n"
+            "            with self._registry_lock:\n"
+            "                pass\n"
+        )
+        violations = linter.lint_file(bad)
+        assert [v.rule for v in violations] == ["LK001", "LK001"]
+        assert "'_quota_lock' (rank 30)" in violations[0].message
+        assert "'_stats_lock' (rank 20)" in violations[0].message
+        assert "'_conn_lock' (rank 30)" in violations[1].message
+        assert "'_registry_lock' (rank 30)" in violations[1].message
+
     def test_multi_item_with_checked(self, linter, tmp_path):
         bad = tmp_path / "multi.py"
         bad.write_text(

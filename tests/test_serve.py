@@ -154,6 +154,46 @@ class TestMicroBatching:
         dispatcher groups it, so the batch reaches ``run_many`` together;
         every response must match the standalone run bit for bit.
         """
+        netlist, annotation, _ = _design(9)
+        # Distinct stimuli per request: identical in-flight requests now
+        # coalesce onto one run instead of fusing (their own test below),
+        # so fusion is exercised with a burst that shares the design but
+        # not the stimulus.
+        stimuli = [
+            build_random_stimulus(netlist, DURATION, seed=900 + i)
+            for i in range(6)
+        ]
+        reference = get_backend("gatspi").prepare(
+            netlist, annotation=annotation, config=CONFIG
+        )
+        expected = [reference.run(s, duration=DURATION) for s in stimuli]
+
+        def request_for(stimulus):
+            return ServeRequest(
+                netlist=netlist,
+                stimulus=stimulus,
+                backend="gatspi-sharded",
+                annotation=annotation,
+                config=CONFIG,
+                duration=DURATION,
+            )
+
+        with SimulationService(max_workers=1, queue_size=32) as service:
+            # Occupy the single worker so the burst accumulates.
+            head = service.submit(request_for(stimuli[0]))
+            burst = [service.submit(request_for(s)) for s in stimuli[1:]]
+            responses = [head.result(timeout=120)] + [
+                f.result(timeout=120) for f in burst
+            ]
+        assert any(r.fused for r in responses), "burst never fused"
+        fused = [r for r in responses if r.fused]
+        assert all(r.result.stats.fused_requests > 1 for r in fused)
+        for response, reference_result in zip(responses, expected):
+            assert response.result.toggle_counts == reference_result.toggle_counts
+            for net in reference_result.waveforms:
+                assert response.result.waveforms[net] == reference_result.waveforms[net]
+
+    def test_identical_inflight_requests_coalesce_onto_one_run(self):
         request = _request(9, backend="gatspi-sharded")
         expected = (
             get_backend("gatspi")
@@ -161,15 +201,15 @@ class TestMicroBatching:
             .run(request.stimulus, duration=DURATION)
         )
         with SimulationService(max_workers=1, queue_size=32) as service:
-            # Occupy the single worker so the burst accumulates.
             head = service.submit(request)
             burst = [service.submit(request) for _ in range(5)]
             responses = [head.result(timeout=120)] + [
                 f.result(timeout=120) for f in burst
             ]
-        assert any(r.fused for r in responses), "burst never fused"
-        fused = [r for r in responses if r.fused]
-        assert all(r.result.stats.fused_requests > 1 for r in fused)
+            stats = service.stats()
+        assert any(r.coalesced for r in responses), "burst never coalesced"
+        assert stats["coalesced"] >= 1
+        # Coalesced responses share the leader's bit-identical result.
         for response in responses:
             assert response.result.toggle_counts == expected.toggle_counts
             for net in expected.waveforms:
@@ -270,6 +310,46 @@ class TestAdmissionControl:
             blocking_backend.release.set()
             for future in inflight + queued:
                 assert future.result(timeout=30) is not None
+        finally:
+            blocking_backend.release.set()
+            service.close()
+
+    def test_per_client_quota_bounds_in_flight_requests(self, blocking_backend):
+        """A client at its quota is rejected; other clients stay admitted.
+
+        The quota counts *in-flight* requests (submitted, not yet done):
+        with ``per_client_quota=1`` and the worker blocked on the first
+        request, the same client's second submit must fail fast with
+        ``QuotaExceededError`` while a differently named client's request
+        is still admitted; completing the first request returns the
+        permit.
+        """
+        from repro.serve import QuotaExceededError
+
+        netlist, annotation, stimulus = _design(16)
+
+        def request_for(client):
+            return ServeRequest(
+                netlist=netlist, stimulus=stimulus, backend="blocking-test",
+                annotation=annotation, duration=DURATION, client=client,
+            )
+
+        service = SimulationService(
+            max_workers=1, queue_size=8, per_client_quota=1
+        )
+        try:
+            first = service.submit(request_for("alice"))
+            assert blocking_backend.entered.wait(timeout=10)
+            with pytest.raises(QuotaExceededError):
+                service.submit(request_for("alice"))
+            assert service.stats()["quota_rejected"] == 1
+            other = service.submit(request_for("bob"))
+            blocking_backend.release.set()
+            assert first.result(timeout=30) is not None
+            assert other.result(timeout=30) is not None
+            # The permit came back with the completed request.
+            again = service.submit(request_for("alice"))
+            assert again.result(timeout=30) is not None
         finally:
             blocking_backend.release.set()
             service.close()
@@ -397,3 +477,130 @@ class TestServiceConcurrency:
         assert stats["submitted"] == stats["completed"] + stats["failed"]
         assert stats["failed"] == 0
         assert stats["session_misses"] == 1
+
+
+# ======================================================================
+# Admission semantics (ISSUE 8 bugfixes)
+# ======================================================================
+def _error_but_runnable_design():
+    """A design with an error-severity finding that still simulates fine.
+
+    The dangling primary output ``z`` trips the ``unconnected-output``
+    rule (ERROR severity), but it has no driver and no loads, so
+    ``prepare()``/``run()`` simulate the rest of the design happily —
+    exactly the shape the admission gate must not bounce under the
+    default ``analysis="warn"``.
+    """
+    from repro.netlist import Netlist
+
+    netlist = Netlist("floatout")
+    netlist.add_input("a")
+    netlist.add_output("y")
+    netlist.add_output("z")
+    netlist.add_instance("INV", "u0", {"A": "a", "Y": "y"})
+    stimulus = build_random_stimulus(netlist, DURATION, seed=99)
+    return netlist, stimulus
+
+
+class TestAdmissionSemantics:
+    def test_warn_mode_serves_error_design_with_report_attached(self):
+        # Regression (pre-fix: _check_admission rejected for every mode
+        # other than "off", contradicting SimConfig's documented "warn"
+        # semantics of attach-report-and-proceed).
+        netlist, stimulus = _error_but_runnable_design()
+        with SimulationService(max_workers=1) as service:
+            response = service.run(
+                ServeRequest(netlist=netlist, stimulus=stimulus, duration=DURATION)
+            )
+        assert response.result.total_toggles() > 0
+        assert response.analysis_report is not None
+        assert response.analysis_report.has_errors
+        assert response.analysis_report.findings_for("unconnected-output")
+
+    def test_strict_mode_still_rejects_error_design(self):
+        from repro.serve import DesignRejectedError
+
+        netlist, stimulus = _error_but_runnable_design()
+        with SimulationService(max_workers=1) as service:
+            with pytest.raises(DesignRejectedError) as excinfo:
+                service.submit(
+                    ServeRequest(
+                        netlist=netlist,
+                        stimulus=stimulus,
+                        duration=DURATION,
+                        config=SimConfig(analysis="strict"),
+                    )
+                )
+        assert excinfo.value.report.has_errors
+
+    def test_warn_mode_attaches_report_on_clean_design_too(self):
+        request = _request(31)
+        assert (request.config or SimConfig()).analysis == "warn"
+        with SimulationService(max_workers=1) as service:
+            response = service.run(request)
+        assert response.analysis_report is not None
+        assert not response.analysis_report.has_errors
+
+    def test_repeat_submission_evaluates_zero_rules(self):
+        # The submit docstring promises fingerprint-cached admission
+        # analysis: a second submission of a known design must be a pure
+        # cache hit, with no additional rule evaluation.
+        from repro.analysis import analysis_cache_info, clear_analysis_cache
+
+        clear_analysis_cache()
+        request = _request(32)
+        with SimulationService(max_workers=1) as service:
+            service.run(request)
+            runs_after_first = analysis_cache_info()["runs"]
+            hits_after_first = analysis_cache_info()["hits"]
+            service.run(request)
+            info = analysis_cache_info()
+        assert info["runs"] == runs_after_first
+        assert info["hits"] > hits_after_first
+
+
+class TestSessionEvictionPinning:
+    def test_base_session_with_queued_delta_work_survives_eviction(self):
+        # Regression (pre-fix: the session-LRU eviction loop ignored
+        # _active_keys/_pending_groups, so eviction pressure while a
+        # delta batch was dispatched-but-unfinished dropped the base
+        # session and turned the delta into UnknownBaseDesignError).
+        from repro.core.edits import SetPinDelay
+
+        base_request = _request(41)
+        with SimulationService(max_workers=1, session_cache_size=1) as service:
+            base = service.run(base_request)
+            base_key = base.session_key
+            # Simulate a dispatched-but-unfinished delta batch holding the
+            # base key, exactly what _run_group's bookkeeping does while a
+            # batch for the key executes.
+            with service._group_lock:
+                service._active_keys.add(base_key)
+            try:
+                service.run(_request(42))  # eviction pressure (cache size 1)
+                service.run(_request(43))
+            finally:
+                with service._group_lock:
+                    service._active_keys.discard(base_key)
+            gate = next(
+                inst
+                for inst in base_request.netlist.instances.values()
+                if inst.cell.inputs
+            )
+            delta = service.run(
+                ServeRequest(
+                    base_key=base_key,
+                    edits=(
+                        SetPinDelay(
+                            gate=gate.name,
+                            pin=gate.cell.inputs[0],
+                            rise=7.0,
+                            fall=9.0,
+                        ),
+                    ),
+                    stimulus=base_request.stimulus,
+                    duration=DURATION,
+                )
+            )
+        assert delta.session_key == base_key
+        assert delta.result.total_toggles() > 0

@@ -84,6 +84,12 @@ LOCK_RANKS: Dict[str, int] = {
     "_closed_lock": 10,   # serve close() latch
     "_stats_lock": 20,    # serve counters
     "_LOCK": 30,          # compile/analysis cache leaf lock (no callbacks)
+    # Leaf locks of the wire/process serving layer (ISSUE 8): nothing may
+    # be acquired while any of them is held, so they share the maximum
+    # rank — equal ranks forbid nesting in either direction.
+    "_quota_lock": 30,     # serve per-client admission quotas (service.py)
+    "_conn_lock": 30,      # wire server connection registry (server.py)
+    "_registry_lock": 30,  # shm live-segment registry (core/shm.py)
 }
 
 # ----------------------------------------------------------------------
@@ -216,7 +222,10 @@ def _check_lock_order(path: Path, tree: ast.AST) -> Iterator[Violation]:
                     continue
                 rank = LOCK_RANKS[name]
                 for held_name, held_rank in held + tuple(acquired):
-                    if rank < held_rank:
+                    # Equal ranks also fire: same-rank locks are peers
+                    # that must be taken sequentially, never nested (and
+                    # the max-rank leaf locks admit no nesting at all).
+                    if rank <= held_rank:
                         violations.append(
                             Violation(
                                 path,
