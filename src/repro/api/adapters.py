@@ -20,12 +20,18 @@ should reach engines exclusively through ``get_backend(name).prepare(...)``.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Mapping, Optional, Sequence, Tuple
+from typing import Any, Iterator, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import SimConfig
 from ..core.edits import Edit, EditReceipt
 from ..core.engine import GatspiEngine
-from ..core.results import SimulationResult
+from ..core.restructure import StreamingSourceEvents
+from ..core.results import (
+    PhaseTimings,
+    SimulationResult,
+    SimulationStats,
+    StreamBatch,
+)
 from ..core.waveform import Waveform
 from ..netlist import Netlist
 from ..reference.event_sim import EventDrivenSimulator
@@ -116,6 +122,18 @@ class GatspiSession(Session):
         duration: int,
     ) -> SimulationResult:
         return self.engine.simulate(stimulus, duration=duration)
+
+    def _stream_batches(
+        self,
+        source: StreamingSourceEvents,
+        duration: int,
+        chunk_cycles: Optional[int],
+        timings: PhaseTimings,
+        stats: SimulationStats,
+    ) -> Iterator[StreamBatch]:
+        return self.engine.stream(
+            source, duration, chunk_cycles, timings=timings, stats=stats
+        )
 
     @property
     def last_edit_receipt(self) -> Optional[EditReceipt]:

@@ -26,17 +26,30 @@ from __future__ import annotations
 
 import abc
 import threading
-from typing import Mapping, Optional, Sequence, TYPE_CHECKING
+import time
+from typing import Iterator, Mapping, Optional, Sequence, Tuple, Union, TYPE_CHECKING
 
 from ..core.config import SimConfig
 from ..core.contract import fanin_weighted_toggles, normalize_horizon, validate_stimulus
 from ..core.edits import Edit, EditReceipt
-from ..core.results import SimulationResult
+from ..core.restructure import StreamingSourceEvents, WaveformEventStream
+from ..core.results import (
+    PhaseTimings,
+    SimulationResult,
+    SimulationStats,
+    StreamBatch,
+)
 from ..core.waveform import Waveform
 from ..netlist import Netlist
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..analysis.report import AnalysisReport
+    from ..power.activity import StreamResult
+
+#: Stimulus accepted by the streaming entry points: an ordinary in-memory
+#: waveform mapping, or any span producer (e.g. an incremental VCD reader)
+#: for runs whose stimulus never fits in memory at once.
+StreamStimulus = Union[Mapping[str, Waveform], StreamingSourceEvents]
 
 
 class Session(abc.ABC):
@@ -132,6 +145,124 @@ class Session(abc.ABC):
         duration: int,
     ) -> SimulationResult:
         """Backend-specific dispatch; ``cycles``/``duration`` are resolved."""
+
+    # ------------------------------------------------------------------
+    # Out-of-core streaming replay (opt-in per backend)
+    # ------------------------------------------------------------------
+    def run_stream(
+        self,
+        stimulus: StreamStimulus,
+        *,
+        cycles: Optional[int] = None,
+        duration: Optional[int] = None,
+        chunk_cycles: Optional[int] = None,
+    ) -> "StreamResult":
+        """Simulate ``stimulus`` chunk by chunk at constant memory.
+
+        The streaming counterpart of :meth:`run`: the horizon is executed
+        in chunks of ``chunk_cycles`` clock cycles (default
+        ``SimConfig.stream_chunk_cycles``, falling back to
+        ``32 * cycle_parallelism``), each chunk's readback is folded into
+        an online activity accumulator, and nothing proportional to the
+        whole run is retained — which is what lets million-cycle replays
+        run in the memory footprint of one chunk.  The returned
+        :class:`~repro.power.activity.StreamResult` carries per-net toggle
+        counts and SAIF activity bit-identical to a whole-run :meth:`run`
+        followed by ``activity_from_result`` (full waveforms are the one
+        thing a streamed run cannot produce).
+
+        ``stimulus`` may be an ordinary waveform mapping or any
+        :class:`~repro.core.restructure.StreamingSourceEvents` producer
+        (e.g. :class:`~repro.waveforms.vcd.VcdEventStream`, which tails a
+        VCD file incrementally).  Thread-safe like :meth:`run`.
+        """
+        from ..power.activity import StreamResult, StreamingActivityAccumulator
+
+        cycles, duration = normalize_horizon(cycles, duration, self.clock_period)
+        source = self._coerce_stream_source(stimulus)
+        timings = PhaseTimings()
+        stats = SimulationStats()
+        with self._run_lock:
+            accumulator: Optional[StreamingActivityAccumulator] = None
+            gate_nets: Tuple[str, ...] = ()
+            for batch in self._stream_batches(
+                source, duration, chunk_cycles, timings, stats
+            ):
+                if accumulator is None:
+                    gate_nets = batch.nets
+                    accumulator = StreamingActivityAccumulator(
+                        batch.nets + batch.source_nets, duration
+                    )
+                start = time.perf_counter()
+                accumulator.add_batch(batch)
+                timings.dump += time.perf_counter() - start
+            if accumulator is None:
+                accumulator = StreamingActivityAccumulator((), duration)
+            start = time.perf_counter()
+            activities = accumulator.finalize()
+            toggle_counts = accumulator.toggle_counts()
+            timings.dump += time.perf_counter() - start
+            result = StreamResult(
+                duration=duration,
+                toggle_counts=toggle_counts,
+                activities=activities,
+                timings=timings,
+                stats=stats,
+            )
+            stats.output_transitions = sum(
+                toggle_counts[net] for net in gate_nets
+            )
+            self._finalize_stats(result, cycles)
+            self._runs_completed += 1
+        return result
+
+    def iter_windows(
+        self,
+        stimulus: StreamStimulus,
+        *,
+        cycles: Optional[int] = None,
+        duration: Optional[int] = None,
+        chunk_cycles: Optional[int] = None,
+    ) -> Iterator[StreamBatch]:
+        """Yield the raw per-chunk readbacks of a streaming run.
+
+        The power-user face of :meth:`run_stream`: each yielded
+        :class:`~repro.core.results.StreamBatch` carries one chunk's
+        trimmed window outputs and source span as host arrays, and nothing
+        is retained between chunks — callers fold batches into whatever
+        online statistic they need (``StreamingActivityAccumulator`` is
+        the stock consumer).  The session lock is held while the iterator
+        is live; exhaust or close it promptly.
+        """
+        cycles, duration = normalize_horizon(cycles, duration, self.clock_period)
+        source = self._coerce_stream_source(stimulus)
+        with self._run_lock:
+            yield from self._stream_batches(
+                source, duration, chunk_cycles, PhaseTimings(), SimulationStats()
+            )
+
+    def _coerce_stream_source(
+        self, stimulus: StreamStimulus
+    ) -> StreamingSourceEvents:
+        """Validate and lower a stream stimulus to a span producer."""
+        if isinstance(stimulus, StreamingSourceEvents):
+            return stimulus
+        validate_stimulus(self._netlist, stimulus)
+        return WaveformEventStream(self._netlist.source_nets(), stimulus)
+
+    def _stream_batches(
+        self,
+        source: StreamingSourceEvents,
+        duration: int,
+        chunk_cycles: Optional[int],
+        timings: PhaseTimings,
+        stats: SimulationStats,
+    ) -> Iterator[StreamBatch]:
+        """Backend-specific chunk driver behind the streaming entry points."""
+        raise NotImplementedError(
+            f"backend {self._backend_name!r} does not support streaming "
+            f"replay (run_stream/iter_windows)"
+        )
 
     # ------------------------------------------------------------------
     # Incremental re-simulation (opt-in per backend)

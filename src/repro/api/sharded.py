@@ -70,10 +70,10 @@ import multiprocessing
 import os
 import time
 import weakref
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core import shm as design_shm
 from ..core.config import SimConfig
@@ -84,9 +84,18 @@ from ..core.contract import (
     validate_stimulus,
 )
 from ..core.edits import Edit, EditReceipt
-from ..core.engine import RETAINED_RUN_CAPACITY, _RetainedRun
-from ..core.restructure import slice_stimulus
-from ..core.results import PhaseTimings, SimulationResult, SimulationStats
+from ..core.engine import RETAINED_RUN_CAPACITY, _RetainedRun, _reorder_span
+from ..core.restructure import (
+    SourceEvents,
+    StreamingSourceEvents,
+    slice_stimulus,
+)
+from ..core.results import (
+    PhaseTimings,
+    SimulationResult,
+    SimulationStats,
+    StreamBatch,
+)
 from ..core.sharding import (
     FusedLayout,
     Shard,
@@ -154,6 +163,35 @@ def _process_run_shard(
     """Run one share on this worker's session (executed in the worker)."""
     session = _WORKER_STATE["session"]
     return session.run(stimulus, duration=duration)
+
+
+def _process_run_stream_chunk(
+    span: "SourceEvents",
+    chunk_index: int,
+    chunk_start: int,
+    chunk_end: int,
+    duration: int,
+) -> Tuple["StreamBatch", SimulationStats, PhaseTimings]:
+    """Execute one streaming chunk on this worker's engine.
+
+    The worker keeps one private stream pool recycled across chunks
+    (engine state), so its RSS stays flat over arbitrarily long runs; the
+    per-chunk stats/timings ride back with the batch so the parent can
+    merge serial-equivalent costs exactly like thread mode.
+    """
+    session = _WORKER_STATE["session"]
+    timings = PhaseTimings()
+    stats = SimulationStats(segments=0)
+    batch = session.engine.run_stream_chunk(
+        span,
+        chunk_index,
+        chunk_start,
+        chunk_end,
+        duration,
+        timings=timings,
+        stats=stats,
+    )
+    return batch, stats, timings
 
 
 def _release_process_resources(
@@ -527,6 +565,160 @@ class ShardedGatspiSession(Session):
                 self, ThreadPoolExecutor.shutdown, self._pool, wait=False
             )
         return list(self._pool.map(run_shard, plan))
+
+    # ------------------------------------------------------------------
+    # Streaming replay (chunk pipelining across the worker pool)
+    # ------------------------------------------------------------------
+    def _stream_batches(
+        self,
+        source: StreamingSourceEvents,
+        duration: int,
+        chunk_cycles: Optional[int],
+        timings: PhaseTimings,
+        stats: SimulationStats,
+    ) -> Iterator[StreamBatch]:
+        """Stream chunks through the worker pool, yielding in chunk order.
+
+        Streaming parallelism is *pipelined*, not partitioned: the parent
+        owns the stimulus stream (spans must be pulled sequentially), so
+        it pulls each chunk's span, ships it to a worker
+        (:meth:`~repro.core.engine.GatspiEngine.run_stream_chunk`), and
+        keeps up to ``workers`` chunks in flight — thread mode pins chunk
+        ``k`` to inner session ``k % workers`` so one engine never runs
+        two chunks at once, process mode lets the spawned pool schedule
+        freely (every worker keeps its own recycled stream pool).  Batches
+        are yielded strictly in chunk order, which the online accumulator
+        requires; each worker derives its own window geometry from the
+        chunk span, exact under the shared critical-path settle margin.
+        """
+        engine0 = self._inner_sessions[0].engine
+        engine0._check_streamable()
+        plan0 = engine0._full_plan()
+        perm = engine0._source_permutation(source, plan0)
+        if duration < 1:
+            raise ValueError("duration must be positive")
+        config = self._config
+        if chunk_cycles is None:
+            chunk_cycles = config.stream_chunk_cycles
+        if chunk_cycles is None:
+            chunk_cycles = 32 * config.cycle_parallelism
+        if chunk_cycles < 1:
+            raise ValueError("chunk_cycles must be at least 1")
+        chunk_duration = chunk_cycles * config.clock_period
+        stats.streamed = True
+        stats.segments = 0
+        stats.shards = self._workers
+        lookback = max(self._overlap, 1)
+
+        def pulled_spans() -> Iterator[Tuple[int, int, int, SourceEvents]]:
+            chunk_start = 0
+            chunk_index = 0
+            while chunk_start < duration:
+                chunk_end = min(chunk_start + chunk_duration, duration)
+                extended_lo = max(0, chunk_start - lookback)
+                start = time.perf_counter()
+                span = source.span_events(
+                    extended_lo, chunk_end, retire_before=extended_lo
+                )
+                if perm is not None:
+                    span = _reorder_span(span, perm)
+                timings.restructure += time.perf_counter() - start
+                yield chunk_index, chunk_start, chunk_end, span
+                chunk_start = chunk_end
+                chunk_index += 1
+
+        def run_chunk_inline(
+            job: Tuple[int, int, int, SourceEvents]
+        ) -> Tuple[StreamBatch, SimulationStats, PhaseTimings]:
+            chunk_index, chunk_start, chunk_end, span = job
+            inner = self._inner_sessions[chunk_index % len(self._inner_sessions)]
+            chunk_timings = PhaseTimings()
+            chunk_stats = SimulationStats(segments=0)
+            with inner._run_lock:
+                batch = inner.engine.run_stream_chunk(
+                    span,
+                    chunk_index,
+                    chunk_start,
+                    chunk_end,
+                    duration,
+                    timings=chunk_timings,
+                    stats=chunk_stats,
+                )
+            return batch, chunk_stats, chunk_timings
+
+        width = self._workers
+        submit = None
+        if width > 1 and self._worker_mode == "process":
+            pool = self._ensure_process_pool()
+            submit = lambda job: pool.submit(  # noqa: E731
+                _process_run_stream_chunk, job[3], job[0], job[1], job[2], duration
+            )
+        elif width > 1:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._workers, thread_name_prefix="gatspi-shard"
+                )
+                weakref.finalize(
+                    self, ThreadPoolExecutor.shutdown, self._pool, wait=False
+                )
+            submit = lambda job: self._pool.submit(run_chunk_inline, job)  # noqa: E731
+
+        def fold(
+            outcome: Tuple[StreamBatch, SimulationStats, PhaseTimings]
+        ) -> StreamBatch:
+            batch, chunk_stats, chunk_timings = outcome
+            self._merge_chunk_stats(stats, timings, chunk_stats, chunk_timings)
+            return batch
+
+        if submit is None:
+            for job in pulled_spans():
+                yield fold(run_chunk_inline(job))
+            return
+        pending: "deque" = deque()
+        for job in pulled_spans():
+            pending.append(submit(job))
+            if len(pending) >= width:
+                yield fold(pending.popleft().result())
+        while pending:
+            yield fold(pending.popleft().result())
+
+    @staticmethod
+    def _merge_chunk_stats(
+        stats: SimulationStats,
+        timings: PhaseTimings,
+        chunk_stats: SimulationStats,
+        chunk_timings: PhaseTimings,
+    ) -> None:
+        """Fold one chunk's workload stats into the run totals.
+
+        Additive counters sum, high-water marks take the max, and the
+        execution descriptors are adopted from the first chunk — the same
+        serial-equivalent accounting :meth:`_merge` applies to shards.
+        """
+        if stats.chunks == 0:
+            stats.gate_count = chunk_stats.gate_count
+            stats.levels = chunk_stats.levels
+            stats.widest_level = chunk_stats.widest_level
+            stats.kernel_mode = chunk_stats.kernel_mode
+            stats.restructure_mode = chunk_stats.restructure_mode
+            stats.device = chunk_stats.device
+        stats.windows += chunk_stats.windows
+        stats.segments += chunk_stats.segments
+        stats.chunks += chunk_stats.chunks
+        stats.kernel_invocations += chunk_stats.kernel_invocations
+        stats.level_batches += chunk_stats.level_batches
+        stats.pool_words_used = max(
+            stats.pool_words_used, chunk_stats.pool_words_used
+        )
+        stats.max_batch_tasks = max(
+            stats.max_batch_tasks, chunk_stats.max_batch_tasks
+        )
+        timings.host_to_device += chunk_timings.host_to_device
+        timings.scheduling += chunk_timings.scheduling
+        timings.kernel += chunk_timings.kernel
+        timings.readback += chunk_timings.readback
+        timings.restructure += chunk_timings.restructure
+        timings.dump += chunk_timings.dump
 
     def _merge(
         self,

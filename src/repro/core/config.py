@@ -45,7 +45,11 @@ class SimConfig:
         paper's "No Full SDF" ablation in Table 7.
     two_pass:
         Run the kernel twice per level (count pass then store pass) exactly
-        as the paper does; disabling it is a pure-software shortcut.
+        as the paper does.  ``False`` fuses the passes: the count pass's
+        outputs are kept and stored directly after allocation, halving
+        kernel invocations per level.  Both settings are bit-identical and
+        covered by the differential suite; ``two_pass=True`` remains the
+        default because it mirrors the paper's GPU memory protocol.
     kernel:
         Which kernel implementation executes Algorithm 1.  ``"vector"``
         (default) runs the level-batched struct-of-arrays kernel
@@ -113,6 +117,13 @@ class SimConfig:
     clock_period: int = 1000
     max_segment_retries: int = 8
     window_overlap: Optional[int] = None
+    #: Cycles simulated per streaming chunk by :meth:`Session.run_stream`.
+    #: Each chunk is split into ``cycle_parallelism`` windows, simulated,
+    #: read back, and its pool columns recycled before the next chunk is
+    #: lowered — so peak memory is O(chunk), not O(run).  ``None`` (default)
+    #: uses ``32 * cycle_parallelism`` cycles per chunk.  Ignored by the
+    #: whole-run ``Session.run`` path.
+    stream_chunk_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cycle_parallelism < 1:
@@ -129,6 +140,8 @@ class SimConfig:
             raise ValueError("clock_period must be positive")
         if self.window_overlap is not None and self.window_overlap < 0:
             raise ValueError("window_overlap must be non-negative")
+        if self.stream_chunk_cycles is not None and self.stream_chunk_cycles < 1:
+            raise ValueError("stream_chunk_cycles must be at least 1")
         if self.kernel not in ("vector", "scalar"):
             raise ValueError(
                 f"kernel must be 'vector' or 'scalar', got {self.kernel!r}"

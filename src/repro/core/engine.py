@@ -36,7 +36,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..netlist import CompiledGraph, Netlist, compile_netlist, levelize
 from ..sdf.annotate import DelayAnnotation, default_annotation
@@ -60,6 +60,7 @@ from .kernel import GateKernelInputs, GateKernelResult, simulate_gate_window
 from .memory import DeviceMemoryError, WaveformPool
 from .restructure import (
     SourceEvents,
+    StreamingSourceEvents,
     TrimmedReadback,
     gather_segments,
     lower_stimulus,
@@ -67,7 +68,7 @@ from .restructure import (
     stitch_windows,
     trim_readback,
 )
-from .results import PhaseTimings, SimulationResult, SimulationStats
+from .results import PhaseTimings, SimulationResult, SimulationStats, StreamBatch
 from .vector_kernel import PackedDesign, pack_design, simulate_level, tile_level
 from .waveform import EOW, INITIAL_ONE_MARKER, Waveform
 from .xp import HOST, ArrayBackend, get_array_backend
@@ -136,6 +137,28 @@ class _ReadbackAccumulator:
         )
         return establish, counts, times
 
+    def merged(self):
+        """All appended batches as one net-major ``(establish, counts, times)``.
+
+        ``establish``/``counts`` are ``(N, total windows)``; ``times`` is
+        flat net-major across every window.  The streaming driver uses this
+        to hand a whole chunk (usually a single batch — the zero-copy fast
+        path) to the online accumulator.
+        """
+        if len(self._batches) == 1:
+            batch = self._batches[0]
+            return batch.establish_values, batch.counts, batch.times
+        hnp = HOST
+        series = [self.net_series(index) for index in range(len(self.nets))]
+        establish = hnp.concatenate([s[0] for s in series]).reshape(
+            len(self.nets), -1
+        )
+        counts = hnp.concatenate([s[1] for s in series]).reshape(
+            len(self.nets), -1
+        )
+        times = hnp.concatenate([s[2] for s in series])
+        return establish, counts, times
+
 
 class GatspiEngine:
     """GPU-style levelized two-pass gate re-simulator.
@@ -173,6 +196,9 @@ class GatspiEngine:
         #: horizon an incremental rerun stitches from.
         self.retain_results = True
         self._retained: "OrderedDict[str, _RetainedRun]" = OrderedDict()
+        #: Recycled pool for :meth:`run_stream_chunk` (sharded streaming
+        #: workers); dropped whenever compiled artifacts change.
+        self._stream_pool: Optional[WaveformPool] = None
 
     # ------------------------------------------------------------------
     # Compilation (netlist + SDF -> arrays)
@@ -272,6 +298,7 @@ class GatspiEngine:
         self._estimated_path_delay = artifacts.estimated_path_delay
         self._compile_cache_hit = cache_hit
         self._plan = None
+        self._stream_pool = None
 
     def _build_artifacts(
         self,
@@ -717,6 +744,291 @@ class GatspiEngine:
         self._retain(stimulus, duration, result)
         return result
 
+    # ------------------------------------------------------------------
+    # Streaming (out-of-core) execution
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        source: StreamingSourceEvents,
+        duration: int,
+        chunk_cycles: Optional[int] = None,
+        timings: Optional[PhaseTimings] = None,
+        stats: Optional[SimulationStats] = None,
+    ) -> Iterator[StreamBatch]:
+        """Simulate ``duration`` time units chunk by chunk, yielding batches.
+
+        The out-of-core replay driver: each chunk's stimulus span is pulled
+        from ``source`` (which may itself stream from disk), split into
+        ``cycle_parallelism`` windows of fixed length, run through the
+        level loop against one persistent pool whose window columns are
+        recycled between chunks (:meth:`WaveformPool.release_windows`), and
+        read back as one host-side :class:`StreamBatch`.  Nothing
+        proportional to the whole run is ever materialized — peak memory is
+        O(chunk), which is what keeps million-cycle replays at constant
+        RSS.  Absolute times ride in int64 host arrays, so runs may even
+        exceed the ``EOW`` sentinel that bounds whole-run waveforms.
+
+        Bit-identity with :meth:`simulate` comes from the settle margin:
+        every window is extended backwards across the chunk boundary by the
+        derived critical-path margin, making the partition invisible in the
+        results.  That argument needs the margin to cover the critical
+        path, which is why a pinned ``config.window_overlap`` is refused
+        here rather than silently risking seam-visible answers.
+        """
+        plan = self._full_plan()
+        self._check_streamable()
+        perm = self._source_permutation(source, plan)
+        if timings is None:
+            timings = PhaseTimings()
+        if stats is None:
+            stats = SimulationStats()
+        stats.streamed = True
+        stats.segments = 0
+        overlap = self.window_overlap
+        chunk_duration, window_length = self._stream_geometry(chunk_cycles)
+        if duration < 1:
+            raise ValueError("duration must be positive")
+
+        chunk_start = 0
+        chunk_index = 0
+        window_index = 0
+        while chunk_start < duration:
+            chunk_end = min(chunk_start + chunk_duration, duration)
+            windows: List[_WindowRange] = []
+            cursor = chunk_start
+            while cursor < chunk_end:
+                end = min(cursor + window_length, chunk_end)
+                windows.append(
+                    _WindowRange(index=window_index, start=cursor, end=end)
+                )
+                window_index += 1
+                cursor = end
+            # Lookback of at least 1: the settle margin can derive to 0 on
+            # trivial designs, but a chunk must still see the previous time
+            # unit so toggles landing exactly on its boundary (which it
+            # owns, see _source_span_fields) are present in the span.
+            extended_lo = max(0, chunk_start - max(overlap, 1))
+            start = time.perf_counter()
+            span = source.span_events(
+                extended_lo, chunk_end, retire_before=extended_lo
+            )
+            if perm is not None:
+                span = _reorder_span(span, perm)
+            timings.restructure += time.perf_counter() - start
+            # One engine-cached pool serves every chunk of every streamed
+            # run (run_stream_chunk shares it): each batch releases the
+            # previous chunk's window columns and reuses the same words.
+            if self._stream_pool is None:
+                self._stream_pool = self._make_pool(windows, plan)
+            yield self._execute_stream_chunk(
+                span,
+                windows,
+                chunk_index,
+                chunk_start,
+                chunk_end,
+                duration,
+                timings,
+                stats,
+                plan,
+                self._stream_pool,
+            )
+            chunk_start = chunk_end
+            chunk_index += 1
+
+    def run_stream_chunk(
+        self,
+        span: SourceEvents,
+        chunk_index: int,
+        chunk_start: int,
+        chunk_end: int,
+        duration: int,
+        timings: Optional[PhaseTimings] = None,
+        stats: Optional[SimulationStats] = None,
+    ) -> StreamBatch:
+        """Execute one pre-pulled chunk span (sharded streaming workers).
+
+        The sharded backend's parent session owns the stimulus stream —
+        spans must be pulled sequentially — and ships each chunk's span to
+        a shard worker, which calls this.  ``span`` must cover
+        ``(max(0, chunk_start - max(window_overlap, 1)), chunk_end)`` with nets in
+        the design's source order (the parent reuses the engine's span
+        geometry, so this holds by construction).  Each engine keeps one
+        private stream pool recycled across calls, so worker RSS stays
+        flat no matter how many chunks it executes.
+        """
+        plan = self._full_plan()
+        self._check_streamable()
+        if tuple(span.nets) != tuple(plan.source_nets):
+            raise StimulusError(
+                "stream chunk span nets do not match the design's source "
+                "nets in order"
+            )
+        if timings is None:
+            timings = PhaseTimings()
+        if stats is None:
+            stats = SimulationStats()
+        stats.streamed = True
+        span_length = chunk_end - chunk_start
+        if span_length < 1:
+            raise ValueError("chunk span must be non-empty")
+        parallelism = self.config.cycle_parallelism
+        window_length = max(1, -(-span_length // parallelism))
+        self._check_stream_headroom(window_length)
+        windows: List[_WindowRange] = []
+        cursor = chunk_start
+        index = 0
+        while cursor < chunk_end:
+            end = min(cursor + window_length, chunk_end)
+            windows.append(_WindowRange(index=index, start=cursor, end=end))
+            index += 1
+            cursor = end
+        if self._stream_pool is None:
+            self._stream_pool = self._make_pool(windows, plan)
+        return self._execute_stream_chunk(
+            span,
+            windows,
+            chunk_index,
+            chunk_start,
+            chunk_end,
+            duration,
+            timings,
+            stats,
+            plan,
+            self._stream_pool,
+        )
+
+    def _check_streamable(self) -> None:
+        config = self.config
+        if config.restructure != "vector":
+            raise ValueError(
+                "streaming execution requires the vector restructure "
+                "pipeline (SimConfig(restructure='vector')); the python "
+                "reference path materializes per-window Waveform objects"
+            )
+        if config.window_overlap is not None:
+            raise ValueError(
+                "streaming execution derives its settle margin from the "
+                "design's critical path; a pinned window_overlap below it "
+                "would make chunk boundaries visible in the results — "
+                "leave SimConfig.window_overlap unset for run_stream"
+            )
+
+    def _stream_geometry(
+        self, chunk_cycles: Optional[int]
+    ) -> Tuple[int, int]:
+        """(chunk duration, window length) in time units for streaming."""
+        config = self.config
+        if chunk_cycles is None:
+            chunk_cycles = config.stream_chunk_cycles
+        if chunk_cycles is None:
+            chunk_cycles = 32 * config.cycle_parallelism
+        if chunk_cycles < 1:
+            raise ValueError("chunk_cycles must be at least 1")
+        chunk_duration = chunk_cycles * config.clock_period
+        window_length = max(
+            1, -(-chunk_duration // config.cycle_parallelism)
+        )
+        self._check_stream_headroom(window_length)
+        return chunk_duration, window_length
+
+    def _check_stream_headroom(self, window_length: int) -> None:
+        """Streaming counterpart of :meth:`_check_sentinel_headroom`.
+
+        Streamed runs never materialize absolute-time waveforms, so only
+        *window-local* times must stay below the ``EOW`` sentinel: they are
+        bounded by the extended window length plus the critical-path delay,
+        independent of run length.
+        """
+        headroom = (
+            window_length + self.window_overlap + self._estimated_path_delay
+        )
+        if headroom >= EOW:
+            raise StimulusError(
+                f"stream chunk windows are too long: window-local times up "
+                f"to {headroom} could reach the EOW sentinel ({EOW}) and "
+                f"silently truncate output waveforms; lower "
+                f"stream_chunk_cycles or raise cycle_parallelism"
+            )
+
+    def _source_permutation(
+        self, source: StreamingSourceEvents, plan: ExecutionPlan
+    ) -> Optional[List[int]]:
+        """Map a stream's net order onto the plan's source-net order.
+
+        Returns ``None`` when the orders already agree (the fast path —
+        session-built streams are constructed in plan order); otherwise the
+        permutation applied to every span, or :class:`StimulusError` when
+        the net *sets* differ.
+        """
+        source_nets = tuple(source.nets)
+        expected = tuple(plan.source_nets)
+        if source_nets == expected:
+            return None
+        index = {net: i for i, net in enumerate(source_nets)}
+        missing = [net for net in expected if net not in index]
+        extra = [net for net in source_nets if net not in set(expected)]
+        if missing or extra:
+            raise StimulusError(
+                f"streaming source nets do not match the design's source "
+                f"nets: {len(missing)} missing "
+                f"(first: {missing[:3]}), {len(extra)} unexpected "
+                f"(first: {extra[:3]})"
+            )
+        return [index[net] for net in expected]
+
+    def _execute_stream_chunk(
+        self,
+        span: SourceEvents,
+        windows: Sequence[_WindowRange],
+        chunk_index: int,
+        chunk_start: int,
+        chunk_end: int,
+        duration: int,
+        timings: PhaseTimings,
+        stats: SimulationStats,
+        plan: ExecutionPlan,
+        pool: WaveformPool,
+    ) -> StreamBatch:
+        """Run one chunk's windows and assemble its host StreamBatch."""
+        hnp = HOST
+        start = time.perf_counter()
+        events = span.to_device(self._xp)
+        timings.host_to_device += time.perf_counter() - start
+        readback = _ReadbackAccumulator(plan.readback_nets)
+        stats.segments += self._segment_windows(
+            windows,
+            lambda batch: self._simulate_batch_vector(
+                events, batch, duration, timings, stats, readback, plan,
+                pool=pool,
+            ),
+        )
+        stats.windows += len(windows)
+        stats.chunks += 1
+        start = time.perf_counter()
+        establish, counts, times = readback.merged()
+        window_starts = hnp.asarray(
+            [window.start for window in windows], dtype=hnp.int64
+        )
+        source_establish, source_counts, source_times = _source_span_fields(
+            span, chunk_start
+        )
+        batch = StreamBatch(
+            chunk_index=chunk_index,
+            chunk_start=chunk_start,
+            chunk_end=chunk_end,
+            nets=plan.readback_nets,
+            window_starts=window_starts,
+            establish_values=establish,
+            toggle_counts=counts,
+            times=times,
+            source_nets=span.nets,
+            source_establish=source_establish,
+            source_counts=source_counts,
+            source_times=source_times,
+        )
+        timings.readback += time.perf_counter() - start
+        return batch
+
     def _full_plan(self) -> ExecutionPlan:
         """The whole-design execution plan (cached until artifacts change)."""
         if self._plan is None:
@@ -973,6 +1285,7 @@ class GatspiEngine:
         stats: SimulationStats,
         readback: _ReadbackAccumulator,
         plan: ExecutionPlan,
+        pool: Optional[WaveformPool] = None,
     ) -> None:
         """One segment batch through the bulk-array pipeline.
 
@@ -983,10 +1296,19 @@ class GatspiEngine:
         filled by one :meth:`WaveformPool.load_windows` call, and trimmed
         outputs land in the accumulator as flat host arrays after the one
         device→host transfer of the batch.
+
+        ``pool`` recycles a persistent pool instead of building one per
+        batch (the streaming driver's constant-RSS path): every previously
+        registered window is released first, which also rewinds the bump
+        allocator to the retained floor, so repeated batches reuse the
+        same storage.
         """
         config = self.config
         xp = self._xp
-        pool = self._make_pool(windows, plan)
+        if pool is None:
+            pool = self._make_pool(windows, plan)
+        else:
+            pool.release_windows()
         overlap = self.window_overlap
         B = len(windows)
         window_indices = [window.index for window in windows]
@@ -1361,6 +1683,48 @@ class GatspiEngine:
         if not changes:
             changes = [(0, 0)]
         return Waveform.from_changes(changes)
+
+
+def _reorder_span(span: SourceEvents, perm: List[int]) -> SourceEvents:
+    """Permute a span's nets into ``perm`` order (host-side, per chunk)."""
+    hnp = HOST
+    order = hnp.asarray(perm, dtype=hnp.int64)
+    counts = hnp.diff(span.offsets)[order]
+    times = gather_segments(span.times, span.offsets[:-1][order], counts)
+    offsets = hnp.zeros(len(perm) + 1, dtype=hnp.int64)
+    offsets[1:] = hnp.cumsum(counts)
+    return SourceEvents(
+        nets=tuple(span.nets[i] for i in perm),
+        times=times,
+        offsets=offsets,
+        initial_values=span.initial_values[order],
+    )
+
+
+def _source_span_fields(span: SourceEvents, chunk_start: int):
+    """A chunk's *owned* source activity from its (extended) span.
+
+    Chunks own the half-open interval ``[chunk_start, chunk_end)``: a
+    toggle landing exactly on a chunk boundary belongs to the chunk it
+    opens (the span lookback of at least one time unit guarantees it is
+    present).  Returns ``(establish, counts, times)`` with ``establish``
+    the value each source holds *entering* the chunk — after every toggle
+    ``t < chunk_start`` — and ``times`` the owned toggles, net-major.
+    Span toggles before ``chunk_start`` were already owned and reported by
+    the previous chunk.  The per-net ``searchsorted`` loop is deliberate:
+    span times are absolute and may exceed ``EOW`` on very long runs,
+    where the shift-trick batched counting would not be safe.
+    """
+    hnp = HOST
+    S = span.net_count
+    lo = hnp.zeros(S, dtype=hnp.int64)
+    for i in range(S):
+        segment = span.times[int(span.offsets[i]) : int(span.offsets[i + 1])]
+        lo[i] = hnp.searchsorted(segment, chunk_start, side="left")
+    counts = hnp.diff(span.offsets) - lo
+    establish = span.initial_values ^ (lo & 1)
+    times = gather_segments(span.times, span.offsets[:-1] + lo, counts)
+    return establish, counts, times
 
 
 def simulate(

@@ -126,6 +126,13 @@ class WaveformPool:
         else:
             self._window_cols = {}
             cols = 8
+        #: Columns handed back by :meth:`release_windows`, kept sorted
+        #: descending so ``pop()`` reuses the lowest column first.
+        self._free_cols: List[int] = []
+        #: Words at the front of the pool that survive a full release
+        #: (the canonical null waveform lives there).
+        self._retained_words = 0
+        self._null_address: Optional[int] = None
         self._alloc_tables(max(1, rows), cols)
 
     # ------------------------------------------------------------------
@@ -165,7 +172,10 @@ class WaveformPool:
     def _window_col(self, window: int) -> int:
         col = self._window_cols.get(int(window))
         if col is None:
-            col = len(self._window_cols)
+            if self._free_cols:
+                col = self._free_cols.pop()
+            else:
+                col = len(self._window_cols)
             self._window_cols[int(window)] = col
             if col >= self._ptr_table.shape[1]:
                 self._grow_tables(0, col * 2 + 1)
@@ -322,10 +332,28 @@ class WaveformPool:
         net index the waveform is registered on the reserved *null row*
         (address for every window column, toggle count 0), which is what
         :meth:`gather_level_inputs` resolves padded pin ids against.
+
+        Idempotent per pool lifetime: once stored, later calls re-register
+        the same address instead of allocating again — the streaming driver
+        runs the level loop many times against one recycled pool, and the
+        null waveform lives in the retained prefix the bump-pointer rewind
+        never reclaims.
         """
+        if self._null_address is not None:
+            address = self._null_address
+            if self._null_row is not None:
+                self._ptr_table[self._null_row, :] = address
+                self._size_table[self._null_row, :] = 2
+                self._cnt_table[self._null_row, :] = 0
+            return address
         address = self.allocate(2)
         self._data[address] = 0
         self._data[address + 1] = EOW
+        self._null_address = address
+        # The null waveform must survive release_windows (padded pins of
+        # every future chunk keep pointing at it), so protect the pool
+        # prefix up to and including it from bump-pointer rewinds.
+        self._retained_words = max(self._retained_words, address + 2)
         if self._null_row is not None:
             self._ptr_table[self._null_row, :] = address
             self._size_table[self._null_row, :] = 2
@@ -589,6 +617,51 @@ class WaveformPool:
         host.setflags(write=False)
         return Waveform(host)
 
+    def release_windows(
+        self, windows: Optional[Sequence[int]] = None
+    ) -> None:
+        """Drop window registrations and recycle their table columns.
+
+        The streaming replay driver calls this between chunks so one pool
+        serves the whole run: released columns go on a free list that
+        :meth:`_window_col` reuses (lowest column first), and once *no*
+        window remains registered the bump allocator rewinds to the
+        retained floor — the stored words become unreachable without any
+        data wipe, and the next chunk's stimulus overwrites them.  The
+        canonical null waveform (:meth:`store_padding_waveform`) survives
+        both the rewind and the table clear.
+
+        ``windows=None`` releases every registered window.  Note
+        :meth:`gather_level_inputs` assumes the active windows occupy the
+        *first* ``len(window_cols)`` columns in registration order; the
+        release-all-then-reregister pattern preserves that invariant, a
+        partial release generally does not (name-keyed accessors remain
+        correct either way).
+
+        Zero-copy views handed out by :meth:`read_waveform` for released
+        windows are invalidated exactly as by :meth:`reset`.
+        """
+        if windows is None:
+            windows = list(self._window_cols)
+        cols = [
+            self._window_cols.pop(int(w))
+            for w in windows
+            if int(w) in self._window_cols
+        ]
+        if not cols:
+            return
+        col_index = self._xp.asarray(cols, dtype=self._xp.int64)
+        self._ptr_table[:, col_index] = -1
+        self._size_table[:, col_index] = 0
+        self._cnt_table[:, col_index] = 0
+        if self._null_row is not None and self._null_address is not None:
+            self._ptr_table[self._null_row, col_index] = self._null_address
+            self._size_table[self._null_row, col_index] = 2
+        self._free_cols.extend(cols)
+        self._free_cols.sort(reverse=True)
+        if not self._window_cols:
+            self._next_free = self._retained_words
+
     def reset(self) -> None:
         """Free everything (used between sequential testbench segments).
 
@@ -597,6 +670,9 @@ class WaveformPool:
         copy them first.
         """
         self._next_free = 0
+        self._free_cols = []
+        self._retained_words = 0
+        self._null_address = None
         self._ptr_table[:, :] = -1
         self._size_table[:, :] = 0
         self._cnt_table[:, :] = 0

@@ -98,6 +98,88 @@ class SourceEvents:
         )
 
 
+class StreamingSourceEvents:
+    """Produces the stimulus one window-span at a time.
+
+    The out-of-core replay pipeline never lowers the whole run; instead it
+    asks a stream for the events of each chunk's extended time span and
+    feeds the resulting :class:`SourceEvents` straight into
+    :func:`slice_windows`.  Implementations must honour the span contract:
+
+    * ``span_events(start, end)`` returns the toggles with
+      ``start < t < end`` in *absolute* time, per net, with
+      ``initial_values`` holding each net's logic value at ``start`` —
+      exactly :meth:`Waveform.window`'s establishment rule, so
+      :func:`slice_windows` over the span (with window bounds inside
+      ``[start, end]``) is bit-identical to slicing the whole-run tensor.
+    * Spans advance monotonically: ``start`` never precedes an earlier
+      call's ``retire_before``.  Passing ``retire_before`` tells the
+      stream no later span will start before that time, allowing it to
+      fold older toggles into its base values and free them — this is
+      what bounds memory to O(span + lookback).
+
+    Concrete producers: :class:`WaveformEventStream` (in-memory stimulus)
+    and :class:`repro.waveforms.vcd.VcdEventStream` (incremental VCD).
+    """
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def span_events(
+        self, start: int, end: int, retire_before: int = 0
+    ) -> SourceEvents:
+        raise NotImplementedError
+
+
+class WaveformEventStream(StreamingSourceEvents):
+    """Window-span producer over an in-memory stimulus mapping.
+
+    Lowers the stimulus once (it is already resident) and answers spans
+    with two segmented ``searchsorted`` calls — the streaming counterpart
+    of handing :func:`lower_stimulus`'s tensor to :func:`slice_windows`
+    directly.  Useful for driving the streaming execution path from
+    ordinary stimulus dicts (tests, benches, differential harnesses).
+    """
+
+    def __init__(
+        self, nets: Sequence[str], stimulus: Mapping[str, Waveform]
+    ) -> None:
+        self._events = lower_stimulus(nets, stimulus)
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        return self._events.nets
+
+    def span_events(
+        self, start: int, end: int, retire_before: int = 0
+    ) -> SourceEvents:
+        if end <= start:
+            raise ValueError("span end must be after span start")
+        hnp = HOST
+        events = self._events
+        N = events.net_count
+        thresholds_lo = hnp.full(N, start, dtype=hnp.int64)
+        thresholds_hi = hnp.full(N, end - 1, dtype=hnp.int64)
+        lo = segmented_counts(
+            events.times, events.offsets, thresholds_lo, side="right"
+        )
+        hi = segmented_counts(
+            events.times, events.offsets, thresholds_hi, side="right"
+        )
+        counts = hi - lo
+        initial = events.initial_values ^ (lo & 1)
+        times = gather_segments(events.times, events.offsets[:-1] + lo, counts)
+        offsets = hnp.zeros(N + 1, dtype=hnp.int64)
+        offsets[1:] = hnp.cumsum(counts)
+        return SourceEvents(
+            nets=events.nets,
+            times=times,
+            offsets=offsets,
+            initial_values=initial,
+        )
+
+
 def lower_stimulus(
     nets: Sequence[str], stimulus: Mapping[str, Waveform]
 ) -> SourceEvents:

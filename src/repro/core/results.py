@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from .waveform import Waveform
 
@@ -93,6 +93,12 @@ class SimulationStats:
     dirty_gates: int = 0
     #: ``dirty_gates`` over the design's total gate count.
     dirty_fraction: float = 0.0
+    #: Whether this run executed through the out-of-core streaming driver
+    #: (``Session.run_stream``): windows were simulated chunk by chunk with
+    #: pool columns recycled between chunks and no full-run waveforms kept.
+    streamed: bool = False
+    #: Streaming chunks executed (0 for whole-run simulations).
+    chunks: int = 0
 
     def mean_batch_tasks(self) -> float:
         """Average tasks per level-batched kernel launch."""
@@ -105,6 +111,45 @@ class SimulationStats:
         if self.gate_count == 0 or self.cycles == 0:
             return 0.0
         return self.output_transitions / (self.gate_count * self.cycles)
+
+
+@dataclass
+class StreamBatch:
+    """One simulated chunk of a streaming run, as host arrays.
+
+    Produced by the engine's streaming driver and consumed by the online
+    activity accumulator; nothing in a batch outlives the chunk it came
+    from, which is what keeps streaming runs at constant RSS.
+
+    Gate-output readback is window-batched exactly like
+    :class:`~repro.core.restructure.TrimmedReadback`, but flattened
+    net-major across the whole chunk: ``establish_values``/``toggle_counts``
+    are ``(N, B)`` over the chunk's ``B`` windows and net ``n``'s window
+    ``b`` owns ``toggle_counts[n, b]`` entries of ``times`` (absolute time,
+    ascending within a window, windows in chunk order).  Source nets are
+    reported as one span per chunk, owning the half-open interval
+    ``[chunk_start, chunk_end)``: ``source_establish`` is the value each
+    source holds entering the chunk (after every toggle ``t <
+    chunk_start``) and ``source_times`` holds the owned toggles (net ``i``
+    owns ``source_counts[i]`` entries, net-major).
+    """
+
+    chunk_index: int
+    chunk_start: int
+    chunk_end: int
+    nets: Tuple[str, ...]
+    window_starts: "object"  # (B,) int64 absolute (unextended) window starts
+    establish_values: "object"  # (N, B) int64 in {0, 1}
+    toggle_counts: "object"  # (N, B) int64
+    times: "object"  # flat int64 absolute toggle times, net-major
+    source_nets: Tuple[str, ...]
+    source_establish: "object"  # (S,) int64 value at chunk_start
+    source_counts: "object"  # (S,) int64
+    source_times: "object"  # flat int64 absolute toggle times
+
+    @property
+    def window_count(self) -> int:
+        return int(len(self.window_starts))
 
 
 @dataclass

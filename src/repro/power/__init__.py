@@ -2,6 +2,8 @@
 
 from .activity import (
     ActivitySummary,
+    StreamResult,
+    StreamingActivityAccumulator,
     events_per_gate,
     static_probabilities,
     summarize_activity,
@@ -12,6 +14,8 @@ from .glitch import GlitchReport, NetGlitchInfo, analyze_glitches
 
 __all__ = [
     "ActivitySummary",
+    "StreamResult",
+    "StreamingActivityAccumulator",
     "events_per_gate",
     "static_probabilities",
     "summarize_activity",

@@ -3,16 +3,31 @@
 These are the quantities quoted in the paper's benchmark table (Table 2):
 the activity factor of a testbench, per-net toggle rates, and event totals
 that determine how much work the re-simulation kernels perform.
+
+For out-of-core streaming runs (:meth:`Session.run_stream`) the full-run
+waveforms never exist, so SAIF activity cannot be derived after the fact
+from a :class:`SimulationResult`.  :class:`StreamingActivityAccumulator`
+folds each :class:`~repro.core.results.StreamBatch` into running per-net
+T0/T1/TC totals as chunks retire, reproducing the whole-run
+``stitch_windows`` → ``Waveform.duration_at`` pipeline bit-exactly without
+ever materialising a waveform.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
-from ..core.results import SimulationResult
+from ..core.results import (
+    PhaseTimings,
+    SimulationResult,
+    SimulationStats,
+    StreamBatch,
+)
 from ..core.waveform import Waveform
+from ..core.xp import HOST
 from ..netlist import Netlist
+from ..waveforms.saif import NetActivity, write_saif
 
 
 @dataclass(frozen=True)
@@ -82,6 +97,364 @@ def static_probabilities(
             continue
         probabilities[net] = wave.duration_at(1, 0, duration) / duration
     return probabilities
+
+
+class StreamingActivityAccumulator:
+    """Online per-net SAIF accumulation over streaming window batches.
+
+    Consumes the chunk-sized :class:`~repro.core.results.StreamBatch`
+    readbacks produced by the engine's streaming driver and maintains, per
+    net, exactly the state the whole-run pipeline would have derived from
+    the stitched waveform: time at logic 1 (``T1``), the kept-transition
+    count (``TC``), and the sequential seam state of
+    :func:`~repro.core.restructure.stitch_windows`.  After
+    :meth:`finalize`, :meth:`activities`/:meth:`toggle_counts` are
+    bit-identical to ``activity_from_result`` on a whole-run result —
+    that invariant is what lets ``run_stream`` discard every waveform as
+    its chunk retires.
+
+    The common case — every window establishes the value its predecessor
+    ended on and times strictly advance — is folded with a handful of
+    array operations per batch (a closed-form alternating-sum for the T1
+    delta); only rows with seam anomalies or with tail toggles past
+    ``duration`` fall back to a per-window loop that replicates the
+    stitcher's drop rules verbatim.  Batches must arrive in chunk order.
+    """
+
+    def __init__(self, nets: Sequence[str], duration: int) -> None:
+        hnp = HOST
+        self._nets: Tuple[str, ...] = tuple(nets)
+        self._duration = int(duration)
+        if len(set(self._nets)) != len(self._nets):
+            raise ValueError("accumulator nets must be unique")
+        self._index: Dict[str, int] = {n: i for i, n in enumerate(self._nets)}
+        n = len(self._nets)
+        # stitch_windows sequential seam state, per net.
+        self._started = hnp.zeros(n, dtype=bool)
+        self._last_time = hnp.zeros(n, dtype=hnp.int64)
+        self._last_value = hnp.full(n, -1, dtype=hnp.int64)
+        # duration_at(1, 0, duration) machine state, per net.  ``frozen``
+        # marks nets whose kept changes ran past ``duration`` (the final
+        # window's settle tail): T1 stops there, TC keeps counting.
+        self._frozen = hnp.zeros(n, dtype=bool)
+        self._tc = hnp.zeros(n, dtype=hnp.int64)
+        self._t1 = hnp.zeros(n, dtype=hnp.int64)
+        self._t1_time = hnp.zeros(n, dtype=hnp.int64)
+        self._t1_value = hnp.zeros(n, dtype=hnp.int64)
+        self._row_maps: Dict[Tuple[str, ...], "object"] = {}
+        self._finalized = False
+
+    @property
+    def duration(self) -> int:
+        return self._duration
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        return self._nets
+
+    def add_batch(self, batch: StreamBatch) -> None:
+        """Fold one chunk's gate readback and source span into the totals."""
+        hnp = HOST
+        if self._finalized:
+            raise ValueError("accumulator already finalized")
+        self._add_windows(
+            batch.nets,
+            batch.window_starts,
+            batch.establish_values,
+            batch.toggle_counts,
+            batch.times,
+        )
+        if batch.source_nets:
+            # A chunk's source span is one window establishing at
+            # chunk_start: seam-consistent with its predecessor by the
+            # half-open ownership contract, so it always folds fast.
+            starts = hnp.asarray([batch.chunk_start], dtype=hnp.int64)
+            self._add_windows(
+                batch.source_nets,
+                starts,
+                batch.source_establish.reshape(-1, 1),
+                batch.source_counts.reshape(-1, 1),
+                batch.source_times,
+            )
+
+    def _rows_for(self, nets: Tuple[str, ...]) -> Any:
+        rows = self._row_maps.get(nets)
+        if rows is None:
+            hnp = HOST
+            try:
+                rows = hnp.asarray(
+                    [self._index[n] for n in nets], dtype=hnp.int64
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"batch net {exc.args[0]!r} not registered with the "
+                    f"accumulator"
+                ) from exc
+            self._row_maps[nets] = rows
+        return rows
+
+    def _add_windows(
+        self,
+        nets: Sequence[str],
+        window_starts: Any,
+        establish: Any,
+        counts: Any,
+        times: Any,
+    ) -> None:
+        hnp = HOST
+        rows = self._rows_for(tuple(nets))
+        n = len(nets)
+        B = int(window_starts.size)
+        if n == 0 or B == 0:
+            return
+        row_counts = counts.sum(axis=1)
+        total = int(times.size)
+        finals = establish ^ (counts & 1)
+        offsets = hnp.zeros(n + 1, dtype=hnp.int64)
+        offsets[1:] = hnp.cumsum(row_counts)
+        # --- per-row fast-path eligibility --------------------------------
+        # A row folds in closed form when its kept sequence is exactly
+        # "establishment + every toggle": internal seams consistent, times
+        # strictly ascending, the first toggle past the carried seam state,
+        # and the row's establishment continuing the carried value.
+        if B > 1:
+            seam_ok = (establish[:, 1:] != finals[:, :-1]).sum(axis=1) == 0
+        else:
+            seam_ok = hnp.ones(n, dtype=bool)
+        has = row_counts > 0
+        inc_ok = hnp.ones(n, dtype=bool)
+        over = hnp.zeros(n, dtype=bool)
+        if total:
+            first_idx = offsets[:-1].copy()
+            last_idx = offsets[1:] - 1
+            first_idx[~has] = 0
+            last_idx[~has] = 0
+            first_times = times[first_idx]
+            last_times = times[last_idx]
+            row_of = hnp.repeat(hnp.arange(n, dtype=hnp.int64), row_counts)
+            if total > 1:
+                bad = (hnp.diff(times) <= 0) & (row_of[1:] == row_of[:-1])
+                inc_ok[row_of[1:][bad]] = False
+            over[row_of[times > self._duration]] = True
+        else:
+            first_times = hnp.zeros(n, dtype=hnp.int64)
+            last_times = hnp.zeros(n, dtype=hnp.int64)
+        started = self._started[rows]
+        carried_time = self._last_time[rows]
+        carried_value = self._last_value[rows]
+        entry_ref = hnp.where(started, carried_time, window_starts[0])
+        entry_ok = ~has | (first_times > entry_ref)
+        continuity_ok = ~started | (establish[:, 0] == carried_value)
+        fast = (
+            seam_ok
+            & inc_ok
+            & entry_ok
+            & continuity_ok
+            & ~over
+            & ~self._frozen[rows]
+        )
+        if bool(fast.any()):
+            self._fold_fast(
+                rows, fast, window_starts, establish, offsets, row_counts,
+                times, finals, has, started, carried_time, last_times,
+            )
+        if not bool(fast.all()):
+            slow = hnp.nonzero(~fast)[0]
+            for idx in slow.tolist():
+                lo = int(offsets[idx])
+                hi = int(offsets[idx + 1])
+                self._fold_slow_row(
+                    int(rows[idx]),
+                    window_starts,
+                    establish[idx],
+                    counts[idx],
+                    times[lo:hi],
+                )
+
+    def _fold_fast(
+        self,
+        rows: Any,
+        fast: Any,
+        window_starts: Any,
+        establish: Any,
+        offsets: Any,
+        row_counts: Any,
+        times: Any,
+        finals: Any,
+        has: Any,
+        started: Any,
+        carried_time: Any,
+        last_times: Any,
+    ) -> None:
+        hnp = HOST
+        total = int(times.size)
+        # T1 delta of a kept toggle train u_1..u_k entering at value w0 from
+        # kept-change time c:  (2*w0 - 1) * sum_j (-1)^(j-1) u_j  -  c*w0  +
+        # u_k * (w0 ^ (k&1))  — the telescoped sum of the value-1 intervals.
+        if total:
+            local = hnp.arange(total, dtype=hnp.int64) - hnp.repeat(
+                offsets[:-1], row_counts
+            )
+            cumulative = hnp.zeros(total + 1, dtype=hnp.int64)
+            cumulative[1:] = hnp.cumsum(times * (1 - 2 * (local & 1)))
+            alternating = cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+        else:
+            alternating = hnp.zeros(len(rows), dtype=hnp.int64)
+        w0 = establish[:, 0]
+        w_final = w0 ^ (row_counts & 1)
+        entry_time = hnp.where(started, self._t1_time[rows], 0)
+        delta = (2 * w0 - 1) * alternating - entry_time * w0 + last_times * w_final
+        delta = hnp.where(has, delta, 0)
+        # An unstarted row keeps its first establishment: the value holds
+        # from time 0 (waveform establishment semantics) and counts one
+        # kept entry.  Rows with no toggles otherwise leave the T1 machine
+        # untouched; the stitcher's `continue` on fully-dropped windows
+        # likewise leaves seam state parked on the last non-empty window.
+        new_t1_time = hnp.where(
+            has, last_times, hnp.where(started, self._t1_time[rows], 0)
+        )
+        new_t1_value = hnp.where(
+            has, w_final, hnp.where(started, self._t1_value[rows], w0)
+        )
+        new_last_time = hnp.where(
+            has, last_times, hnp.where(started, carried_time, window_starts[0])
+        )
+        target = rows[fast]
+        self._t1[target] += delta[fast]
+        self._t1_time[target] = new_t1_time[fast]
+        self._t1_value[target] = new_t1_value[fast]
+        self._last_time[target] = new_last_time[fast]
+        self._last_value[target] = w_final[fast]
+        self._tc[target] += row_counts[fast] + hnp.where(started[fast], 0, 1)
+        self._started[target] = True
+
+    def _fold_slow_row(
+        self,
+        r: int,
+        window_starts: Any,
+        establish_r: Any,
+        counts_r: Any,
+        times_r: Any,
+    ) -> None:
+        """Replicate ``stitch_windows``' sequential seam rules for one net."""
+        hnp = HOST
+        last_time = int(self._last_time[r])
+        last_value = int(self._last_value[r])
+        started = bool(self._started[r])
+        offset = 0
+        for w in range(int(window_starts.size)):
+            count = int(counts_r[w])
+            seg = times_r[offset : offset + count]
+            offset += count
+            t0 = int(window_starts[w])
+            v0 = int(establish_r[w])
+            if (not started) or (v0 != last_value and t0 > last_time):
+                if started:
+                    self._change(r, t0, v0)
+                else:
+                    started = True
+                    self._t1_value[r] = v0
+                    self._t1_time[r] = 0
+                self._tc[r] += 1 + count
+                value = v0
+                for t in seg.tolist():
+                    value ^= 1
+                    self._change(r, int(t), value)
+            else:
+                i = int(hnp.searchsorted(seg, last_time, side="right"))
+                if i < count and (v0 ^ ((i + 1) & 1)) == last_value:
+                    i += 1
+                if i >= count:
+                    continue
+                self._tc[r] += count - i
+                value = v0 ^ (i & 1)
+                for t in seg[i:].tolist():
+                    value ^= 1
+                    self._change(r, int(t), value)
+            last_time = int(seg[-1]) if count else t0
+            last_value = v0 ^ (count & 1)
+        self._last_time[r] = last_time
+        self._last_value[r] = last_value
+        self._started[r] = started
+
+    def _change(self, r: int, t: int, value: int) -> None:
+        """One kept change through the ``duration_at(1, 0, duration)`` machine."""
+        if bool(self._frozen[r]):
+            return
+        if t > self._duration:
+            self._frozen[r] = True
+            return
+        if int(self._t1_value[r]) == 1:
+            self._t1[r] += t - int(self._t1_time[r])
+        self._t1_time[r] = t
+        self._t1_value[r] = value
+
+    def finalize(self) -> Dict[str, NetActivity]:
+        """Close the accounting interval at ``duration`` and report.
+
+        Idempotent once called; further :meth:`add_batch` calls are
+        rejected.  A net that never appeared in any batch reports as
+        constant-0 (``t0 = duration``).
+        """
+        if not self._finalized:
+            self._finalized = True
+            duration = self._duration
+            for i in range(len(self._nets)):
+                if bool(self._started[i]) and int(self._t1_value[i]) == 1:
+                    self._t1[i] += duration - int(self._t1_time[i])
+        return self.activities()
+
+    def activities(self) -> Dict[str, NetActivity]:
+        if not self._finalized:
+            raise ValueError("finalize() the accumulator before reading it")
+        duration = self._duration
+        out: Dict[str, NetActivity] = {}
+        for i, net in enumerate(self._nets):
+            if not bool(self._started[i]):
+                out[net] = NetActivity(t0=duration, t1=0, tc=0)
+                continue
+            t1 = int(self._t1[i])
+            out[net] = NetActivity(
+                t0=duration - t1, t1=t1, tc=int(self._tc[i]) - 1
+            )
+        return out
+
+    def toggle_counts(self) -> Dict[str, int]:
+        """Per-net kept-transition counts (the whole-run ``toggle_counts``)."""
+        counts: Dict[str, int] = {}
+        for i, net in enumerate(self._nets):
+            counts[net] = int(self._tc[i]) - 1 if bool(self._started[i]) else 0
+        return counts
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one out-of-core streaming run (:meth:`Session.run_stream`).
+
+    The streaming driver never materialises full-run waveforms, so unlike
+    :class:`~repro.core.results.SimulationResult` this carries the online
+    activity totals instead: per-net toggle counts and SAIF T0/T1/TC,
+    bit-identical to what the whole-run pipeline would have reported.
+    """
+
+    duration: int
+    toggle_counts: Dict[str, int] = field(default_factory=dict)
+    activities: Dict[str, NetActivity] = field(default_factory=dict)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    stats: SimulationStats = field(default_factory=SimulationStats)
+
+    def total_toggles(self) -> int:
+        return sum(self.toggle_counts.values())
+
+    def toggle_count(self, net: str) -> int:
+        return self.toggle_counts.get(net, 0)
+
+    def activity_factor(self) -> float:
+        return self.stats.activity_factor()
+
+    def saif(self, design: str = "top") -> str:
+        """SAIF text; byte-identical to ``saif_from_result`` on a whole run."""
+        return write_saif(self.activities, duration=self.duration, design=design)
 
 
 def events_per_gate(netlist: Netlist, result: SimulationResult) -> Dict[str, int]:

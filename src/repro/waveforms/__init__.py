@@ -1,6 +1,13 @@
 """Waveform I/O and stimulus generation: VCD, SAIF, testbench generators."""
 
-from .vcd import VcdError, parse_vcd, read_vcd, save_vcd, write_vcd
+from .vcd import (
+    VcdError,
+    VcdEventStream,
+    parse_vcd,
+    read_vcd,
+    save_vcd,
+    write_vcd,
+)
 from .saif import (
     NetActivity,
     SaifData,
@@ -8,6 +15,7 @@ from .saif import (
     parse_saif,
     read_saif,
     saif_files_match,
+    saif_from_activities,
     saif_from_result,
     save_saif,
     write_saif,
@@ -24,6 +32,7 @@ from .stimulus import (
 
 __all__ = [
     "VcdError",
+    "VcdEventStream",
     "parse_vcd",
     "read_vcd",
     "save_vcd",
@@ -34,6 +43,7 @@ __all__ = [
     "parse_saif",
     "read_saif",
     "saif_files_match",
+    "saif_from_activities",
     "saif_from_result",
     "save_saif",
     "write_saif",

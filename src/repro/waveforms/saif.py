@@ -103,6 +103,19 @@ def saif_from_result(
     return write_saif(activities, duration=result.duration, design=design)
 
 
+def saif_from_activities(
+    activities: Mapping[str, NetActivity], duration: int, design: str = "top"
+) -> str:
+    """Produce SAIF text from pre-computed per-net activity.
+
+    This is the streaming-run companion of :func:`saif_from_result`: an
+    online accumulator (``StreamingActivityAccumulator``) supplies the
+    activities and the shared :func:`write_saif` renderer guarantees the
+    output is byte-identical to the whole-run path for identical totals.
+    """
+    return write_saif(activities, duration=duration, design=design)
+
+
 def save_saif(result: SimulationResult, path: str, design: str = "top") -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(saif_from_result(result, design=design))

@@ -160,6 +160,29 @@ def test_gatspi_variants_bit_identical_random_designs(seed, device):
 
 
 @pytest.mark.parametrize("device", DEVICES)
+@pytest.mark.parametrize("seed", range(3))
+def test_single_pass_kernel_bit_identical(seed, device):
+    """``two_pass=False`` (fused count/store schedule) is on-spec.
+
+    The single-pass kernel must match the scalar+python oracle — which
+    always runs the default two-pass schedule on numpy — bit-for-bit,
+    at half the kernel invocations of the two-pass default.
+    """
+    netlist, annotation = _prepare_design(seed, num_gates=30)
+    stimulus = build_random_stimulus(netlist, DURATION, seed=seed + 31)
+    single = _run(
+        "gatspi", netlist, annotation, stimulus,
+        config=SimConfig(two_pass=False), device=device,
+    )
+    reference = _run(
+        "gatspi:kernel=scalar,restructure=python", netlist, annotation, stimulus
+    )
+    _assert_bit_identical(reference, single, f"two_pass=False seed={seed}")
+    default = _run("gatspi", netlist, annotation, stimulus, device=device)
+    assert default.stats.kernel_invocations == 2 * single.stats.kernel_invocations
+
+
+@pytest.mark.parametrize("device", DEVICES)
 @pytest.mark.parametrize("seed", range(4))
 def test_gatspi_matches_event_baseline_toggle_counts(seed, device):
     """The SAIF criterion against the independent event-driven oracle."""

@@ -70,6 +70,8 @@ XP_ROUTED_MODULES = (
     "core/restructure.py",
     "core/memory.py",
     "core/incremental.py",
+    "power/activity.py",
+    "waveforms/vcd.py",
 )
 
 # ----------------------------------------------------------------------
