@@ -36,6 +36,7 @@ from .rules import RULES, RuleSpec, get_rule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.config import SimConfig
+    from ..netlist.levelize import RegisterCrossing
     from ..sdf.annotate import DelayAnnotation
     from ..sdf.types import SdfFile
 
@@ -253,22 +254,54 @@ class AnalysisContext:
         return tuple(flagged)
 
     @cached_property
+    def register_crossings(self) -> Tuple["RegisterCrossing", ...]:
+        """The design's register crossing table, or ``()`` when the
+        netlist is too corrupted to enumerate it (other rules report
+        the corruption)."""
+        from ..netlist import register_crossings
+
+        try:
+            return tuple(register_crossings(self.netlist))
+        except (NetlistError, KeyError):
+            return ()
+
+    @cached_property
     def unreachable_gates(self) -> Tuple[str, ...]:
-        """Gates whose output cone reaches no endpoint, in level order."""
+        """Gates whose output cone reaches no endpoint, in level order.
+
+        Registers are *not* unconditional endpoints: a register is live
+        only when its Q net is itself needed (it reaches a primary output,
+        directly or through other live registers), and only live
+        registers' data/enable/reset/clock cones count as observable.
+        This is a fixed point because liveness flows backwards through
+        register crossings: Q needed -> D cone needed -> other Qs needed.
+        """
         topo = self._topo_io
         if not topo:
             return ()
-        # Backward sweep: a gate is needed when its output is an endpoint
-        # or feeds a needed gate; its inputs become needed in turn.
-        needed = set(self.netlist.endpoint_nets())
-        unreachable: List[str] = []
-        for name, input_nets, output_net in reversed(topo):
-            if output_net in needed:
-                needed.update(input_nets)
-            else:
-                unreachable.append(name)
-        unreachable.reverse()
-        return tuple(unreachable)
+        crossings = self.register_crossings
+        needed: Set[str] = set(self.netlist.outputs)
+        while True:
+            before = len(needed)
+            for crossing in crossings:
+                if crossing.q_net not in needed:
+                    continue
+                for net in (
+                    crossing.d_net,
+                    crossing.enable_net,
+                    crossing.reset_net,
+                    crossing.clock_net,
+                ):
+                    if net is not None:
+                        needed.add(net)
+            for _, input_nets, output_net in reversed(topo):
+                if output_net in needed:
+                    needed.update(input_nets)
+            if len(needed) == before:
+                break
+        return tuple(
+            name for name, _, output_net in topo if output_net not in needed
+        )
 
     # ------------------------------------------------------------------
     # Delay estimate (shared by the EOW-overflow rule)

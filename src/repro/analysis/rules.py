@@ -27,6 +27,10 @@ Rule id                Severity  Checks
 ``fanout-outlier``     info      nets with statistically extreme fanout
 ``constant-cone``      info      gates whose inputs are all tie-cell constants
 ``unreachable-cone``   info      gates whose output reaches no endpoint
+``undriven-clock``     error     register clock pins whose net has no driver
+``unregistered-feedback-loop`` error feedback cycles closed only by transparent latches
+``latch-inferred``     warning   level-sensitive latches in the design
+``reset-domain-mix``   warning   multiple reset nets, or one net used async and sync
 =====================  ========  ====================================================
 """
 
@@ -378,4 +382,181 @@ def _unreachable_cone(ctx: "AnalysisContext") -> Iterator[Finding]:
             f"{len(unreachable)} gate(s) reach no primary output or "
             f"sequential input (dead cones)",
             instances=tuple(unreachable),
+        )
+
+
+# ======================================================================
+# Sequential rules (read the register crossing table)
+# ======================================================================
+@rule("undriven-clock", Severity.ERROR, "register clock pins with no driver")
+def _undriven_clock(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["undriven-clock"]
+    bad: Dict[str, List[str]] = {}
+    nets = ctx.netlist.nets
+    for crossing in ctx.register_crossings:
+        clock_net = crossing.clock_net
+        if clock_net is None:
+            continue
+        net = nets.get(clock_net)
+        if net is None or net.driver is None:
+            bad.setdefault(clock_net, []).append(crossing.instance)
+    if bad:
+        yield spec.finding(
+            f"{sum(len(v) for v in bad.values())} register(s) are clocked "
+            f"by net(s) with no driver (they can never capture)",
+            nets=tuple(sorted(bad)),
+            instances=tuple(
+                name for insts in bad.values() for name in sorted(insts)
+            ),
+            data={"registers_by_clock": {k: sorted(v) for k, v in bad.items()}},
+        )
+
+
+@rule(
+    "unregistered-feedback-loop",
+    Severity.ERROR,
+    "feedback cycles closed only by transparent latches",
+)
+def _unregistered_feedback_loop(ctx: "AnalysisContext") -> Iterator[Finding]:
+    """Cycles that pass through level-sensitive latches but no edge-
+    triggered register.
+
+    Edge-triggered flops legitimately close feedback (that is what a
+    clocked design *is*), so they break the graph here; a latch is
+    transparent while its gate is open, so a cycle closed only by latches
+    behaves combinationally for part of every cycle and cannot be
+    clock-stepped.  Pure combinational loops are ``combinational-loop``'s
+    report, not this rule's.
+    """
+    spec = RULES["unregistered-feedback-loop"]
+    latches = [c for c in ctx.register_crossings if c.is_latch]
+    if not latches:
+        return
+    # Node set: combinational gates plus latches treated as transparent
+    # (data and gate pins feed Q).  Flop Q nets count as resolved sources.
+    nodes: List[Tuple[str, Tuple[str, ...], str]] = list(ctx.combinational_io)
+    latch_names = set()
+    for crossing in latches:
+        latch_names.add(crossing.instance)
+        inputs = tuple(
+            net
+            for net in (crossing.d_net, crossing.clock_net, crossing.enable_net)
+            if net is not None
+        )
+        nodes.append((crossing.instance, inputs, crossing.q_net))
+    netlist = ctx.netlist
+    resolved = set(netlist.inputs)
+    resolved.update(
+        c.q_net for c in ctx.register_crossings if not c.is_latch
+    )
+    for _, input_nets, _ in nodes:
+        for net_name in input_nets:
+            net = netlist.nets.get(net_name)
+            if net is None or net.driver is None:
+                resolved.add(net_name)
+    consumers: Dict[str, List[str]] = {}
+    pending: Dict[str, int] = {}
+    ready: List[str] = []
+    output_of: Dict[str, str] = {}
+    for name, input_nets, output_net in nodes:
+        output_of[name] = output_net
+        remaining = 0
+        for net_name in input_nets:
+            if net_name in resolved:
+                continue
+            remaining += 1
+            consumers.setdefault(net_name, []).append(name)
+        pending[name] = remaining
+        if remaining == 0:
+            ready.append(name)
+    while ready:
+        name = ready.pop()
+        del pending[name]
+        for consumer in consumers.get(output_of[name], ()):
+            if consumer in pending:
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    ready.append(consumer)
+    if not pending:
+        return
+    # Backward peel: drop nodes merely downstream of a cycle.
+    remaining_set = set(pending)
+    out_degree: Dict[str, int] = {name: 0 for name in remaining_set}
+    feeds: Dict[str, List[str]] = {}
+    for name in remaining_set:
+        for consumer in consumers.get(output_of[name], ()):
+            if consumer in remaining_set:
+                out_degree[name] += 1
+                feeds.setdefault(consumer, []).append(name)
+    ready = [name for name, degree in out_degree.items() if degree == 0]
+    while ready:
+        name = ready.pop()
+        remaining_set.discard(name)
+        for producer in feeds.get(name, ()):
+            if producer in remaining_set:
+                out_degree[producer] -= 1
+                if out_degree[producer] == 0:
+                    ready.append(producer)
+    on_cycle_latches = sorted(remaining_set & latch_names)
+    if on_cycle_latches:
+        yield spec.finding(
+            f"feedback loop through {len(remaining_set)} element(s) is "
+            f"closed only by {len(on_cycle_latches)} transparent latch(es); "
+            f"no edge-triggered register breaks the cycle",
+            instances=tuple(sorted(remaining_set)),
+            data={"latches": on_cycle_latches},
+        )
+
+
+@rule("latch-inferred", Severity.WARNING, "level-sensitive latches present")
+def _latch_inferred(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["latch-inferred"]
+    latches = sorted(
+        c.instance for c in ctx.register_crossings if c.is_latch
+    )
+    if latches:
+        yield spec.finding(
+            f"{len(latches)} level-sensitive latch(es) present; the clocked "
+            f"update step (run_cycles) only supports edge-triggered "
+            f"registers",
+            instances=tuple(latches),
+        )
+
+
+@rule(
+    "reset-domain-mix",
+    Severity.WARNING,
+    "multiple reset nets, or one net used async and sync",
+)
+def _reset_domain_mix(ctx: "AnalysisContext") -> Iterator[Finding]:
+    spec = RULES["reset-domain-mix"]
+    kinds: Dict[str, set] = {}
+    users: Dict[str, List[str]] = {}
+    for crossing in ctx.register_crossings:
+        if crossing.reset_net is None:
+            continue
+        kind = "async" if crossing.reset_async else "sync"
+        kinds.setdefault(crossing.reset_net, set()).add(kind)
+        users.setdefault(crossing.reset_net, []).append(crossing.instance)
+    if len(kinds) > 1:
+        yield spec.finding(
+            f"registers are reset by {len(kinds)} distinct nets "
+            f"{sorted(kinds)}; mixed reset domains need explicit "
+            f"synchronization",
+            nets=tuple(sorted(kinds)),
+            data={
+                "registers_by_reset": {k: sorted(v) for k, v in users.items()}
+            },
+        )
+    mixed = sorted(net for net, k in kinds.items() if len(k) > 1)
+    if mixed:
+        yield spec.finding(
+            f"reset net(s) {mixed} drive both async and sync reset pins; "
+            f"deassertion timing differs between the two styles",
+            nets=tuple(mixed),
+            data={
+                "mixed_nets": {
+                    net: sorted(kinds[net]) for net in mixed
+                }
+            },
         )

@@ -147,6 +147,104 @@ class Session(abc.ABC):
         """Backend-specific dispatch; ``cycles``/``duration`` are resolved."""
 
     # ------------------------------------------------------------------
+    # Clocked sequential runs (any backend)
+    # ------------------------------------------------------------------
+    def run_cycles(
+        self,
+        stimulus: StreamStimulus,
+        cycles: int,
+        *,
+        clock: Optional[str] = None,
+        reset: Optional[str] = None,
+    ) -> SimulationResult:
+        """Clock-step the design for ``cycles`` capture edges.
+
+        The sequential counterpart of :meth:`run`: the design's registers
+        are committed at every clock edge by the shared frame-loop driver
+        (:mod:`repro.core.clocked`) and the combinational logic between
+        edges runs through this session's ordinary backend — which is why
+        clocked results are bit-identical across every backend: the
+        register semantics live in one place.
+
+        ``stimulus`` covers the primary inputs *except* the clock (the
+        driver generates it, one rising edge per ``clock_period``) and the
+        register outputs (they are simulated state).  ``clock``/``reset``
+        override ``SimConfig.clock``/``SimConfig.reset``.  The result
+        carries full stitched waveforms plus ``register_state``, the
+        committed value of every register after the final capture edge.
+        """
+        from ..core.clocked import (
+            ClockedSimulationError,
+            plan_clocked_run,
+            run_clocked,
+        )
+
+        if not self._config.store_waveforms:
+            raise ClockedSimulationError(
+                "run_cycles samples register data pins from per-frame "
+                "waveforms; prepare the session with "
+                "SimConfig(store_waveforms=True)"
+            )
+        plan = plan_clocked_run(
+            self._netlist,
+            self.clock_period,
+            clock=clock if clock is not None else self._config.clock,
+            reset=reset if reset is not None else self._config.reset,
+        )
+        with self._run_lock:
+            result = run_clocked(
+                plan, stimulus, cycles, lambda s, d: self._run(s, 1, d)
+            )
+            self._finalize_stats(result, cycles)
+            self._runs_completed += 1
+        return result
+
+    def run_cycles_stream(
+        self,
+        stimulus: StreamStimulus,
+        cycles: int,
+        *,
+        clock: Optional[str] = None,
+        reset: Optional[str] = None,
+    ) -> "StreamResult":
+        """Clock-step ``cycles`` edges at constant memory.
+
+        The streaming counterpart of :meth:`run_cycles`: each frame's
+        waveforms are folded into online toggle/SAIF totals and discarded,
+        so million-cycle sequential replays retain only O(design) state
+        (per-frame waveforms still exist transiently — the per-cycle
+        footprint is one frame, never the run).  Pair with a
+        :class:`~repro.core.restructure.StreamingSourceEvents` stimulus to
+        keep the input side out-of-core too.  Totals are bit-identical to
+        a whole-run :meth:`run_cycles`.
+        """
+        from ..core.clocked import (
+            ClockedSimulationError,
+            plan_clocked_run,
+            run_clocked_stream,
+        )
+
+        if not self._config.store_waveforms:
+            raise ClockedSimulationError(
+                "run_cycles_stream samples register data pins from "
+                "per-frame waveforms; prepare the session with "
+                "SimConfig(store_waveforms=True)"
+            )
+        plan = plan_clocked_run(
+            self._netlist,
+            self.clock_period,
+            clock=clock if clock is not None else self._config.clock,
+            reset=reset if reset is not None else self._config.reset,
+        )
+        with self._run_lock:
+            result = run_clocked_stream(
+                plan, stimulus, cycles, lambda s, d: self._run(s, 1, d)
+            )
+            self._finalize_stats(result, cycles)
+            self._runs_completed += 1
+        return result
+
+    # ------------------------------------------------------------------
     # Out-of-core streaming replay (opt-in per backend)
     # ------------------------------------------------------------------
     def run_stream(

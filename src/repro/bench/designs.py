@@ -307,3 +307,73 @@ def industry_like(
     for index in range(num_flops):
         builder.flop(rng.choice(final_nets), clock, name=f"reg_out_{index}")
     return builder.build()
+
+
+def sequential_datapath(
+    bits: int = 16,
+    stages: int = 3,
+    seed: int = 7,
+    name: str = "seq_datapath",
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """A Table-2-style *clocked* workload for the sequential update loop.
+
+    Unlike the other generators — which model one combinational frame
+    between register boundaries — this design is meant to be driven
+    through ``run_cycles``: an internal LFSR (plain ``DFF`` stages, XNOR
+    feedback so the all-zero power-on state sequences) feeds ``stages``
+    registered mixing layers.  Intermediate layers capture into ``DFFR``
+    flops on an async active-low ``rst_n``; the final layer captures into
+    enable-gated ``DFFE`` flops on ``en`` — so one design exercises every
+    register flavor the clocked driver commits.  Single PI clock domain
+    (``clk``), reset and enable are PIs too, making it valid for every
+    executor including streamed replay.
+    """
+    if bits < 4:
+        raise ValueError("bits must be at least 4")
+    if stages < 1:
+        raise ValueError("stages must be at least 1")
+    rng = random.Random(seed)
+    builder = NetlistBuilder(name, library=library)
+    clock = builder.input("clk")
+    rst_n = builder.input("rst_n")
+    enable = builder.input("en")
+
+    # Pseudo-random source: XNOR-feedback Fibonacci LFSR.
+    lfsr = [f"lfsr_q[{i}]" for i in range(bits)]
+    taps = (bits, bits - 1, bits // 2, 2)
+    acc = lfsr[taps[0] - 1]
+    for tap in taps[1:-1]:
+        acc = builder.gate("XOR2", [acc, lfsr[tap - 1]])
+    feedback = builder.gate("XNOR2", [acc, lfsr[taps[-1] - 1]])
+    previous = feedback
+    for i in range(bits):
+        builder.flop(
+            previous, clock, output_net=lfsr[i], name=f"lfsr_reg[{i}]"
+        )
+        previous = lfsr[i]
+
+    mix_cells = ("XOR2", "XNOR2", "NAND2", "OR2")
+    data = lfsr
+    for stage in range(stages):
+        capture = stage == stages - 1
+        registered: List[str] = []
+        for i in range(bits):
+            left = data[i]
+            right = data[(i * 5 + stage + 1) % bits]
+            mixed = builder.gate(rng.choice(mix_cells), [left, right])
+            registered.append(
+                builder.flop(
+                    mixed,
+                    clock,
+                    cell_name="DFFE" if capture else "DFFR",
+                    name=f"st{stage}_reg[{i}]",
+                    reset_net=None if capture else rst_n,
+                    enable_net=enable if capture else None,
+                )
+            )
+        data = registered
+
+    for i, port in enumerate(builder.outputs("dout", bits)):
+        builder.gate("BUF", [data[i]], output_net=port)
+    return builder.build()

@@ -56,6 +56,22 @@ class Cell:
     intrinsic_fall: float = 10.0
     power: CellPower = field(default_factory=CellPower)
     area: float = 1.0
+    #: Sequential next-state metadata.  ``data_pin`` samples on the active
+    #: clock edge; ``enable_pin`` (active high) gates the capture;
+    #: ``reset_pin`` forces ``reset_value`` — asynchronously when
+    #: ``reset_async``, at the capture edge otherwise — with polarity given
+    #: by ``reset_active_low``.  ``init_value`` is the power-on state
+    #: (overridable per instance via ``Netlist.set_initial_value``).
+    #: ``is_latch`` marks level-sensitive cells (``clock_pin`` is the
+    #: transparency gate); latches are analyzed but not clock-steppable.
+    data_pin: Optional[str] = None
+    enable_pin: Optional[str] = None
+    reset_pin: Optional[str] = None
+    reset_active_low: bool = False
+    reset_async: bool = False
+    reset_value: int = 0
+    init_value: int = 0
+    is_latch: bool = False
 
     @property
     def num_inputs(self) -> int:
@@ -83,6 +99,27 @@ class Cell:
                 f"got {len(values)}"
             )
         return self.function(tuple(values)) & 1
+
+    def next_state(self, current: int, pins: Mapping[str, int]) -> int:
+        """Next register state given the pin levels sampled at a capture edge.
+
+        ``pins`` maps input pin names to logic levels.  Reset dominates
+        enable dominates data; a missing data pin holds the current state.
+        This is the scalar reference semantics the vectorized register
+        commit (:func:`repro.core.vector_kernel.register_next_state`) must
+        match bit for bit.
+        """
+        if not self.is_sequential:
+            raise ValueError(f"cell {self.name!r} is not sequential")
+        if self.reset_pin is not None:
+            level = pins[self.reset_pin] & 1
+            if (level == 0) if self.reset_active_low else (level == 1):
+                return self.reset_value & 1
+        if self.enable_pin is not None and not (pins[self.enable_pin] & 1):
+            return current & 1
+        if self.data_pin is None:
+            return current & 1
+        return pins[self.data_pin] & 1
 
 
 class CellLibrary:
@@ -219,11 +256,13 @@ def build_default_library() -> CellLibrary:
                 function=None,
                 is_sequential=True,
                 clock_pin="CK",
+                data_pin="D",
                 intrinsic_rise=30,
                 intrinsic_fall=30,
                 power=_power(1.8, 4.0, 3.0),
                 area=4.5,
             ),
+            # Async active-low reset (clears Q to 0 the moment RN falls).
             Cell(
                 name="DFFR",
                 inputs=("D", "CK", "RN"),
@@ -231,10 +270,48 @@ def build_default_library() -> CellLibrary:
                 function=None,
                 is_sequential=True,
                 clock_pin="CK",
+                data_pin="D",
+                reset_pin="RN",
+                reset_active_low=True,
+                reset_async=True,
+                reset_value=0,
                 intrinsic_rise=32,
                 intrinsic_fall=32,
                 power=_power(1.9, 4.4, 3.3),
                 area=5.0,
+            ),
+            # Clock-enable flop: EN low holds the current state.
+            Cell(
+                name="DFFE",
+                inputs=("D", "CK", "EN"),
+                output="Q",
+                function=None,
+                is_sequential=True,
+                clock_pin="CK",
+                data_pin="D",
+                enable_pin="EN",
+                intrinsic_rise=31,
+                intrinsic_fall=31,
+                power=_power(1.9, 4.2, 3.2),
+                area=4.8,
+            ),
+            # Sync active-low reset: RN is sampled at the capture edge only.
+            Cell(
+                name="SDFFR",
+                inputs=("D", "CK", "RN"),
+                output="Q",
+                function=None,
+                is_sequential=True,
+                clock_pin="CK",
+                data_pin="D",
+                reset_pin="RN",
+                reset_active_low=True,
+                reset_async=False,
+                reset_value=0,
+                intrinsic_rise=33,
+                intrinsic_fall=33,
+                power=_power(1.9, 4.4, 3.3),
+                area=5.2,
             ),
             Cell(
                 name="LATCH",
@@ -243,6 +320,8 @@ def build_default_library() -> CellLibrary:
                 function=None,
                 is_sequential=True,
                 clock_pin="G",
+                data_pin="D",
+                is_latch=True,
                 intrinsic_rise=22,
                 intrinsic_fall=22,
                 power=_power(1.6, 3.0, 2.2),
@@ -277,6 +356,14 @@ def sized_variants(
             function=base.function,
             is_sequential=base.is_sequential,
             clock_pin=base.clock_pin,
+            data_pin=base.data_pin,
+            enable_pin=base.enable_pin,
+            reset_pin=base.reset_pin,
+            reset_active_low=base.reset_active_low,
+            reset_async=base.reset_async,
+            reset_value=base.reset_value,
+            init_value=base.init_value,
+            is_latch=base.is_latch,
             intrinsic_rise=base.intrinsic_rise / strength,
             intrinsic_fall=base.intrinsic_fall / strength,
             power=CellPower(

@@ -137,13 +137,33 @@ def fingerprint_netlist(netlist) -> str:
         for pin in cell.pins:
             append(connections[pin].encode())
         cells_seen.setdefault(cell.name, not cell.is_sequential)
+    # Register power-on state (read by the clocked-update driver).
+    initial_values = getattr(netlist, "initial_values", None)
+    if initial_values:
+        append(b"\x00V")
+        append(repr(sorted(initial_values.items())).encode())
     h.update(b"\x00".join(parts))
     for cell_name in sorted(cells_seen):
         cell = netlist.library.get(cell_name)
         h.update(b"\x00C")
         h.update(cell_name.encode())
         h.update(repr(cell.inputs).encode())
-        h.update(repr((cell.is_sequential, cell.clock_pin)).encode())
+        h.update(
+            repr(
+                (
+                    cell.is_sequential,
+                    cell.clock_pin,
+                    cell.data_pin,
+                    cell.enable_pin,
+                    cell.reset_pin,
+                    cell.reset_active_low,
+                    cell.reset_async,
+                    cell.reset_value,
+                    cell.init_value,
+                    cell.is_latch,
+                )
+            ).encode()
+        )
         _hash_floats(h, float(cell.intrinsic_rise), float(cell.intrinsic_fall))
         if cells_seen[cell_name]:
             h.update(netlist.library.truth_table(cell_name).table.tobytes())

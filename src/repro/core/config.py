@@ -124,6 +124,14 @@ class SimConfig:
     #: uses ``32 * cycle_parallelism`` cycles per chunk.  Ignored by the
     #: whole-run ``Session.run`` path.
     stream_chunk_cycles: Optional[int] = None
+    #: Clock net driven by :meth:`Session.run_cycles` (sequential runs).
+    #: ``None`` (default) infers the clock from the design's register clock
+    #: pins, which must agree on a single primary-input net.
+    clock: Optional[str] = None
+    #: Expected reset net of sequential runs.  Purely an assertion: when
+    #: set, ``run_cycles`` rejects designs whose resettable registers use a
+    #: different net.  ``None`` (default) accepts whatever the design uses.
+    reset: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cycle_parallelism < 1:

@@ -744,6 +744,35 @@ class GatspiEngine:
         self._retain(stimulus, duration, result)
         return result
 
+    def run_cycles(
+        self,
+        stimulus: Mapping[str, Waveform],
+        cycles: int,
+        *,
+        clock: Optional[str] = None,
+        reset: Optional[str] = None,
+    ) -> SimulationResult:
+        """Clock-step the design for ``cycles`` capture edges.
+
+        Engine-level face of the shared clocked driver
+        (:mod:`repro.core.clocked`): registers commit at every clock edge
+        and each inter-edge frame runs through :meth:`simulate`.  Prefer
+        :meth:`Session.run_cycles <repro.api.session.Session.run_cycles>`
+        in new code; this exists so direct engine users (and the engine's
+        own benchmarks) need no session wrapper.
+        """
+        from .clocked import plan_clocked_run, run_clocked
+
+        plan = plan_clocked_run(
+            self.netlist,
+            self.config.clock_period,
+            clock=clock if clock is not None else self.config.clock,
+            reset=reset if reset is not None else self.config.reset,
+        )
+        return run_clocked(
+            plan, stimulus, cycles, lambda s, d: self.simulate(s, duration=d)
+        )
+
     # ------------------------------------------------------------------
     # Streaming (out-of-core) execution
     # ------------------------------------------------------------------

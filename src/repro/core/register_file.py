@@ -1,0 +1,123 @@
+"""The packed register file: sequential state as flat host tensors.
+
+The clocked update step (:mod:`repro.core.clocked`) commits every register
+of a design at once, so the per-register structure — pin nets, reset/enable
+semantics, clk-to-q delays, power-on state — is packed here once into
+struct-of-arrays form, mirroring how :mod:`repro.core.vector_kernel` packs
+the combinational design.  A :class:`RegisterFile` is frozen structural
+data; the mutable state vector lives with the driver that owns the run
+(:func:`RegisterFile.initial_state` hands out a fresh copy).
+
+Latches are rejected at build time: the clocked driver models
+edge-triggered capture between levelized combinational frames, and a
+transparent latch has no capture edge to commit on (the ``latch-inferred``
+analysis rule flags them before a run gets this far).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from ..netlist.levelize import RegisterCrossing, register_crossings
+from ..netlist.netlist import Netlist, NetlistError
+from .xp import HOST
+
+
+class RegisterFileError(NetlistError):
+    """Raised when a design's sequential elements cannot be packed."""
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """Struct-of-arrays view of every register in one design.
+
+    All arrays share the register axis, ordered by instance name (the
+    :func:`~repro.netlist.levelize.register_crossings` order).  Net tuples
+    use ``None``-free sentinels: registers without an enable/reset pin
+    carry an empty string there and are masked off by ``has_enable`` /
+    ``has_reset``.
+    """
+
+    names: Tuple[str, ...]
+    q_nets: Tuple[str, ...]
+    d_nets: Tuple[str, ...]
+    clock_nets: Tuple[str, ...]
+    enable_nets: Tuple[str, ...]
+    reset_nets: Tuple[str, ...]
+    has_enable: Any  # (R,) bool
+    has_reset: Any  # (R,) bool
+    reset_async: Any  # (R,) bool
+    reset_active_low: Any  # (R,) bool
+    reset_values: Any  # (R,) int8
+    init_values: Any  # (R,) int8
+    clk_to_q_rise: Any  # (R,) int64
+    clk_to_q_fall: Any  # (R,) int64
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def initial_state(self) -> Any:
+        """A fresh mutable power-on state vector ((R,) int8)."""
+        return HOST.copy(self.init_values)
+
+
+def build_register_file(
+    netlist: Netlist,
+    crossings: Optional[Sequence[RegisterCrossing]] = None,
+) -> RegisterFile:
+    """Pack a design's register crossing table into a :class:`RegisterFile`."""
+    if crossings is None:
+        crossings = register_crossings(netlist)
+    latches = [c.instance for c in crossings if c.is_latch]
+    if latches:
+        raise RegisterFileError(
+            f"design {netlist.name!r} contains level-sensitive latches "
+            f"{latches[:5]}; the clocked update step only supports "
+            f"edge-triggered registers"
+        )
+    missing_d = [c.instance for c in crossings if c.d_net is None]
+    if missing_d:
+        raise RegisterFileError(
+            f"sequential instance(s) {missing_d[:5]} have no data pin; "
+            f"cannot build a register file"
+        )
+    missing_ck = [c.instance for c in crossings if c.clock_net is None]
+    if missing_ck:
+        raise RegisterFileError(
+            f"sequential instance(s) {missing_ck[:5]} have no clock pin; "
+            f"cannot build a register file"
+        )
+    hnp = HOST
+    return RegisterFile(
+        names=tuple(c.instance for c in crossings),
+        q_nets=tuple(c.q_net for c in crossings),
+        d_nets=tuple(c.d_net or "" for c in crossings),
+        clock_nets=tuple(c.clock_net or "" for c in crossings),
+        enable_nets=tuple(c.enable_net or "" for c in crossings),
+        reset_nets=tuple(c.reset_net or "" for c in crossings),
+        has_enable=hnp.asarray(
+            [c.enable_net is not None for c in crossings], dtype=hnp.bool_
+        ),
+        has_reset=hnp.asarray(
+            [c.reset_net is not None for c in crossings], dtype=hnp.bool_
+        ),
+        reset_async=hnp.asarray(
+            [c.reset_async for c in crossings], dtype=hnp.bool_
+        ),
+        reset_active_low=hnp.asarray(
+            [c.reset_active_low for c in crossings], dtype=hnp.bool_
+        ),
+        reset_values=hnp.asarray(
+            [c.reset_value & 1 for c in crossings], dtype=hnp.int8
+        ),
+        init_values=hnp.asarray(
+            [c.init_value & 1 for c in crossings], dtype=hnp.int8
+        ),
+        clk_to_q_rise=hnp.asarray(
+            [int(round(c.clk_to_q_rise)) for c in crossings], dtype=hnp.int64
+        ),
+        clk_to_q_fall=hnp.asarray(
+            [int(round(c.clk_to_q_fall)) for c in crossings], dtype=hnp.int64
+        ),
+    )

@@ -161,6 +161,10 @@ class SimulationResult:
     duration: int = 0
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     stats: SimulationStats = field(default_factory=SimulationStats)
+    #: Final register state of a clocked run (instance name -> 0/1), set by
+    #: ``run_cycles``: the state committed by the capture edge that closes
+    #: the last cycle.  ``None`` for ordinary combinational runs.
+    register_state: Optional[Dict[str, int]] = None
 
     @property
     def kernel_runtime(self) -> float:

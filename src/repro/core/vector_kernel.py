@@ -522,3 +522,38 @@ def simulate_level(
         toggle_starts=toggle_starts,
         toggle_counts=toggle_counts,
     )
+
+
+# ----------------------------------------------------------------------
+# Clocked update: vectorized register commit at a capture edge
+# ----------------------------------------------------------------------
+def register_next_state(
+    state: "object",
+    data: "object",
+    enable: "object",
+    reset: "object",
+    *,
+    has_enable: "object",
+    has_reset: "object",
+    reset_active_low: "object",
+    reset_values: "object",
+) -> "object":
+    """Next state of every register at one capture edge, in lock step.
+
+    All arguments are host arrays over the register file's register axis:
+    ``data``/``enable``/``reset`` carry the pin levels sampled at the edge
+    (don't-care where the corresponding ``has_*`` mask is false), and the
+    precedence matches :meth:`repro.cells.Cell.next_state` bit for bit —
+    reset dominates enable dominates data.  Registers whose reset is
+    asserted at the edge commit ``reset_values`` whether the reset is async
+    or sync: an async reset still held at the capture edge pins the state
+    exactly like a sync one (mid-cycle async pulses are handled separately
+    by the clocked driver's pending-event ledger).
+    """
+    hnp = HOST
+    next_state = hnp.where(has_enable & (enable == 0), state, data)
+    reset_level = hnp.where(reset_active_low, 1 - reset, reset)
+    reset_active = has_reset & (reset_level == 1)
+    return hnp.astype(
+        hnp.where(reset_active, reset_values, next_state), state.dtype
+    )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .netlist import Netlist, NetlistError, PORT
 
@@ -135,6 +135,72 @@ def _undriven_inputs(netlist: Netlist) -> List[str]:
             if net.driver is None and net_name not in sources:
                 undriven.append(net_name)
     return undriven
+
+
+# ----------------------------------------------------------------------
+# Register crossings (the D-cone -> Q-source table between frames)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegisterCrossing:
+    """One sequential element as a crossing between combinational frames.
+
+    The D cone of frame ``k`` ends at ``d_net`` (an endpoint of the
+    levelized frame) and, one capture edge later, re-enters frame ``k+1``
+    as the level-0 source ``q_net``.  Control-pin nets and next-state
+    semantics are denormalized from the cell so consumers (the register
+    file, the clocked driver, analysis rules) need no cell lookups.
+    """
+
+    instance: str
+    cell_name: str
+    q_net: str
+    d_net: Optional[str]
+    clock_net: Optional[str]
+    enable_net: Optional[str]
+    reset_net: Optional[str]
+    reset_active_low: bool
+    reset_async: bool
+    reset_value: int
+    init_value: int
+    is_latch: bool
+    clk_to_q_rise: float
+    clk_to_q_fall: float
+
+
+def register_crossings(netlist: Netlist) -> List[RegisterCrossing]:
+    """The register crossing table, sorted by instance name.
+
+    One :class:`RegisterCrossing` per sequential instance; ``init_value``
+    already folds in any per-instance override from
+    :attr:`Netlist.initial_values`.
+    """
+    crossings: List[RegisterCrossing] = []
+    for inst in netlist.sequential_instances():
+        cell = inst.cell
+
+        def pin_net(pin: Optional[str]) -> Optional[str]:
+            return inst.connections[pin] if pin is not None else None
+
+        crossings.append(
+            RegisterCrossing(
+                instance=inst.name,
+                cell_name=cell.name,
+                q_net=inst.output_net(),
+                d_net=pin_net(cell.data_pin),
+                clock_net=pin_net(cell.clock_pin),
+                enable_net=pin_net(cell.enable_pin),
+                reset_net=pin_net(cell.reset_pin),
+                reset_active_low=cell.reset_active_low,
+                reset_async=cell.reset_async,
+                reset_value=cell.reset_value & 1,
+                init_value=netlist.initial_value_of(inst.name),
+                is_latch=cell.is_latch,
+                clk_to_q_rise=cell.intrinsic_rise,
+                clk_to_q_fall=cell.intrinsic_fall,
+            )
+        )
+    crossings.sort(key=lambda c: c.instance)
+    return crossings
 
 
 def critical_level_path(levelization: Levelization) -> Tuple[int, int]:

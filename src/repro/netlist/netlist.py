@@ -84,6 +84,11 @@ class Netlist:
         self.outputs: List[str] = []
         self.nets: Dict[str, Net] = {}
         self.instances: Dict[str, Instance] = {}
+        #: Per-instance power-on state overrides (instance name -> 0/1) for
+        #: sequential elements; instances absent here start at their cell's
+        #: ``init_value``.  Set by the Yosys importer (``init`` attributes)
+        #: and by :meth:`set_initial_value`.
+        self.initial_values: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -150,6 +155,28 @@ class Netlist:
         out_net.driver = (instance_name, cell.output)
         self.instances[instance_name] = instance
         return instance
+
+    def set_initial_value(self, instance_name: str, value: int) -> None:
+        """Record the power-on state of a sequential instance (0 or 1)."""
+        inst = self.instance(instance_name)
+        if not inst.is_sequential:
+            raise NetlistError(
+                f"instance {instance_name!r} is combinational; only "
+                f"sequential elements carry initial values"
+            )
+        if value not in (0, 1):
+            raise NetlistError(
+                f"initial value for {instance_name!r} must be 0 or 1, "
+                f"got {value!r}"
+            )
+        self.initial_values[instance_name] = value
+
+    def initial_value_of(self, instance_name: str) -> int:
+        """Power-on state of a sequential instance (override or cell default)."""
+        inst = self.instance(instance_name)
+        if instance_name in self.initial_values:
+            return self.initial_values[instance_name]
+        return inst.cell.init_value & 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -300,20 +327,55 @@ class NetlistBuilder:
         output_net: Optional[str] = None,
         cell_name: str = "DFF",
         name: Optional[str] = None,
+        *,
+        reset_net: Optional[str] = None,
+        enable_net: Optional[str] = None,
+        init: Optional[int] = None,
     ) -> str:
-        """Instantiate a flip-flop; returns its Q net name."""
+        """Instantiate a flip-flop; returns its Q net name.
+
+        ``reset_net``/``enable_net`` connect the cell's reset/enable pins
+        (an error when the cell has none); control pins left unconnected
+        are tied to their inactive level with TIEHI/TIELO cells so the
+        register behaves like a plain DFF when simulated.  ``init`` records
+        the power-on state.
+        """
         cell = self.netlist.library.get(cell_name)
         if output_net is None:
             output_net = self.new_net("q")
         if name is None:
             name = f"r{self._inst_counter}"
             self._inst_counter += 1
-        connections = {"D": data_net, cell.clock_pin or "CK": clock_net,
+        connections = {cell.data_pin or "D": data_net,
+                       cell.clock_pin or "CK": clock_net,
                        cell.output: output_net}
+        for net, pin, role in ((reset_net, cell.reset_pin, "reset"),
+                               (enable_net, cell.enable_pin, "enable")):
+            if net is None:
+                continue
+            if pin is None:
+                raise NetlistError(
+                    f"cell {cell_name!r} has no {role} pin for net {net!r}"
+                )
+            connections[pin] = net
         for pin in cell.inputs:
-            if pin not in connections:
-                connections[pin] = self.netlist.add_net(f"{name}_{pin}").name
+            if pin in connections:
+                continue
+            # Tie unconnected control pins to their inactive level: reset
+            # inactive is the opposite of its active polarity, enable
+            # inactive-high keeps the register capturing every edge.
+            if pin == cell.reset_pin:
+                tie = "TIEHI" if cell.reset_active_low else "TIELO"
+            elif pin == cell.enable_pin:
+                tie = "TIEHI"
+            else:
+                tie = "TIELO"
+            tie_net = self.netlist.add_net(f"{name}_{pin}").name
+            self.netlist.add_instance(tie, f"{name}_{pin}_tie", {"Y": tie_net})
+            connections[pin] = tie_net
         self.netlist.add_instance(cell_name, name, connections)
+        if init is not None:
+            self.netlist.set_initial_value(name, init)
         return output_net
 
     def build(self) -> Netlist:

@@ -1,0 +1,388 @@
+"""Yosys JSON netlist ingestion.
+
+``yosys -p "synth; abc; write_json design.json"`` emits a bit-level
+netlist: every module lists ``ports`` (direction + bit ids), ``cells``
+(internal cell type + per-pin bit-id connections) and ``netnames``
+(human-visible names + attributes such as power-on ``init``).  This module
+maps that format onto the repro cell library so externally synthesized
+designs run through the same levelize/simulate/analyze pipeline as
+generated ones — file-based only, no Yosys installation or network access
+involved.
+
+Supported cell types are the single-bit internal gates Yosys lowers to
+(the ``$_NAME_`` forms produced by ``abc``/``simplemap``); the mapping
+table is :data:`CELL_MAP`.  Anything else — word-level RTL cells
+(``$add``, ``$mem``…), unmapped flop polarities — raises
+:class:`UnsupportedCellError` naming the offending type, so callers can
+tell "re-run synthesis with simplemap" apart from a malformed file
+(:class:`YosysFormatError`).
+
+Constant bits (``"0"``/``"1"`` in a connection list) become shared
+``TIELO``/``TIEHI`` instances; ``"x"``/``"z"`` bits are rejected — the
+two-valued simulator has no representation for them.  Flop power-on
+values are read from ``init`` attributes on the nets attached to register
+outputs (MSB-first bit strings, as Yosys writes them) and recorded via
+:meth:`~repro.netlist.netlist.Netlist.set_initial_value`.
+
+Checked-in example designs (a counter, an LFSR, and a tiny scan-mux ALU)
+live next to this module under ``fixtures/``; :func:`load_fixture` imports
+one by name.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..cells.library import CellLibrary
+from .netlist import Netlist, NetlistError, PORT
+
+
+class YosysImportError(NetlistError):
+    """Base class for Yosys JSON ingestion failures."""
+
+
+class YosysFormatError(YosysImportError):
+    """The document is not a well-formed Yosys JSON netlist."""
+
+
+class UnsupportedCellError(YosysImportError):
+    """The design uses a cell type the importer cannot map.
+
+    ``cell_type`` carries the offending Yosys type so tooling can report
+    every unmapped type of a design, not just the first.
+    """
+
+    def __init__(self, message: str, cell_type: str) -> None:
+        super().__init__(message)
+        self.cell_type = cell_type
+
+
+#: Yosys internal cell type -> (library cell, yosys pin -> library pin).
+#: Only single-bit internal cells appear here by design: the importer
+#: consumes post-``simplemap``/``abc`` netlists, where word-level cells no
+#: longer exist.
+CELL_MAP: Dict[str, Tuple[str, Dict[str, str]]] = {
+    "$_BUF_": ("BUF", {"A": "A", "Y": "Y"}),
+    "$_NOT_": ("INV", {"A": "A", "Y": "Y"}),
+    "$_AND_": ("AND2", {"A": "A", "B": "B", "Y": "Y"}),
+    "$_OR_": ("OR2", {"A": "A", "B": "B", "Y": "Y"}),
+    "$_XOR_": ("XOR2", {"A": "A", "B": "B", "Y": "Y"}),
+    "$_XNOR_": ("XNOR2", {"A": "A", "B": "B", "Y": "Y"}),
+    "$_NAND_": ("NAND2", {"A": "A", "B": "B", "Y": "Y"}),
+    "$_NOR_": ("NOR2", {"A": "A", "B": "B", "Y": "Y"}),
+    # $_MUX_: Y = S ? B : A, matching fn.mux2's (A, B, S) ordering.
+    "$_MUX_": ("MUX2", {"A": "A", "B": "B", "S": "S", "Y": "Y"}),
+    # $_AOI3_: Y = ~((A & B) | C); AOI21: Y = ~((A1 & A2) | B).
+    "$_AOI3_": ("AOI21", {"A": "A1", "B": "A2", "C": "B", "Y": "Y"}),
+    "$_OAI3_": ("OAI21", {"A": "A1", "B": "A2", "C": "B", "Y": "Y"}),
+    "$_AOI4_": ("AOI22", {"A": "A1", "B": "A2", "C": "B1", "D": "B2", "Y": "Y"}),
+    "$_OAI4_": ("OAI22", {"A": "A1", "B": "A2", "C": "B1", "D": "B2", "Y": "Y"}),
+    # Flops: positive-edge variants only; other polarities raise
+    # UnsupportedCellError (invert the clock/reset in RTL instead).
+    "$_DFF_P_": ("DFF", {"C": "CK", "D": "D", "Q": "Q"}),
+    "$_DFF_PN0_": ("DFFR", {"C": "CK", "D": "D", "R": "RN", "Q": "Q"}),
+    "$_DFFE_PP_": ("DFFE", {"C": "CK", "D": "D", "E": "EN", "Q": "Q"}),
+    "$_SDFF_PN0_": ("SDFFR", {"C": "CK", "D": "D", "R": "RN", "Q": "Q"}),
+    "$_DLATCH_P_": ("LATCH", {"E": "G", "D": "D", "Q": "Q"}),
+}
+
+_OUTPUT_PINS = ("Y", "Q")
+
+_FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures"
+
+
+def fixture_path(name: str) -> Path:
+    """Absolute path of a checked-in Yosys JSON fixture (e.g. ``"lfsr"``)."""
+    path = _FIXTURE_DIR / f"{name}.json"
+    if not path.is_file():
+        available = sorted(p.stem for p in _FIXTURE_DIR.glob("*.json"))
+        raise YosysImportError(
+            f"no Yosys fixture named {name!r}; available: {available}"
+        )
+    return path
+
+
+def load_fixture(
+    name: str, *, library: Optional[CellLibrary] = None
+) -> Netlist:
+    """Import one of the checked-in Yosys JSON fixtures by name."""
+    return read_yosys_json(fixture_path(name), library=library)
+
+
+def read_yosys_json(
+    path: Union[str, Path],
+    *,
+    top: Optional[str] = None,
+    name: Optional[str] = None,
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """Import a Yosys JSON netlist from a file on disk."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise YosysFormatError(f"{path}: not valid JSON: {exc}") from None
+    return import_yosys_json(data, top=top, name=name, library=library)
+
+
+def import_yosys_json(
+    source: Union[str, Mapping[str, Any]],
+    *,
+    top: Optional[str] = None,
+    name: Optional[str] = None,
+    library: Optional[CellLibrary] = None,
+) -> Netlist:
+    """Import a Yosys JSON document (parsed dict or JSON text).
+
+    ``top`` picks the module to import when the document holds several
+    (defaults to the module marked with a ``top`` attribute, or the only
+    module present); ``name`` overrides the resulting netlist's name.
+    """
+    if isinstance(source, str):
+        try:
+            data: Mapping[str, Any] = json.loads(source)
+        except json.JSONDecodeError as exc:
+            raise YosysFormatError(f"not valid JSON: {exc}") from None
+    else:
+        data = source
+    if not isinstance(data, Mapping):
+        raise YosysFormatError(
+            f"expected a JSON object at top level, got {type(data).__name__}"
+        )
+    modules = data.get("modules")
+    if not isinstance(modules, Mapping) or not modules:
+        raise YosysFormatError("document has no 'modules' object")
+    module_name, module = _select_module(modules, top)
+    return _import_module(name or module_name, module, library)
+
+
+def _select_module(
+    modules: Mapping[str, Any], top: Optional[str]
+) -> Tuple[str, Mapping[str, Any]]:
+    if top is not None:
+        if top not in modules:
+            raise YosysFormatError(
+                f"no module named {top!r}; document has {sorted(modules)}"
+            )
+        return top, modules[top]
+    flagged = []
+    for mod_name, mod in modules.items():
+        if not isinstance(mod, Mapping):
+            continue
+        top_attr = mod.get("attributes", {}).get("top")
+        if top_attr is None:
+            continue
+        # Yosys writes attribute values as zero-padded bit strings.
+        if top_attr in (1, True) or str(top_attr).lstrip("0") == "1":
+            flagged.append(mod_name)
+    if len(flagged) == 1:
+        return flagged[0], modules[flagged[0]]
+    if len(modules) == 1:
+        only = next(iter(modules))
+        return only, modules[only]
+    raise YosysFormatError(
+        f"document has {len(modules)} modules and no unique top attribute; "
+        f"pass top= explicitly (available: {sorted(modules)})"
+    )
+
+
+def _bit_name_map(module: Mapping[str, Any]) -> Dict[int, str]:
+    """Name every bit id: port names win, then visible netnames, then a
+    ``_bit<id>_`` fallback applied lazily by :func:`_net_of`."""
+    names: Dict[int, str] = {}
+
+    def claim(base: str, bits: List[Any]) -> None:
+        wide = len(bits) > 1
+        for index, bit in enumerate(bits):
+            if isinstance(bit, int) and bit not in names:
+                names[bit] = f"{base}[{index}]" if wide else base
+
+    for port_name, port in module.get("ports", {}).items():
+        claim(str(port_name), _port_bits(port_name, port))
+    for net_name, net in module.get("netnames", {}).items():
+        if str(net_name).startswith("$"):
+            continue
+        bits = net.get("bits")
+        if isinstance(bits, list):
+            claim(str(net_name), bits)
+    return names
+
+
+def _port_bits(port_name: Any, port: Any) -> List[Any]:
+    if not isinstance(port, Mapping) or not isinstance(port.get("bits"), list):
+        raise YosysFormatError(f"port {port_name!r} has no 'bits' list")
+    return port["bits"]
+
+
+class _Importer:
+    def __init__(
+        self,
+        name: str,
+        module: Mapping[str, Any],
+        library: Optional[CellLibrary],
+    ) -> None:
+        self.module = module
+        self.netlist = Netlist(name, library=library)
+        self.bit_names = _bit_name_map(module)
+        self.const_nets: Dict[str, str] = {}
+
+    def _net_of(self, bit: Any, context: str) -> str:
+        if isinstance(bit, int):
+            return self.bit_names.get(bit, f"_bit{bit}_")
+        if bit in ("0", "1"):
+            return self._const_net(bit)
+        raise YosysFormatError(
+            f"{context}: bit value {bit!r} is not supported (two-valued "
+            f"simulation has no x/z)"
+        )
+
+    def _const_net(self, value: str) -> str:
+        if value not in self.const_nets:
+            net = f"_const{value}_"
+            cell = "TIEHI" if value == "1" else "TIELO"
+            self.netlist.add_instance(cell, f"_tie{value}_", {"Y": net})
+            self.const_nets[value] = net
+        return self.const_nets[value]
+
+    def run(self) -> Netlist:
+        out_ports = self._declare_inputs()
+        self._build_cells()
+        self._declare_outputs(out_ports)
+        self._apply_init_attributes()
+        return self.netlist
+
+    # ------------------------------------------------------------------
+    def _declare_inputs(self) -> List[Tuple[str, Any]]:
+        in_ports: List[Tuple[str, Any]] = []
+        out_ports: List[Tuple[str, Any]] = []
+        for port_name, port in self.module.get("ports", {}).items():
+            direction = port.get("direction")
+            bits = _port_bits(port_name, port)
+            if direction == "input":
+                in_ports.append((str(port_name), bits))
+            elif direction == "output":
+                out_ports.append((str(port_name), bits))
+            else:
+                raise YosysFormatError(
+                    f"port {port_name!r} has unsupported direction "
+                    f"{direction!r} (inout ports cannot be simulated)"
+                )
+        for port_name, bits in in_ports:
+            for index, bit in enumerate(bits):
+                if not isinstance(bit, int):
+                    raise YosysFormatError(
+                        f"input port {port_name!r} bit {index} is the "
+                        f"constant {bit!r}; inputs must be real nets"
+                    )
+                self.netlist.add_input(self._net_of(bit, f"port {port_name}"))
+        return out_ports
+
+    def _build_cells(self) -> None:
+        cells = self.module.get("cells", {})
+        if not isinstance(cells, Mapping):
+            raise YosysFormatError("'cells' must be an object")
+        unsupported = sorted(
+            {
+                str(cell.get("type"))
+                for cell in cells.values()
+                if isinstance(cell, Mapping)
+                and str(cell.get("type")) not in CELL_MAP
+            }
+        )
+        if unsupported:
+            raise UnsupportedCellError(
+                f"design uses unmapped Yosys cell type(s) {unsupported}; "
+                f"supported types: {sorted(CELL_MAP)} (lower word-level "
+                f"cells with 'techmap; simplemap; abc' first)",
+                cell_type=unsupported[0],
+            )
+        for cell_name, cell in cells.items():
+            if not isinstance(cell, Mapping):
+                raise YosysFormatError(f"cell {cell_name!r} is not an object")
+            lib_cell, pin_map = CELL_MAP[str(cell.get("type"))]
+            raw = cell.get("connections")
+            if not isinstance(raw, Mapping):
+                raise YosysFormatError(
+                    f"cell {cell_name!r} has no 'connections' object"
+                )
+            connections: Dict[str, str] = {}
+            for yosys_pin, lib_pin in pin_map.items():
+                bits = raw.get(yosys_pin)
+                if not isinstance(bits, list) or len(bits) != 1:
+                    raise YosysFormatError(
+                        f"cell {cell_name!r} pin {yosys_pin!r} must be a "
+                        f"single-bit connection, got {bits!r}"
+                    )
+                bit = bits[0]
+                if lib_pin in _OUTPUT_PINS and not isinstance(bit, int):
+                    raise YosysFormatError(
+                        f"cell {cell_name!r} output pin {yosys_pin!r} is "
+                        f"connected to the constant {bit!r}"
+                    )
+                connections[lib_pin] = self._net_of(
+                    bit, f"cell {cell_name} pin {yosys_pin}"
+                )
+            self.netlist.add_instance(lib_cell, str(cell_name), connections)
+
+    def _declare_outputs(self, out_ports: List[Tuple[str, Any]]) -> None:
+        for port_name, bits in out_ports:
+            wide = len(bits) > 1
+            for index, bit in enumerate(bits):
+                wanted = f"{port_name}[{index}]" if wide else port_name
+                actual = self._net_of(bit, f"port {port_name}")
+                if actual != wanted:
+                    # The port aliases another net (an input feed-through,
+                    # a constant, or a bit already claimed by another
+                    # port): buffer it onto a net carrying the port name.
+                    self.netlist.add_instance(
+                        "BUF", f"{wanted}_port_buf", {"A": actual, "Y": wanted}
+                    )
+                self.netlist.add_output(wanted)
+
+    def _apply_init_attributes(self) -> None:
+        for net_name, net in self.module.get("netnames", {}).items():
+            if not isinstance(net, Mapping):
+                continue
+            init = net.get("attributes", {}).get("init")
+            if init is None:
+                continue
+            bits = net.get("bits")
+            if not isinstance(bits, list):
+                continue
+            init_str = self._init_string(net_name, init, len(bits))
+            for index, bit in enumerate(bits):
+                # Yosys writes init MSB-first; bits lists are LSB-first.
+                char = init_str[len(bits) - 1 - index]
+                if char not in "01" or not isinstance(bit, int):
+                    continue
+                net_ref = self.netlist.nets.get(self._net_of(bit, "init"))
+                if net_ref is None or net_ref.driver is None:
+                    continue
+                driver_name, _ = net_ref.driver
+                if driver_name == PORT:
+                    continue
+                inst = self.netlist.instances[driver_name]
+                if inst.cell.is_sequential:
+                    self.netlist.set_initial_value(driver_name, int(char))
+
+    @staticmethod
+    def _init_string(net_name: Any, init: Any, width: int) -> str:
+        if isinstance(init, int):
+            text = format(init, "b")
+        else:
+            text = str(init)
+        if any(c not in "01x" for c in text):
+            raise YosysFormatError(
+                f"net {net_name!r} has unparseable init attribute {init!r}"
+            )
+        return text.rjust(width, "x")[-width:]
+
+
+def _import_module(
+    name: str, module: Mapping[str, Any], library: Optional[CellLibrary]
+) -> Netlist:
+    if not isinstance(module, Mapping):
+        raise YosysFormatError(f"module {name!r} is not an object")
+    return _Importer(name, module, library).run()

@@ -16,7 +16,7 @@ ever materialising a waveform.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.results import (
     PhaseTimings,
@@ -442,6 +442,9 @@ class StreamResult:
     activities: Dict[str, NetActivity] = field(default_factory=dict)
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     stats: SimulationStats = field(default_factory=SimulationStats)
+    #: Final register state of a streamed clocked run (instance name ->
+    #: 0/1), set by ``run_cycles_stream``; ``None`` for combinational runs.
+    register_state: Optional[Dict[str, int]] = None
 
     def total_toggles(self) -> int:
         return sum(self.toggle_counts.values())

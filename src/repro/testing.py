@@ -92,6 +92,117 @@ def build_boundary_stimulus(
     return stimulus
 
 
+#: Maximal-length LFSR tap positions (1-based, Fibonacci form) by width.
+_LFSR_TAPS = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    12: (12, 11, 10, 4),
+    16: (16, 15, 13, 4),
+}
+
+
+def build_counter(bits: int = 4, *, init: int = 0, name: str = "") -> Netlist:
+    """A ``bits``-wide binary up-counter on ``DFFR`` flops.
+
+    Inputs ``clk``/``rst_n`` (async active-low reset clearing to 0),
+    outputs ``count[i]``; the increment is a ripple XOR/AND chain.  The
+    canonical sequential smoke design: after ``n`` held-reset-free cycles
+    the state reads ``(init + n) mod 2**bits``.
+    """
+    builder = NetlistBuilder(name or f"counter{bits}")
+    clk = builder.input("clk")
+    rst_n = builder.input("rst_n")
+    count = builder.outputs("count", bits)
+    carry = ""
+    for i in range(bits):
+        q = count[i]
+        if i == 0:
+            data = builder.gate("INV", [q])
+            carry = q
+        else:
+            data = builder.gate("XOR2", [q, carry])
+            if i < bits - 1:
+                carry = builder.gate("AND2", [q, carry])
+        builder.flop(
+            data,
+            clk,
+            output_net=q,
+            cell_name="DFFR",
+            name=f"count_reg[{i}]",
+            reset_net=rst_n,
+            init=(init >> i) & 1,
+        )
+    return builder.build()
+
+
+def build_shift_register(
+    bits: int = 8, *, enable: bool = False, name: str = ""
+) -> Netlist:
+    """A ``din -> q[0] -> ... -> q[bits-1]`` shift register.
+
+    Plain ``DFF`` stages by default; ``enable=True`` switches every stage
+    to ``DFFE`` gated by a shared ``en`` input (EN low freezes the whole
+    chain), which is the test designs' enable-semantics workhorse.
+    """
+    builder = NetlistBuilder(name or f"shift{bits}")
+    clk = builder.input("clk")
+    din = builder.input("din")
+    en = builder.input("en") if enable else None
+    stages = builder.outputs("q", bits)
+    previous = din
+    for i, q in enumerate(stages):
+        builder.flop(
+            previous,
+            clk,
+            output_net=q,
+            cell_name="DFFE" if enable else "DFF",
+            name=f"sr_reg[{i}]",
+            enable_net=en,
+        )
+        previous = q
+    return builder.build()
+
+
+def build_lfsr(bits: int = 8, *, init: int = 0, name: str = "") -> Netlist:
+    """A ``bits``-wide XNOR-feedback Fibonacci LFSR clocked by ``clk``.
+
+    XNOR feedback makes the all-zero state sequence (all-ones is the
+    lockup state instead), so the default ``init=0`` produces a
+    maximal-length pseudo-random run without any reset plumbing — ideal
+    stimulus-free sequential workloads for differential tests and the
+    sequential throughput benchmark.
+    """
+    builder = NetlistBuilder(name or f"lfsr{bits}")
+    clk = builder.input("clk")
+    stages = builder.outputs("q", bits)
+    taps = _LFSR_TAPS.get(bits, (bits, bits - 1))
+    tap_nets = [stages[t - 1] for t in taps]
+    if len(tap_nets) == 1:
+        feedback = builder.gate("INV", [tap_nets[0]])
+    else:
+        acc = tap_nets[0]
+        for net in tap_nets[1:-1]:
+            acc = builder.gate("XOR2", [acc, net])
+        feedback = builder.gate("XNOR2", [acc, tap_nets[-1]])
+    previous = feedback
+    for i, q in enumerate(stages):
+        builder.flop(
+            previous,
+            clk,
+            output_net=q,
+            cell_name="DFF",
+            name=f"q_reg[{i}]",
+            init=(init >> i) & 1,
+        )
+        previous = q
+    return builder.build()
+
+
 def build_sparse_stimulus(
     netlist: Netlist,
     duration: int,

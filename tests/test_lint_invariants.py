@@ -126,6 +126,23 @@ class TestFrozenMutationRule:
         assert "'weights'" in messages
         assert "'levels'" in messages
 
+    def test_register_file_fields_covered(self, linter, tmp_path):
+        seeded = tmp_path / "core" / "clocked_bad.py"
+        seeded.parent.mkdir()
+        seeded.write_text(
+            "def corrupt(rf, state):\n"
+            "    rf.init_values = state\n"
+            "    rf.clk_to_q_rise[0] = 99\n"
+            "    object.__setattr__(rf, 'reset_values', state)\n"
+        )
+        violations = linter.lint_file(seeded)
+        messages = "\n".join(v.message for v in violations)
+        assert "'init_values'" in messages
+        assert "'clk_to_q_rise'" in messages
+        assert "'reset_values'" in messages
+        rules = sorted({v.rule for v in violations})
+        assert rules == ["MUT001", "MUT002"]
+
     def test_exempt_names_do_not_fire(self, linter):
         violations = linter.lint_file(FIXTURES / "mut_violation.py")
         messages = "\n".join(v.message for v in violations)

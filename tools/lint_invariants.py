@@ -25,11 +25,14 @@ cheaply observe:
     code that must not call back out).
 
 ``MUT001`` — no mutation of packed design tensors
-    :class:`~repro.core.vector_kernel.PackedDesign` / ``LevelTensors`` are
-    built once at compile time and shared by every run, every shard and
-    every cached session of a design fingerprint.  Any post-construction
-    field assignment (including ``object.__setattr__`` bypasses of the
-    frozen dataclass) is cross-session state corruption.
+    :class:`~repro.core.vector_kernel.PackedDesign` / ``LevelTensors`` /
+    :class:`~repro.core.register_file.RegisterFile` are built once at
+    compile time and shared by every run, every shard and every cached
+    session of a design fingerprint.  Any post-construction field
+    assignment (including ``object.__setattr__`` bypasses of the frozen
+    dataclass) is cross-session state corruption.  The register file's
+    mutable run state lives in the per-run copy from
+    ``RegisterFile.initial_state()``, never in the packed arrays.
 
 ``MUT002`` — packed-tensor rows mutate only via sanctioned rebuild paths
     Element/slice writes into the packed tensors (``x.tt_offsets[...] =``)
@@ -116,7 +119,30 @@ LEVEL_TENSORS_FIELDS = frozenset(
 PACKED_DESIGN_FIELDS = frozenset(
     {"tt_flat", "delay_flat", "levels", "net_index", "device"}
 )
-FROZEN_FIELDS = LEVEL_TENSORS_FIELDS | PACKED_DESIGN_FIELDS
+#: The register file's packed per-register arrays (core/register_file.py):
+#: shared by every clocked run of a prepared session, so post-construction
+#: writes corrupt concurrent and future runs exactly like PackedDesign
+#: mutation would.  Run state is a per-run ``initial_state()`` copy.
+REGISTER_FILE_FIELDS = frozenset(
+    {
+        "q_nets",
+        "d_nets",
+        "clock_nets",
+        "enable_nets",
+        "reset_nets",
+        "has_enable",
+        "has_reset",
+        "reset_async",
+        "reset_active_low",
+        "reset_values",
+        "init_values",
+        "clk_to_q_rise",
+        "clk_to_q_fall",
+    }
+)
+FROZEN_FIELDS = (
+    LEVEL_TENSORS_FIELDS | PACKED_DESIGN_FIELDS | REGISTER_FILE_FIELDS
+)
 #: Field names too generic to flag on plain attribute assignment — other
 #: types legitimately own attributes with these names
 #: (``Levelization.levels``, the GPU models' ``self.device``).  They stay
